@@ -1,0 +1,187 @@
+//! Criterion micro-benchmarks for the suite's substrates:
+//! lock-table operations, store apply/rollback, WAL recovery,
+//! SG construction + regular-cycle detection, marking-set compatibility
+//! checks, event-queue throughput, and a small end-to-end engine run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use o2pc_common::{
+    AccessMode, DetRng, Duration, ExecId, GlobalTxnId, History, Key, Op, OpKind, SimTime, SiteId,
+    TxnId, Value,
+};
+use o2pc_core::{Engine, SystemConfig, TxnRequest};
+use o2pc_locking::LockManager;
+use o2pc_marking::{MarkEvent, MarkingProtocol, SiteMarks, TransMarks};
+use o2pc_protocol::ProtocolKind;
+use o2pc_sgraph::{build_sgs, find_regular_cycle};
+use o2pc_sim::EventQueue;
+use o2pc_storage::Store;
+use std::hint::black_box;
+
+fn bench_lock_manager(c: &mut Criterion) {
+    c.bench_function("locking/request_release_1k", |b| {
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                for i in 0..1000u64 {
+                    let e = ExecId::Sub(GlobalTxnId(i));
+                    lm.request(e, Key(i % 64), AccessMode::Write, SimTime(i));
+                    lm.request(e, Key((i + 7) % 64), AccessMode::Read, SimTime(i));
+                    lm.release_all(e, SimTime(i + 1));
+                }
+                black_box(lm.grant_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("locking/deadlock_detection_contended", |b| {
+        let mut lm = LockManager::new();
+        for i in 0..64u64 {
+            let e = ExecId::Sub(GlobalTxnId(i));
+            lm.request(e, Key(i), AccessMode::Write, SimTime(0));
+            lm.request(e, Key((i + 1) % 64), AccessMode::Write, SimTime(1));
+        }
+        b.iter(|| black_box(lm.find_deadlock()))
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("storage/apply_commit_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Store::new();
+                for k in 0..256u64 {
+                    s.load(Key(k), Value(0));
+                }
+                s
+            },
+            |mut s| {
+                for i in 0..1000u64 {
+                    let e = ExecId::Sub(GlobalTxnId(i));
+                    s.apply(e, Op::Add(Key(i % 256), 1)).unwrap();
+                    s.apply(e, Op::Read(Key((i + 1) % 256))).unwrap();
+                    black_box(s.commit(e));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("storage/apply_rollback_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Store::new();
+                for k in 0..256u64 {
+                    s.load(Key(k), Value(0));
+                }
+                s
+            },
+            |mut s| {
+                for i in 0..1000u64 {
+                    let e = ExecId::Sub(GlobalTxnId(i));
+                    s.apply(e, Op::Add(Key(i % 256), 1)).unwrap();
+                    s.apply(e, Op::Add(Key((i + 3) % 256), -1)).unwrap();
+                    black_box(s.rollback(e));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn synthetic_history(txns: u64, sites: u32, keys: u64) -> History {
+    let mut h = History::new();
+    let mut rng = DetRng::new(42);
+    let mut t = 0u64;
+    for i in 0..txns {
+        for s in 0..sites {
+            for _ in 0..3 {
+                t += 1;
+                let kind = if rng.gen_bool(0.5) { OpKind::Read } else { OpKind::Write };
+                h.access(
+                    SiteId(s),
+                    TxnId::Global(GlobalTxnId(i)),
+                    kind,
+                    Key(rng.gen_range(keys)),
+                    None,
+                    SimTime(t),
+                );
+            }
+        }
+    }
+    h
+}
+
+fn bench_sgraph(c: &mut Criterion) {
+    let h = synthetic_history(100, 4, 16);
+    c.bench_function("sgraph/build_100txn", |b| b.iter(|| black_box(build_sgs(&h))));
+    let g = build_sgs(&h);
+    c.bench_function("sgraph/regular_cycle_search", |b| {
+        b.iter(|| black_box(find_regular_cycle(&g, 1000, 8)))
+    });
+}
+
+fn bench_marking(c: &mut Criterion) {
+    c.bench_function("marking/r1_check_32_marks", |b| {
+        let mut site = SiteMarks::new();
+        for i in 0..32u64 {
+            site.apply(GlobalTxnId(i), MarkEvent::VoteAbort).unwrap();
+        }
+        let mut tm = TransMarks::new();
+        tm.check_and_absorb(MarkingProtocol::P1, &site).unwrap();
+        b.iter(|| black_box(tm.check(MarkingProtocol::P1, &site)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime(i * 7 % 1000 + i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/100_transfers_o2pc", |b| {
+        b.iter(|| {
+            let mut cfg = SystemConfig::new(4, ProtocolKind::O2pc);
+            cfg.record_history = false;
+            cfg.seed = 7;
+            let mut e = Engine::new(cfg);
+            for s in 0..4u32 {
+                for k in 0..8u64 {
+                    e.load(SiteId(s), Key(k), Value(1000));
+                }
+            }
+            for i in 0..100u64 {
+                e.submit_at(
+                    SimTime(i * 500),
+                    TxnRequest::global(vec![
+                        (SiteId((i % 4) as u32), vec![Op::Add(Key(i % 8), -1)]),
+                        (SiteId(((i + 1) % 4) as u32), vec![Op::Add(Key(i % 8), 1)]),
+                    ]),
+                );
+            }
+            black_box(e.run(Duration::secs(60)).global_committed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lock_manager,
+    bench_store,
+    bench_sgraph,
+    bench_marking,
+    bench_event_queue,
+    bench_engine
+);
+criterion_main!(benches);

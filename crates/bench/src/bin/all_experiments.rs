@@ -1,0 +1,19 @@
+//! Run the full experiment suite (F1, F2, E1–E8) in order.
+use o2pc_bench::experiments as ex;
+
+fn main() {
+    println!("# O2PC reproduction — full experiment suite\n");
+    ex::fig1();
+    ex::fig2();
+    ex::e1();
+    ex::e2();
+    ex::e3();
+    ex::e4();
+    ex::e5();
+    ex::e5b();
+    ex::e6();
+    ex::e7();
+    ex::e8();
+    ex::e9();
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `o2pc_bench::experiments::e7`.
+fn main() {
+    o2pc_bench::experiments::e7();
+}

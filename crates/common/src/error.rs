@@ -1,0 +1,73 @@
+//! Shared error types.
+
+use crate::ids::ExecId;
+use crate::value::Key;
+use std::fmt;
+
+/// Errors shared across the suite's crates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommonError {
+    /// An operation referenced an item that does not exist.
+    KeyNotFound(Key),
+    /// An insert targeted an item that already exists.
+    KeyExists(Key),
+    /// A `Reserve` could not be satisfied (insufficient units) or an `Add`
+    /// would violate a domain constraint.
+    ConstraintViolated {
+        /// Item involved.
+        key: Key,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The referenced transaction/execution is not active at this site.
+    UnknownExecution(ExecId),
+    /// The execution is in a state where the requested transition is illegal.
+    IllegalTransition {
+        /// Execution involved.
+        exec: ExecId,
+        /// What was attempted.
+        attempted: &'static str,
+    },
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            CommonError::KeyExists(k) => write!(f, "key {k} already exists"),
+            CommonError::ConstraintViolated { key, reason } => {
+                write!(f, "constraint violated on {key}: {reason}")
+            }
+            CommonError::UnknownExecution(e) => write!(f, "unknown execution {e}"),
+            CommonError::IllegalTransition { exec, attempted } => {
+                write!(f, "illegal transition for {exec}: {attempted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+/// Result alias over [`CommonError`].
+pub type Result<T> = std::result::Result<T, CommonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalTxnId;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CommonError::KeyNotFound(Key(3)).to_string(), "key k3 not found");
+        assert_eq!(CommonError::KeyExists(Key(1)).to_string(), "key k1 already exists");
+        let e = CommonError::ConstraintViolated { key: Key(2), reason: "sold out" };
+        assert_eq!(e.to_string(), "constraint violated on k2: sold out");
+        let e = CommonError::UnknownExecution(ExecId::Sub(GlobalTxnId(4)));
+        assert!(e.to_string().contains("sub(T4)"));
+        let e = CommonError::IllegalTransition {
+            exec: ExecId::CompSub(GlobalTxnId(4)),
+            attempted: "vote",
+        };
+        assert!(e.to_string().contains("vote"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Recorded execution histories.
+//!
+//! Every site emits an ordered stream of events (operation accesses plus
+//! transaction lifecycle transitions). The concatenation per site is exactly
+//! the *complete local history* of the paper's §5; `o2pc-sgraph` derives the
+//! local and global serialization graphs from it.
+//!
+//! Note how roll-backs surface: when a site rolls back subtransaction `T_ij`
+//! from the log, the undo writes are recorded as accesses of
+//! `TxnId::Compensation(i)` — the paper models standard roll-back "as a
+//! special case of a compensating transaction" (§3.2), and making that choice
+//! in the history recorder is what lets a single SG builder serve both cases.
+
+use crate::ids::{SiteId, TxnId};
+use crate::ops::OpKind;
+use crate::time::SimTime;
+use crate::value::Key;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What happened in one history event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistEventKind {
+    /// Transaction became active at the site.
+    Begin,
+    /// One read or write access.
+    Access {
+        /// Read/write classification.
+        kind: OpKind,
+        /// Item accessed.
+        key: Key,
+        /// For reads: the transaction whose write produced the value read
+        /// (the *reads-from* relation, needed for the Theorem 2 audit).
+        read_from: Option<TxnId>,
+    },
+    /// The site voted to commit and (under O2PC) released the locks: the
+    /// transaction is *locally committed* here.
+    LocallyCommitted,
+    /// Final commit at this site.
+    Committed,
+    /// Rolled back from the log at this site.
+    RolledBack,
+    /// A compensating subtransaction completed at this site.
+    Compensated,
+}
+
+/// One event in a site's history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistEvent {
+    /// Site at which the event occurred.
+    pub site: SiteId,
+    /// Serialization-graph node the event belongs to.
+    pub txn: TxnId,
+    /// Event payload.
+    pub kind: HistEventKind,
+    /// Virtual time of the event.
+    pub time: SimTime,
+}
+
+/// A multi-site execution history: per-site ordered event sequences.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<HistEvent>,
+}
+
+impl History {
+    /// New empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event. Events must be appended in global virtual-time order
+    /// per site (the engine guarantees this; a debug assertion checks it).
+    pub fn push(&mut self, ev: HistEvent) {
+        #[cfg(debug_assertions)]
+        if let Some(last) = self.events.iter().rev().find(|e| e.site == ev.site) {
+            debug_assert!(last.time <= ev.time, "per-site history must be time-ordered");
+        }
+        self.events.push(ev);
+    }
+
+    /// Convenience: record an access.
+    pub fn access(
+        &mut self,
+        site: SiteId,
+        txn: TxnId,
+        kind: OpKind,
+        key: Key,
+        read_from: Option<TxnId>,
+        time: SimTime,
+    ) {
+        self.push(HistEvent { site, txn, kind: HistEventKind::Access { kind, key, read_from }, time });
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[HistEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one site, in order.
+    pub fn site_events(&self, site: SiteId) -> impl Iterator<Item = &HistEvent> {
+        self.events.iter().filter(move |e| e.site == site)
+    }
+
+    /// The set of sites appearing in the history, ordered.
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut s: Vec<SiteId> = self.events.iter().map(|e| e.site).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// The set of transactions appearing in the history, ordered.
+    pub fn txns(&self) -> Vec<TxnId> {
+        let mut t: Vec<TxnId> = self.events.iter().map(|e| e.txn).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// For every transaction, the set of sites where it has access events.
+    pub fn execution_sites(&self) -> BTreeMap<TxnId, Vec<SiteId>> {
+        let mut map: BTreeMap<TxnId, Vec<SiteId>> = BTreeMap::new();
+        for e in &self.events {
+            if matches!(e.kind, HistEventKind::Access { .. }) {
+                let sites = map.entry(e.txn).or_default();
+                if !sites.contains(&e.site) {
+                    sites.push(e.site);
+                }
+            }
+        }
+        map
+    }
+
+    /// Merge another history into this one (used when sites record locally
+    /// and the engine stitches them together). Events keep per-site order.
+    pub fn merge(&mut self, other: History) {
+        self.events.extend(other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GlobalTxnId, LocalTxnId};
+
+    fn ev(site: u32, txn: TxnId, t: u64) -> HistEvent {
+        HistEvent { site: SiteId(site), txn, kind: HistEventKind::Begin, time: SimTime(t) }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut h = History::new();
+        assert!(h.is_empty());
+        let t1 = TxnId::Global(GlobalTxnId(1));
+        let t2 = TxnId::Local(LocalTxnId { site: SiteId(0), seq: 0 });
+        h.push(ev(0, t1, 10));
+        h.push(ev(1, t1, 12));
+        h.push(ev(0, t2, 15));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.sites(), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(h.site_events(SiteId(0)).count(), 2);
+        assert_eq!(h.txns().len(), 2);
+    }
+
+    #[test]
+    fn access_records_reads_from() {
+        let mut h = History::new();
+        let writer = TxnId::Global(GlobalTxnId(1));
+        let reader = TxnId::Global(GlobalTxnId(2));
+        h.access(SiteId(0), writer, OpKind::Write, Key(5), None, SimTime(1));
+        h.access(SiteId(0), reader, OpKind::Read, Key(5), Some(writer), SimTime(2));
+        match h.events()[1].kind {
+            HistEventKind::Access { read_from, kind, key } => {
+                assert_eq!(read_from, Some(writer));
+                assert_eq!(kind, OpKind::Read);
+                assert_eq!(key, Key(5));
+            }
+            _ => panic!("expected access"),
+        }
+    }
+
+    #[test]
+    fn execution_sites_only_counts_accesses() {
+        let mut h = History::new();
+        let t = TxnId::Global(GlobalTxnId(3));
+        h.push(ev(0, t, 1)); // Begin: does not count as execution
+        h.access(SiteId(1), t, OpKind::Read, Key(0), None, SimTime(2));
+        h.access(SiteId(2), t, OpKind::Write, Key(1), None, SimTime(3));
+        h.access(SiteId(1), t, OpKind::Write, Key(2), None, SimTime(4));
+        let m = h.execution_sites();
+        assert_eq!(m[&t], vec![SiteId(1), SiteId(2)]);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = History::new();
+        let mut b = History::new();
+        let t = TxnId::Global(GlobalTxnId(0));
+        a.push(ev(0, t, 1));
+        b.push(ev(1, t, 2));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_same_site_panics_in_debug() {
+        let mut h = History::new();
+        let t = TxnId::Global(GlobalTxnId(0));
+        h.push(ev(0, t, 10));
+        h.push(ev(0, t, 5));
+    }
+}

@@ -1,0 +1,91 @@
+//! Keys and values of the per-site stores.
+//!
+//! The value domain is a signed 64-bit counter. This is deliberately richer
+//! than an opaque blob: the *restricted model* of the paper (§3.1) assumes
+//! subtransactions drawn from a repertoire of semantic operations, and the
+//! canonical examples (account balances, seat inventories) are counters whose
+//! increments commute — exactly the property that makes semantic compensation
+//! (`Add(-d)` undoing `Add(d)`) meaningful even after other transactions have
+//! observed and modified the item.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Key of a data item within one site's store.
+///
+/// Keys are site-local: the pair (`SiteId`, `Key`) names a unique item in the
+/// distributed database; there is no replication in the paper's model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub u64);
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Value of a data item: a signed counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Value(pub i64);
+
+impl Value {
+    /// Zero value.
+    pub const ZERO: Value = Value(0);
+
+    /// Saturating addition of a delta.
+    #[inline]
+    pub fn saturating_add(self, delta: i64) -> Value {
+        Value(self.0.saturating_add(delta))
+    }
+
+    /// Checked addition of a delta.
+    #[inline]
+    pub fn checked_add(self, delta: i64) -> Option<Value> {
+        self.0.checked_add(delta).map(Value)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_helpers() {
+        assert_eq!(Value(5).saturating_add(3), Value(8));
+        assert_eq!(Value(i64::MAX).saturating_add(1), Value(i64::MAX));
+        assert_eq!(Value(5).checked_add(-10), Some(Value(-5)));
+        assert_eq!(Value(i64::MIN).checked_add(-1), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Key(12)), "k12");
+        assert_eq!(format!("{}", Value(-3)), "-3");
+        assert_eq!(Value::from(9), Value(9));
+        assert_eq!(Value::default(), Value::ZERO);
+    }
+}

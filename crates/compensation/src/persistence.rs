@@ -1,0 +1,129 @@
+//! Persistence of compensation.
+//!
+//! "It is guaranteed that once compensation is initiated, it completes
+//! successfully" (§3.2). Initiating a compensating transaction parallels the
+//! decision to abort in the traditional setting — it is irreversible — so a
+//! `CT` may be *delayed* (lock conflicts, deadlock victimhood) but never
+//! abandoned. [`PersistenceGuard`] is the bookkeeping the engine uses to
+//! honour that: each pending compensating subtransaction is tracked until it
+//! commits, and every setback increments a retry counter instead of
+//! dropping the obligation.
+
+use o2pc_common::{GlobalTxnId, SiteId};
+use std::collections::BTreeMap;
+
+/// Tracks compensating subtransactions that have been initiated but have not
+/// yet committed. The engine drains this to quiescence; a non-empty guard at
+/// end of run is a semantic-atomicity violation.
+#[derive(Clone, Debug, Default)]
+pub struct PersistenceGuard {
+    pending: BTreeMap<(GlobalTxnId, SiteId), u32>,
+    completed: u64,
+    total_retries: u64,
+}
+
+impl PersistenceGuard {
+    /// New empty guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `CT_ij` has been initiated at `site`.
+    pub fn initiated(&mut self, txn: GlobalTxnId, site: SiteId) {
+        self.pending.entry((txn, site)).or_insert(0);
+    }
+
+    /// Record a setback (deadlock victimhood, transient rejection): the CT
+    /// must be re-submitted. Returns the retry count so far.
+    pub fn retried(&mut self, txn: GlobalTxnId, site: SiteId) -> u32 {
+        let c = self
+            .pending
+            .get_mut(&(txn, site))
+            .expect("retried a compensation that was never initiated");
+        *c += 1;
+        self.total_retries += 1;
+        *c
+    }
+
+    /// Record successful completion.
+    pub fn completed(&mut self, txn: GlobalTxnId, site: SiteId) {
+        let removed = self.pending.remove(&(txn, site));
+        debug_assert!(removed.is_some(), "completed a compensation that was never initiated");
+        self.completed += 1;
+    }
+
+    /// Is the compensation of `txn` at `site` still outstanding?
+    pub fn is_pending(&self, txn: GlobalTxnId, site: SiteId) -> bool {
+        self.pending.contains_key(&(txn, site))
+    }
+
+    /// All outstanding compensations.
+    pub fn pending(&self) -> impl Iterator<Item = (GlobalTxnId, SiteId, u32)> + '_ {
+        self.pending.iter().map(|(&(t, s), &r)| (t, s, r))
+    }
+
+    /// Number of outstanding compensations.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completed compensations.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total retries across all compensations (a measure of the extra
+    /// conflicts the pessimistic path causes; fed into experiment E3).
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
+    }
+
+    /// True when no compensation is outstanding (quiescence condition).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u64) -> GlobalTxnId {
+        GlobalTxnId(i)
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut p = PersistenceGuard::new();
+        assert!(p.is_quiescent());
+        p.initiated(g(1), SiteId(0));
+        p.initiated(g(1), SiteId(1));
+        assert_eq!(p.pending_count(), 2);
+        assert!(p.is_pending(g(1), SiteId(0)));
+        assert!(!p.is_quiescent());
+        assert_eq!(p.retried(g(1), SiteId(0)), 1);
+        assert_eq!(p.retried(g(1), SiteId(0)), 2);
+        p.completed(g(1), SiteId(0));
+        assert!(!p.is_pending(g(1), SiteId(0)));
+        p.completed(g(1), SiteId(1));
+        assert!(p.is_quiescent());
+        assert_eq!(p.completed_count(), 2);
+        assert_eq!(p.total_retries(), 2);
+    }
+
+    #[test]
+    fn initiation_is_idempotent() {
+        let mut p = PersistenceGuard::new();
+        p.initiated(g(1), SiteId(0));
+        p.retried(g(1), SiteId(0));
+        p.initiated(g(1), SiteId(0));
+        assert_eq!(p.pending().next(), Some((g(1), SiteId(0), 1)), "retry count preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "never initiated")]
+    fn retry_of_unknown_panics() {
+        let mut p = PersistenceGuard::new();
+        p.retried(g(9), SiteId(0));
+    }
+}

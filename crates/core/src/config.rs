@@ -1,0 +1,159 @@
+//! Engine configuration and workload requests.
+
+use o2pc_common::{Duration, Op, SiteId};
+use o2pc_compensation::CompensationModel;
+use o2pc_protocol::ProtocolKind;
+use o2pc_sim::{FailurePlan, NetworkConfig};
+use std::collections::BTreeSet;
+
+/// One transaction submitted to the engine.
+#[derive(Clone, Debug)]
+pub enum TxnRequest {
+    /// A global transaction: one subtransaction per site (≥ 2 sites, or 1
+    /// for degenerate tests). The coordinator defaults to the first site.
+    Global {
+        /// Per-site operation programs.
+        subs: Vec<(SiteId, Vec<Op>)>,
+        /// Site hosting the coordinator (need not hold a subtransaction).
+        coordinator: SiteId,
+    },
+    /// An independent local transaction.
+    Local {
+        /// Site it runs at.
+        site: SiteId,
+        /// Its operations.
+        ops: Vec<Op>,
+    },
+}
+
+impl TxnRequest {
+    /// Global transaction coordinated from its first participant.
+    pub fn global(subs: Vec<(SiteId, Vec<Op>)>) -> Self {
+        assert!(!subs.is_empty());
+        let coordinator = subs[0].0;
+        TxnRequest::Global { subs, coordinator }
+    }
+
+    /// Global transaction with an explicit coordinator site.
+    pub fn global_with_coordinator(coordinator: SiteId, subs: Vec<(SiteId, Vec<Op>)>) -> Self {
+        assert!(!subs.is_empty());
+        TxnRequest::Global { subs, coordinator }
+    }
+
+    /// Local transaction.
+    pub fn local(site: SiteId, ops: Vec<Op>) -> Self {
+        TxnRequest::Local { site, ops }
+    }
+}
+
+/// Full system configuration for one run.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of sites (ids `0..num_sites`).
+    pub num_sites: u32,
+    /// Commit-protocol variant.
+    pub protocol: ProtocolKind,
+    /// Network model.
+    pub network: NetworkConfig,
+    /// Scripted failures.
+    pub failures: FailurePlan,
+    /// CPU time per operation at a site.
+    pub op_service_time: Duration,
+    /// Probability that a site exercises its autonomy and votes to abort a
+    /// global transaction despite successful execution (§1: a site may
+    /// "abort any local (sub)transaction at any time before it terminates").
+    pub vote_abort_probability: f64,
+    /// Compensation model used by all sites.
+    pub compensation_model: CompensationModel,
+    /// Sites performing non-compensatable *real actions* (§2): they retain
+    /// locks until the decision even under O2PC.
+    pub real_action_sites: BTreeSet<SiteId>,
+    /// Maximum R1 retries before the global transaction is aborted.
+    pub r1_max_retries: u32,
+    /// Delay before re-running a rejected R1 check.
+    pub r1_retry_delay: Duration,
+    /// Delay before re-submitting a deadlock-victim compensating
+    /// subtransaction (persistence of compensation).
+    pub comp_retry_delay: Duration,
+    /// Coordinator vote-collection timeout (None = wait forever, the pure
+    /// blocking behaviour).
+    pub vote_timeout: Option<Duration>,
+    /// Prepared participants run the cooperative termination protocol after
+    /// this much silence from the coordinator (None = classic 2PC: wait
+    /// forever). Adds `msg.term_req`/`msg.term_answer` traffic only when it
+    /// actually fires.
+    pub termination_timeout: Option<Duration>,
+    /// Enable the UDUM1-gated *undone → unmarked* transition (rule R3).
+    /// Disabling it is an ablation: markings accumulate forever, so P1
+    /// rejects ever more subtransactions — quantifying how much concurrency
+    /// the paper's "safe forgetting" machinery buys (experiment E5b).
+    pub enable_udum: bool,
+    /// Record the execution history for post-hoc SG audits.
+    pub record_history: bool,
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+    /// Safety cap on processed events.
+    pub max_events: u64,
+}
+
+impl SystemConfig {
+    /// Sensible defaults: 1 ms fixed network latency, 50 µs per operation,
+    /// no spontaneous aborts, restricted-model compensation, history on.
+    pub fn new(num_sites: u32, protocol: ProtocolKind) -> Self {
+        SystemConfig {
+            num_sites,
+            protocol,
+            network: NetworkConfig::fixed(Duration::millis(1)),
+            failures: FailurePlan::new(),
+            op_service_time: Duration::micros(50),
+            vote_abort_probability: 0.0,
+            compensation_model: CompensationModel::Restricted,
+            real_action_sites: BTreeSet::new(),
+            r1_max_retries: 3,
+            r1_retry_delay: Duration::millis(2),
+            comp_retry_delay: Duration::millis(1),
+            vote_timeout: None,
+            termination_timeout: None,
+            enable_udum: true,
+            record_history: true,
+            seed: 0x5EED,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// All site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.num_sites).map(SiteId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::Key;
+
+    #[test]
+    fn request_constructors() {
+        let g = TxnRequest::global(vec![(SiteId(1), vec![Op::Read(Key(0))])]);
+        match g {
+            TxnRequest::Global { coordinator, subs } => {
+                assert_eq!(coordinator, SiteId(1));
+                assert_eq!(subs.len(), 1);
+            }
+            _ => panic!(),
+        }
+        let g = TxnRequest::global_with_coordinator(SiteId(9), vec![(SiteId(1), vec![])]);
+        match g {
+            TxnRequest::Global { coordinator, .. } => assert_eq!(coordinator, SiteId(9)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn config_sites() {
+        let cfg = SystemConfig::new(3, ProtocolKind::O2pc);
+        let sites: Vec<SiteId> = cfg.sites().collect();
+        assert_eq!(sites, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert!(cfg.record_history);
+    }
+}

@@ -1,0 +1,931 @@
+//! The event-driven distributed engine.
+
+use crate::config::{SystemConfig, TxnRequest};
+use crate::msg::Msg;
+use crate::report::RunReport;
+use o2pc_common::{
+    DetRng, Duration, ExecId, GlobalTxnId, GlobalTxnIdGen, History, Key, SimTime, SiteId, Value,
+};
+use o2pc_compensation::{CompensationPlan, PersistenceGuard};
+use o2pc_marking::{MarkingProtocol, TransMarks, UdumTracker};
+use o2pc_protocol::{CoordAction, TerminationOutcome, TerminationRound, TwoPhaseCoordinator};
+use o2pc_site::{LockPolicy, OpResult, Site, SiteConfig};
+use o2pc_sim::{EventQueue, Network};
+use o2pc_storage::Wal;
+use std::collections::{BTreeSet, HashMap};
+
+/// Find one cycle in a directed graph given as an adjacency map.
+fn find_cycle<N: Copy + Eq + std::hash::Hash + Ord>(adj: &HashMap<N, Vec<N>>) -> Option<Vec<N>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<N, Colour> = HashMap::new();
+    let mut roots: Vec<N> = adj.keys().copied().collect();
+    roots.sort();
+    for root in roots {
+        if colour.contains_key(&root) {
+            continue;
+        }
+        let mut stack: Vec<(N, usize)> = vec![(root, 0)];
+        let mut path: Vec<N> = vec![root];
+        colour.insert(root, Colour::Grey);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match colour.get(&s) {
+                    Some(Colour::Grey) => {
+                        let pos = path.iter().position(|&n| n == s).unwrap();
+                        return Some(path[pos..].to_vec());
+                    }
+                    Some(Colour::Black) => {}
+                    None => {
+                        colour.insert(s, Colour::Grey);
+                        stack.push((s, 0));
+                        path.push(s);
+                    }
+                }
+            } else {
+                colour.insert(node, Colour::Black);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Internal engine events.
+#[derive(Clone, Debug)]
+enum Event {
+    Arrive(TxnRequest),
+    Deliver { to: SiteId, msg: Msg },
+    OpDone { site: SiteId, exec: ExecId },
+    R1Retry { txn: GlobalTxnId, site: SiteId },
+    CompRetry { txn: GlobalTxnId, site: SiteId },
+    VoteTimeout { txn: GlobalTxnId },
+    TermTimeout { txn: GlobalTxnId, site: SiteId },
+    Crash { site: SiteId },
+    Recover { site: SiteId },
+}
+
+/// Book-keeping for one global transaction.
+struct GTxn {
+    coord_site: SiteId,
+    coord: TwoPhaseCoordinator,
+    subs: HashMap<SiteId, Vec<o2pc_common::Op>>,
+    tm: TransMarks,
+    start: SimTime,
+    spawn_retries: HashMap<SiteId, u32>,
+    /// Sites where the subtransaction actually began executing. Only these
+    /// can ever carry an *undone* marking for this transaction, so only
+    /// these count as UDUM1 execution sites — registering all participants
+    /// would leave markings that can never be cleared (an R1-rejected site
+    /// never executes, never marks, never fences).
+    began: BTreeSet<SiteId>,
+    done: bool,
+}
+
+/// The engine: sites + coordinators + network on one virtual clock.
+pub struct Engine {
+    cfg: SystemConfig,
+    sites: Vec<Option<Site>>,
+    crashed_wals: HashMap<SiteId, Wal>,
+    queue: EventQueue<Event>,
+    network: Network,
+    rng: DetRng,
+    idgen: GlobalTxnIdGen,
+    txns: HashMap<GlobalTxnId, GTxn>,
+    pending_comp: HashMap<(GlobalTxnId, SiteId), CompensationPlan>,
+    term_rounds: HashMap<(GlobalTxnId, SiteId), TerminationRound>,
+    local_starts: HashMap<ExecId, SimTime>,
+    persistence: PersistenceGuard,
+    udum: UdumTracker,
+    hist: History,
+    report: RunReport,
+    checkpointed: bool,
+}
+
+impl Engine {
+    /// Build an engine from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut root = DetRng::new(cfg.seed);
+        let net_rng = root.fork(0x6e65);
+        let network = Network::new(cfg.network.clone(), net_rng).with_failures(cfg.failures.clone());
+        let site_cfg = SiteConfig { compensation_model: cfg.compensation_model };
+        let sites = cfg.sites().map(|id| Some(Site::new(id, site_cfg))).collect();
+        let mut queue = EventQueue::new();
+        for (site, from, to) in cfg.failures.crashes() {
+            queue.schedule(from, Event::Crash { site });
+            queue.schedule(to, Event::Recover { site });
+        }
+        Engine {
+            cfg,
+            sites,
+            crashed_wals: HashMap::new(),
+            queue,
+            network,
+            rng: root,
+            idgen: GlobalTxnIdGen::new(),
+            txns: HashMap::new(),
+            pending_comp: HashMap::new(),
+            term_rounds: HashMap::new(),
+            local_starts: HashMap::new(),
+            persistence: PersistenceGuard::new(),
+            udum: UdumTracker::new(),
+            hist: History::new(),
+            report: RunReport::default(),
+            checkpointed: false,
+        }
+    }
+
+    /// Pre-load a data item at a site.
+    pub fn load(&mut self, site: SiteId, key: Key, value: Value) {
+        self.site_mut(site).load(key, value);
+    }
+
+    /// Submit a transaction for arrival at `at`.
+    pub fn submit_at(&mut self, at: SimTime, req: TxnRequest) {
+        self.queue.schedule(at, Event::Arrive(req));
+    }
+
+    /// Read an item's current value (tests / invariants).
+    pub fn value(&self, site: SiteId, key: Key) -> Option<Value> {
+        self.sites[site.index()].as_ref().and_then(|s| s.get(key))
+    }
+
+    fn site_mut(&mut self, site: SiteId) -> &mut Site {
+        self.sites[site.index()].as_mut().unwrap_or_else(|| panic!("{site} is crashed"))
+    }
+
+    fn site_up(&self, site: SiteId) -> bool {
+        self.sites[site.index()].is_some()
+    }
+
+    /// Run until the event queue drains, virtual time exceeds `horizon`, or
+    /// the event cap trips. Returns the collected report.
+    pub fn run(&mut self, horizon: Duration) -> RunReport {
+        if !self.checkpointed {
+            for s in self.sites.iter_mut().flatten() {
+                s.checkpoint();
+            }
+            self.checkpointed = true;
+        }
+        let deadline = SimTime::ZERO + horizon;
+        let mut events = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline || events >= self.cfg.max_events {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            events += 1;
+            self.handle(now, ev);
+        }
+        self.report.events_processed += events;
+        self.finalize()
+    }
+
+    fn finalize(&mut self) -> RunReport {
+        let mut report = self.report.clone();
+        report.end_time = self.queue.now();
+        // Transactions that never reached Complete: count by logged decision
+        // (presumed abort when undecided — the coordinator discipline).
+        for g in self.txns.values() {
+            if !g.done {
+                match g.coord.decision() {
+                    Some(true) => report.global_committed += 1,
+                    _ => report.global_aborted += 1,
+                }
+            }
+        }
+        for s in self.sites.iter().flatten() {
+            report.locks.merge(s.lock_stats());
+            report.total_value += s.total();
+            report.counters.add("comp.skipped_ops", s.skipped_comp_ops);
+        }
+        report.counters.add("net.dropped", self.network.dropped_count());
+        report.compensations_pending = self.persistence.pending_count();
+        report.compensations_completed = self.persistence.completed_count();
+        report.counters.add("comp.retries", self.persistence.total_retries());
+        if self.cfg.record_history {
+            report.history = self.hist.clone();
+        }
+        report
+    }
+
+    // ----- messaging -------------------------------------------------------
+
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
+        self.report.counters.inc(msg.label());
+        if from == to {
+            self.queue.schedule(now, Event::Deliver { to, msg });
+            return;
+        }
+        // A `None` from transmit means the message was lost (link down or
+        // random drop); the network counts it.
+        if let Some(delay) = self.network.transmit(from, to, now) {
+            self.queue.schedule(now + delay, Event::Deliver { to, msg });
+        }
+    }
+
+    fn wake(&mut self, now: SimTime, site: SiteId, woken: Vec<ExecId>) {
+        for exec in woken {
+            self.queue.schedule(now, Event::OpDone { site, exec });
+        }
+    }
+
+    // ----- event handling --------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrive(req) => self.on_arrive(now, req),
+            Event::Deliver { to, msg } => self.on_deliver(now, to, msg),
+            Event::OpDone { site, exec } => self.on_op_done(now, site, exec),
+            Event::R1Retry { txn, site } => self.try_spawn(now, txn, site),
+            Event::CompRetry { txn, site } => self.resume_compensation(now, txn, site),
+            Event::VoteTimeout { txn } => self.on_vote_timeout(now, txn),
+            Event::TermTimeout { txn, site } => self.on_term_timeout(now, txn, site),
+            Event::Crash { site } => self.on_crash(site),
+            Event::Recover { site } => self.on_recover(now, site),
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, req: TxnRequest) {
+        match req {
+            TxnRequest::Local { site, ops } => {
+                if !self.site_up(site) {
+                    self.report.local_aborted += 1;
+                    return;
+                }
+                let hist = &mut self.hist;
+                let s = self.sites[site.index()].as_mut().unwrap();
+                let exec = ExecId::Local(s.next_local_id());
+                s.begin(exec, ops, now, hist);
+                self.local_starts.insert(exec, now);
+                let service = self.cfg.op_service_time;
+                self.queue.schedule(now + service, Event::OpDone { site, exec });
+            }
+            TxnRequest::Global { subs, coordinator } => {
+                let id = self.idgen.next_id();
+                let participants: Vec<SiteId> = subs.iter().map(|&(s, _)| s).collect();
+                debug_assert_eq!(
+                    participants.iter().collect::<BTreeSet<_>>().len(),
+                    participants.len(),
+                    "duplicate participant sites"
+                );
+                let coord = TwoPhaseCoordinator::new(id, participants);
+                let gtxn = GTxn {
+                    coord_site: coordinator,
+                    coord,
+                    subs: subs.iter().cloned().collect(),
+                    tm: TransMarks::new(),
+                    start: now,
+                    spawn_retries: HashMap::new(),
+                    began: BTreeSet::new(),
+                    done: false,
+                };
+                self.txns.insert(id, gtxn);
+                for (site, ops) in subs {
+                    self.send(now, coordinator, site, Msg::SpawnSubtxn { txn: id, ops });
+                }
+                if let Some(t) = self.cfg.vote_timeout {
+                    // Overall progress timeout: covers a participant that
+                    // never acks (down site) as well as lost votes.
+                    self.queue.schedule(now + t, Event::VoteTimeout { txn: id });
+                }
+            }
+        }
+    }
+
+    fn marking(&self) -> MarkingProtocol {
+        self.cfg.protocol.marking()
+    }
+
+    fn lock_policy_at(&self, site: SiteId) -> LockPolicy {
+        if self.cfg.real_action_sites.contains(&site) {
+            LockPolicy::HoldWrites
+        } else {
+            self.cfg.protocol.lock_policy()
+        }
+    }
+
+    fn on_deliver(&mut self, now: SimTime, to: SiteId, msg: Msg) {
+        if !self.site_up(to) {
+            return; // message to a crashed site is lost
+        }
+        match msg {
+            Msg::SpawnSubtxn { txn, .. } => self.try_spawn(now, txn, to),
+            Msg::SubtxnAck { txn, from, ok } => {
+                let Some(g) = self.txns.get_mut(&txn) else { return };
+                if g.done {
+                    return;
+                }
+                if let Some(action) = g.coord.on_subtxn_ack(from, ok) {
+                    self.coord_action(now, txn, action);
+                }
+            }
+            Msg::VoteReq { txn } => {
+                let force = self.cfg.vote_abort_probability > 0.0
+                    && self.rng.gen_bool(self.cfg.vote_abort_probability);
+                let policy = self.lock_policy_at(to);
+                let hist = &mut self.hist;
+                let site = self.sites[to.index()].as_mut().unwrap();
+                let had_exec = site.exec_state(ExecId::Sub(txn)).is_some();
+                let out = site.vote(txn, policy, force, now, hist);
+                if force && had_exec {
+                    self.report.counters.inc("vote.autonomy_aborts");
+                }
+                self.wake(now, to, out.woken);
+                if out.vote == o2pc_site::Vote::No {
+                    self.invalidate_incompatible_subs(now, to);
+                }
+                if out.vote == o2pc_site::Vote::Yes && policy == LockPolicy::HoldWrites {
+                    if let Some(t) = self.cfg.termination_timeout {
+                        self.queue.schedule(now + t, Event::TermTimeout { txn, site: to });
+                    }
+                }
+                let coord_site = self.txns[&txn].coord_site;
+                self.send(now, to, coord_site, Msg::VoteMsg { txn, from: to, vote: out.vote });
+            }
+            Msg::VoteMsg { txn, from, vote } => {
+                let Some(g) = self.txns.get_mut(&txn) else { return };
+                if g.done {
+                    return;
+                }
+                if let Some(action) = g.coord.on_vote(from, vote) {
+                    self.coord_action(now, txn, action);
+                }
+            }
+            Msg::Decision { txn, commit } => {
+                let hist = &mut self.hist;
+                let site = self.sites[to.index()].as_mut().unwrap();
+                let out = site.decide(txn, commit, now, hist);
+                self.wake(now, to, out.woken);
+                if let Some(plan) = out.compensation {
+                    self.report.counters.inc("comp.plans");
+                    self.persistence.initiated(txn, to);
+                    self.pending_comp.insert((txn, to), plan);
+                    self.start_compensation(now, txn, to);
+                }
+                if !commit {
+                    self.invalidate_incompatible_subs(now, to);
+                }
+                let coord_site = self.txns[&txn].coord_site;
+                self.send(now, to, coord_site, Msg::DecisionAck { txn, from: to });
+            }
+            Msg::DecisionAck { txn, from } => {
+                let Some(g) = self.txns.get_mut(&txn) else { return };
+                if g.done {
+                    return;
+                }
+                if let Some(action) = g.coord.on_decision_ack(from) {
+                    self.coord_action(now, txn, action);
+                }
+            }
+            Msg::TermReq { txn, from } => {
+                let hist = &mut self.hist;
+                let site = self.sites[to.index()].as_mut().unwrap();
+                let (state, woken) = site.answer_termination_query(txn, now, hist);
+                self.wake(now, to, woken);
+                self.send(now, to, from, Msg::TermAnswer { txn, from: to, state });
+            }
+            Msg::TermAnswer { txn, from, state } => {
+                let Some(round) = self.term_rounds.get_mut(&(txn, to)) else { return };
+                match round.on_answer(from, state) {
+                    Some(TerminationOutcome::Commit) => {
+                        self.term_rounds.remove(&(txn, to));
+                        self.report.counters.inc("term.resolved_commit");
+                        self.apply_peer_decision(now, txn, to, true);
+                    }
+                    Some(TerminationOutcome::Abort) => {
+                        self.term_rounds.remove(&(txn, to));
+                        self.report.counters.inc("term.resolved_abort");
+                        self.apply_peer_decision(now, txn, to, false);
+                    }
+                    Some(TerminationOutcome::StillBlocked) => {
+                        self.term_rounds.remove(&(txn, to));
+                        self.report.counters.inc("term.still_blocked");
+                        // Retry after another timeout period.
+                        if let Some(t) = self.cfg.termination_timeout {
+                            self.queue.schedule(now + t, Event::TermTimeout { txn, site: to });
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Apply a decision learned via the termination protocol (not from the
+    /// coordinator). The coordinator, once recovered, will resend its own
+    /// DECISION; `Site::decide` is idempotent for repeats.
+    fn apply_peer_decision(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId, commit: bool) {
+        let hist = &mut self.hist;
+        let site = self.sites[site_id.index()].as_mut().unwrap();
+        let out = site.decide(txn, commit, now, hist);
+        self.wake(now, site_id, out.woken);
+        if let Some(plan) = out.compensation {
+            self.report.counters.inc("comp.plans");
+            self.persistence.initiated(txn, site_id);
+            self.pending_comp.insert((txn, site_id), plan);
+            self.start_compensation(now, txn, site_id);
+        }
+    }
+
+    /// A prepared participant has waited too long for the decision: run a
+    /// cooperative-termination round against its peers.
+    fn on_term_timeout(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        if !self.site_up(site_id) {
+            return;
+        }
+        // Still uncertain? (Prepared under 2PC, or locally committed under
+        // O2PC with the decision unknown — e.g. after a participant crash
+        // swallowed the DECISION message.)
+        {
+            let site = self.sites[site_id.index()].as_ref().unwrap();
+            let prepared = site
+                .exec_state(ExecId::Sub(txn))
+                .map(|s| s.phase == o2pc_site::ExecPhase::Prepared)
+                .unwrap_or(false);
+            let pending_lc = site.pending_local_commits().contains(&txn);
+            if !prepared && !pending_lc {
+                return;
+            }
+        }
+        let peers: Vec<SiteId> = self.txns[&txn]
+            .coord
+            .participants()
+            .iter()
+            .copied()
+            .filter(|&p| p != site_id)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        self.report.counters.inc("term.rounds");
+        self.term_rounds.insert((txn, site_id), TerminationRound::new(txn, peers.clone()));
+        for p in peers {
+            self.send(now, site_id, p, Msg::TermReq { txn, from: site_id });
+        }
+    }
+
+    fn coord_action(&mut self, now: SimTime, txn: GlobalTxnId, action: CoordAction) {
+        let coord_site = self.txns[&txn].coord_site;
+        match action {
+            CoordAction::SendVoteReq(sites) => {
+                for s in sites {
+                    self.send(now, coord_site, s, Msg::VoteReq { txn });
+                }
+                if let Some(t) = self.cfg.vote_timeout {
+                    self.queue.schedule(now + t, Event::VoteTimeout { txn });
+                }
+            }
+            CoordAction::SendDecision(commit, sites) => {
+                if !commit {
+                    // Piggy-backed on the DECISION messages: the aborted
+                    // transaction's *actual* execution-site set, enabling
+                    // UDUM1 detection at the sites (no extra messages).
+                    let began = self.txns[&txn].began.clone();
+                    self.udum.register_aborted(txn, began);
+                }
+                for s in sites {
+                    self.send(now, coord_site, s, Msg::Decision { txn, commit });
+                }
+            }
+            CoordAction::Complete(commit) => {
+                let g = self.txns.get_mut(&txn).expect("txn exists");
+                if g.done {
+                    return;
+                }
+                g.done = true;
+                if commit {
+                    self.report.global_committed += 1;
+                } else {
+                    self.report.global_aborted += 1;
+                }
+                self.report.global_latency.record((now - g.start).as_micros());
+            }
+        }
+    }
+
+    fn on_vote_timeout(&mut self, now: SimTime, txn: GlobalTxnId) {
+        if !self.site_up(self.txns[&txn].coord_site) {
+            return; // a crashed coordinator times out nothing
+        }
+        let Some(g) = self.txns.get_mut(&txn) else { return };
+        if g.done {
+            return;
+        }
+        if let Some(action) = g.coord.on_timeout() {
+            self.coord_action(now, txn, action);
+        }
+    }
+
+    /// Rule R1: admission check before (re)starting a subtransaction.
+    fn try_spawn(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        if !self.site_up(site_id) {
+            return;
+        }
+        let marking = self.marking();
+        let Some(g) = self.txns.get_mut(&txn) else { return };
+        if g.done || g.coord.decision().is_some() {
+            return;
+        }
+        self.report.counters.inc("r1.checks");
+        let site = self.sites[site_id.index()].as_ref().unwrap();
+        match g.tm.check_and_absorb(marking, site.marks()) {
+            Ok(()) => {
+                let ops = g.subs[&site_id].clone();
+                g.began.insert(site_id);
+                let exec = ExecId::Sub(txn);
+                let empty = ops.is_empty();
+                let hist = &mut self.hist;
+                let site = self.sites[site_id.index()].as_mut().unwrap();
+                site.begin(exec, ops, now, hist);
+                if empty {
+                    let coord_site = g.coord_site;
+                    let _ = coord_site;
+                    self.send(now, site_id, self.txns[&txn].coord_site, Msg::SubtxnAck {
+                        txn,
+                        from: site_id,
+                        ok: true,
+                    });
+                } else {
+                    let service = self.cfg.op_service_time;
+                    self.queue.schedule(now + service, Event::OpDone { site: site_id, exec });
+                }
+            }
+            Err(inc) => {
+                self.report.counters.inc("r1.rejections");
+                let retries = g.spawn_retries.entry(site_id).or_insert(0);
+                *retries += 1;
+                if inc.retryable && *retries <= self.cfg.r1_max_retries {
+                    self.report.counters.inc("r1.retries");
+                    let delay = self.cfg.r1_retry_delay;
+                    self.queue.schedule(now + delay, Event::R1Retry { txn, site: site_id });
+                } else {
+                    self.report.counters.inc("r1.forced_aborts");
+                    let coord_site = g.coord_site;
+                    self.send(now, site_id, coord_site, Msg::SubtxnAck { txn, from: site_id, ok: false });
+                }
+            }
+        }
+    }
+
+    fn on_op_done(&mut self, now: SimTime, site_id: SiteId, exec: ExecId) {
+        if !self.site_up(site_id) {
+            return;
+        }
+        if self.sites[site_id.index()].as_ref().unwrap().exec_state(exec).is_none() {
+            return; // aborted while this event was in flight
+        }
+        if self.sites[site_id.index()].as_ref().unwrap().is_blocked(exec) {
+            return; // spurious wake-up; a grant event will reschedule us
+        }
+        let hist = &mut self.hist;
+        let site = self.sites[site_id.index()].as_mut().unwrap();
+        let result = site.execute_next_op(exec, now, hist);
+        match result {
+            OpResult::Done { finished, .. } => {
+                // UDUM observation: this execution's first operation at the
+                // site "executed while the site was undone wrt T_i".
+                // UDUM1 fences: "there is a transaction that has also
+                // executed at that site while that site was undone" —
+                // subtransactions and independent locals both qualify;
+                // compensating subtransactions do not (they are the
+                // *mechanism* of undoing, not evidence that the marking is
+                // stale). The mark-change invalidation rule above is what
+                // keeps fencing safe for in-flight admissions.
+                if self.cfg.enable_udum
+                    && !matches!(exec, ExecId::CompSub(_))
+                    && site.exec_state(exec).map(|s| s.pc) == Some(1)
+                {
+                    let undone = site.marks().undone_set();
+                    for ti in undone {
+                        if self.udum.observe_access(ti, site_id) {
+                            self.fire_udum(ti);
+                        }
+                    }
+                }
+                if !finished {
+                    let service = self.cfg.op_service_time;
+                    self.queue.schedule(now + service, Event::OpDone { site: site_id, exec });
+                    return;
+                }
+                match exec {
+                    ExecId::Local(_) => {
+                        let hist = &mut self.hist;
+                        let site = self.sites[site_id.index()].as_mut().unwrap();
+                        let woken = site.commit_local(exec, now, hist);
+                        self.report.local_committed += 1;
+                        if let Some(start) = self.local_starts.remove(&exec) {
+                            self.report.local_latency.record((now - start).as_micros());
+                        }
+                        self.wake(now, site_id, woken);
+                    }
+                    ExecId::Sub(g) => {
+                        // Late revalidation of R1 (the paper's compromise for
+                        // marking-set deadlock avoidance): re-check as the
+                        // subtransaction's last action.
+                        let marking = self.marking();
+                        let ok = if marking == MarkingProtocol::None {
+                            true
+                        } else {
+                            let gt = &self.txns[&g];
+                            let site = self.sites[site_id.index()].as_ref().unwrap();
+                            gt.tm.check(marking, site.marks()).is_ok()
+                        };
+                        if !ok {
+                            self.report.counters.inc("r1.revalidation_failures");
+                            let hist = &mut self.hist;
+                            let site = self.sites[site_id.index()].as_mut().unwrap();
+                            let woken = site.unilateral_abort(g, now, hist);
+                            self.wake(now, site_id, woken);
+                            self.invalidate_incompatible_subs(now, site_id);
+                        }
+                        let coord_site = self.txns[&g].coord_site;
+                        self.send(now, site_id, coord_site, Msg::SubtxnAck { txn: g, from: site_id, ok });
+                    }
+                    ExecId::CompSub(g) => {
+                        let hist = &mut self.hist;
+                        let site = self.sites[site_id.index()].as_mut().unwrap();
+                        let woken = site.finish_compensation(g, now, hist);
+                        self.wake(now, site_id, woken);
+                        self.pending_comp.remove(&(g, site_id));
+                        self.persistence.completed(g, site_id);
+                        // R2 set the undone marking: future accesses count
+                        // toward UDUM1, and running subtransactions admitted
+                        // under the old marks must be re-checked.
+                        self.invalidate_incompatible_subs(now, site_id);
+                    }
+                }
+            }
+            OpResult::Blocked => {
+                self.resolve_deadlocks(now, site_id);
+                self.resolve_global_deadlocks(now);
+            }
+            OpResult::Failed(_) => match exec {
+                ExecId::Local(_) => {
+                    let hist = &mut self.hist;
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.abort_exec(exec, now, hist);
+                    self.report.local_aborted += 1;
+                    self.wake(now, site_id, woken);
+                }
+                ExecId::Sub(g) => {
+                    let hist = &mut self.hist;
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.unilateral_abort(g, now, hist);
+                    self.wake(now, site_id, woken);
+                    let coord_site = self.txns[&g].coord_site;
+                    self.send(now, site_id, coord_site, Msg::SubtxnAck { txn: g, from: site_id, ok: false });
+                    self.invalidate_incompatible_subs(now, site_id);
+                }
+                ExecId::CompSub(_) => unreachable!("compensation ops never fail (they skip)"),
+            },
+        }
+    }
+
+    fn fire_udum(&mut self, ti: GlobalTxnId) {
+        self.report.counters.inc("udum.fired");
+        for s in self.sites.iter_mut().flatten() {
+            s.unmark(ti);
+        }
+        self.udum.forget(ti);
+    }
+
+    fn resolve_deadlocks(&mut self, now: SimTime, site_id: SiteId) {
+        loop {
+            let Some(cycle) = self.sites[site_id.index()].as_mut().unwrap().find_deadlock() else {
+                return;
+            };
+            // Victim preference: local < subtransaction < compensation
+            // (compensations are the most expensive to redo, and must
+            // eventually succeed anyway).
+            let victim = cycle
+                .iter()
+                .copied()
+                .min_by_key(|e| match e {
+                    ExecId::Local(_) => 0,
+                    ExecId::Sub(_) => 1,
+                    ExecId::CompSub(_) => 2,
+                })
+                .expect("cycle non-empty");
+            match victim {
+                ExecId::Local(_) => {
+                    self.report.counters.inc("deadlock.victims.local");
+                    let hist = &mut self.hist;
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.abort_exec(victim, now, hist);
+                    self.report.local_aborted += 1;
+                    self.wake(now, site_id, woken);
+                }
+                ExecId::Sub(g) => {
+                    self.report.counters.inc("deadlock.victims.sub");
+                    let hist = &mut self.hist;
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.unilateral_abort(g, now, hist);
+                    self.wake(now, site_id, woken);
+                    let coord_site = self.txns[&g].coord_site;
+                    self.send(now, site_id, coord_site, Msg::SubtxnAck { txn: g, from: site_id, ok: false });
+                    self.invalidate_incompatible_subs(now, site_id);
+                }
+                ExecId::CompSub(g) => {
+                    self.report.counters.inc("deadlock.victims.comp");
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.rollback_compensation(g, now);
+                    self.persistence.retried(g, site_id);
+                    self.wake(now, site_id, woken);
+                    let delay = self.cfg.comp_retry_delay;
+                    self.queue.schedule(now + delay, Event::CompRetry { txn: g, site: site_id });
+                }
+            }
+        }
+    }
+
+    /// Distributed deadlock detection.
+    ///
+    /// A subtransaction that finished executing holds its locks until its
+    /// global transaction votes, and the vote waits for *every* sibling
+    /// subtransaction to ack — so a lock wait on a subtransaction is really
+    /// a wait on the whole global transaction. Lifting each site's waits-for
+    /// edges to transaction granularity (compensating subtransactions stay
+    /// independent, per §3.2) exposes cross-site cycles that no local
+    /// detector can see. The engine plays the role a real deployment gives
+    /// to timeouts or a global deadlock detector; the victim's *blocked*
+    /// subtransaction is aborted unilaterally at its site (autonomy), and
+    /// the 2PC abort cleans up the siblings.
+    fn resolve_global_deadlocks(&mut self, now: SimTime) {
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        enum Node {
+            G(GlobalTxnId),
+            L(SiteId, ExecId),
+            C(SiteId, GlobalTxnId),
+        }
+        loop {
+            let mut edges: HashMap<Node, Vec<Node>> = HashMap::new();
+            // Where each node has a blocked execution (for victim handling).
+            let mut blocked_at: HashMap<Node, (SiteId, ExecId)> = HashMap::new();
+            for (idx, site) in self.sites.iter().enumerate() {
+                let Some(site) = site else { continue };
+                let sid = SiteId(idx as u32);
+                let lift = |e: ExecId| match e {
+                    ExecId::Sub(g) => Node::G(g),
+                    ExecId::Local(_) => Node::L(sid, e),
+                    ExecId::CompSub(g) => Node::C(sid, g),
+                };
+                for (w, h) in site.waits_for_edges() {
+                    let wn = lift(w);
+                    let hn = lift(h);
+                    if wn != hn {
+                        edges.entry(wn).or_default().push(hn);
+                        blocked_at.entry(wn).or_insert((sid, w));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                return;
+            }
+            let Some(cycle) = find_cycle(&edges) else { return };
+            // Victim: prefer a local, else the youngest global on the cycle.
+            let victim = cycle
+                .iter()
+                .copied()
+                .min_by_key(|n| match n {
+                    Node::L(..) => (0, 0),
+                    Node::C(..) => (2, 0),
+                    Node::G(g) => (1, u64::MAX - g.0),
+                })
+                .expect("cycle non-empty");
+            let Some(&(sid, exec)) = blocked_at.get(&victim) else { return };
+            self.report.counters.inc("deadlock.global");
+            match exec {
+                ExecId::Local(_) => {
+                    let hist = &mut self.hist;
+                    let site = self.sites[sid.index()].as_mut().unwrap();
+                    let woken = site.abort_exec(exec, now, hist);
+                    self.report.local_aborted += 1;
+                    self.wake(now, sid, woken);
+                }
+                ExecId::Sub(g) => {
+                    let hist = &mut self.hist;
+                    let site = self.sites[sid.index()].as_mut().unwrap();
+                    let woken = site.unilateral_abort(g, now, hist);
+                    self.wake(now, sid, woken);
+                    let coord_site = self.txns[&g].coord_site;
+                    self.send(now, sid, coord_site, Msg::SubtxnAck { txn: g, from: sid, ok: false });
+                }
+                ExecId::CompSub(g) => {
+                    let site = self.sites[sid.index()].as_mut().unwrap();
+                    let woken = site.rollback_compensation(g, now);
+                    self.persistence.retried(g, sid);
+                    self.wake(now, sid, woken);
+                    let delay = self.cfg.comp_retry_delay;
+                    self.queue.schedule(now + delay, Event::CompRetry { txn: g, site: sid });
+                }
+            }
+        }
+    }
+
+    /// A mark was just added at `site_id` (a roll-back or a completed
+    /// compensation turned it *undone* with respect to some transaction).
+    /// With the marking sets protected by the site's own strict 2PL, any
+    /// still-running subtransaction admitted under the previous marks would
+    /// now deadlock with the marking update — the resolution is to abort it
+    /// before it touches data under the new marks. Without this, a blocked
+    /// subtransaction could execute *after* a compensation it was never
+    /// checked against, recreating exactly the regular cycles P1 exists to
+    /// prevent.
+    fn invalidate_incompatible_subs(&mut self, now: SimTime, site_id: SiteId) {
+        let marking = self.marking();
+        if marking == MarkingProtocol::None {
+            return;
+        }
+        let running = self.sites[site_id.index()].as_ref().unwrap().running_subs();
+        for g in running {
+            let Some(gt) = self.txns.get(&g) else { continue };
+            if gt.done || gt.coord.decision().is_some() {
+                continue;
+            }
+            let ok = {
+                let site = self.sites[site_id.index()].as_ref().unwrap();
+                gt.tm.check(marking, site.marks()).is_ok()
+            };
+            if !ok {
+                self.report.counters.inc("r1.mark_invalidations");
+                let hist = &mut self.hist;
+                let site = self.sites[site_id.index()].as_mut().unwrap();
+                let woken = site.unilateral_abort(g, now, hist);
+                self.wake(now, site_id, woken);
+                let coord_site = self.txns[&g].coord_site;
+                self.send(now, site_id, coord_site, Msg::SubtxnAck { txn: g, from: site_id, ok: false });
+            }
+        }
+    }
+
+    fn start_compensation(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        let plan = self.pending_comp[&(txn, site_id)].clone();
+        let hist = &mut self.hist;
+        let site = self.sites[site_id.index()].as_mut().unwrap();
+        site.begin_compensation(txn, &plan, now, hist);
+        if plan.is_empty() {
+            let woken = site.finish_compensation(txn, now, hist);
+            self.wake(now, site_id, woken);
+            self.pending_comp.remove(&(txn, site_id));
+            self.persistence.completed(txn, site_id);
+            self.invalidate_incompatible_subs(now, site_id);
+        } else {
+            let service = self.cfg.op_service_time;
+            self.queue
+                .schedule(now + service, Event::OpDone { site: site_id, exec: ExecId::CompSub(txn) });
+        }
+    }
+
+    fn resume_compensation(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        if !self.site_up(site_id) || !self.pending_comp.contains_key(&(txn, site_id)) {
+            return;
+        }
+        self.start_compensation(now, txn, site_id);
+    }
+
+    fn on_crash(&mut self, site: SiteId) {
+        if let Some(s) = self.sites[site.index()].take() {
+            self.crashed_wals.insert(site, s.crash());
+        }
+    }
+
+    fn on_recover(&mut self, now: SimTime, site: SiteId) {
+        let Some(wal) = self.crashed_wals.remove(&site) else { return };
+        let site_cfg = SiteConfig { compensation_model: self.cfg.compensation_model };
+        self.sites[site.index()] = Some(Site::recover(site, site_cfg, wal));
+        // Coordinators hosted here resume: resend logged decisions, presume
+        // abort for undecided transactions.
+        let to_recover: Vec<GlobalTxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, g)| g.coord_site == site && !g.done)
+            .map(|(&id, _)| id)
+            .collect();
+        for txn in to_recover {
+            if let Some(action) = self.txns.get_mut(&txn).unwrap().coord.recover() {
+                self.coord_action(now, txn, action);
+            }
+        }
+        // Recovered in-doubt participants (prepared, or locally committed
+        // with the decision lost in the crash) resolve their fate through
+        // the termination protocol when it is enabled.
+        if let Some(t) = self.cfg.termination_timeout {
+            let site_ref = self.sites[site.index()].as_ref().unwrap();
+            let mut in_doubt = site_ref.prepared_subs();
+            in_doubt.extend(site_ref.pending_local_commits());
+            for txn in in_doubt {
+                if self.txns.contains_key(&txn) {
+                    self.queue.schedule(now + t, Event::TermTimeout { txn, site });
+                }
+            }
+        }
+    }
+}

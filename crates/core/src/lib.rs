@@ -1,0 +1,44 @@
+//! # o2pc-core
+//!
+//! The distributed transaction engine: sites (`o2pc-site`) + commit
+//! protocols (`o2pc-protocol`) + marking (`o2pc-marking`) wired onto the
+//! deterministic simulator (`o2pc-sim`).
+//!
+//! The engine is an event loop over one virtual clock. A run is configured
+//! with a [`config::SystemConfig`] and a workload schedule of
+//! [`config::TxnRequest`]s, and produces a [`report::RunReport`] containing
+//! every quantity the paper's claims are measured by: exclusive-lock hold
+//! times, transaction latency and throughput, message counts per type, R1
+//! rejection/retry counts, compensation statistics, and the full execution
+//! [`o2pc_common::History`] for post-hoc serialization-graph audits.
+//!
+//! ```
+//! use o2pc_core::{Engine, SystemConfig, TxnRequest};
+//! use o2pc_common::{Duration, Key, Op, SimTime, SiteId, Value};
+//! use o2pc_protocol::ProtocolKind;
+//!
+//! let mut cfg = SystemConfig::new(2, ProtocolKind::O2pc);
+//! cfg.seed = 7;
+//! let mut engine = Engine::new(cfg);
+//! engine.load(SiteId(0), Key(1), Value(100));
+//! engine.load(SiteId(1), Key(1), Value(100));
+//! engine.submit_at(SimTime::ZERO, TxnRequest::global(vec![
+//!     (SiteId(0), vec![Op::Add(Key(1), -10)]),
+//!     (SiteId(1), vec![Op::Add(Key(1), 10)]),
+//! ]));
+//! let report = engine.run(Duration::secs(10));
+//! assert_eq!(report.global_committed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod msg;
+pub mod report;
+
+pub use config::{SystemConfig, TxnRequest};
+pub use engine::Engine;
+pub use msg::Msg;
+pub use report::RunReport;

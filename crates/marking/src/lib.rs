@@ -1,0 +1,32 @@
+//! # o2pc-marking
+//!
+//! The site-marking protocols of §6 that complement O2PC by enforcing the
+//! stratification properties (S1 for P1, S2 for P2), preventing regular
+//! cycles without any messages beyond the standard 2PC exchange.
+//!
+//! * [`state`] — the Figure 2 marking state machine: with respect to each
+//!   global transaction a site is *unmarked*, *locally-committed*, or
+//!   *undone*; transitions are triggered only by local events and by
+//!   messages already part of 2PC.
+//! * [`sitemarks`] — the per-site `sitemarks.k` set (rule R2 adds `T_i` as
+//!   the last operation of `CT_ik`; rule R3 removes it when UDUM1 fires).
+//! * [`transmarks`] — the per-transaction `transmarks.j` accumulator and the
+//!   `compatible()` check of rule R1, for P1, its dual P2, and the "simple"
+//!   protocol sketched at the end of §6.2.
+//! * [`udum`] — detection of condition UDUM1 ("for each site in which `T_i`
+//!   executes, there is a transaction that has also executed at that site
+//!   while that site was undone with respect to `T_i`"), which by Lemma 4
+//!   implies UDUM0 and licenses the *undone → unmarked* transition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sitemarks;
+pub mod state;
+pub mod transmarks;
+pub mod udum;
+
+pub use sitemarks::SiteMarks;
+pub use state::{MarkEvent, MarkState};
+pub use transmarks::{Incompatibility, MarkingProtocol, TransMarks};
+pub use udum::UdumTracker;

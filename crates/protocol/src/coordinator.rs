@@ -1,0 +1,324 @@
+//! The per-transaction 2PC coordinator state machine.
+//!
+//! Message pattern (identical for 2PC and O2PC — the paper's compatibility
+//! claim): after all subtransactions ack their operations, the coordinator
+//! sends VOTE-REQ to every participant; participants reply VOTE; unanimous
+//! yes ⇒ COMMIT, otherwise ABORT; the decision is **logged before any
+//! DECISION message leaves** (presumed abort discipline: a recovering
+//! coordinator resends a logged decision and presumes abort for anything
+//! undecided); participants acknowledge the decision.
+
+use o2pc_common::{GlobalTxnId, SiteId};
+use o2pc_site::Vote;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Coordinator phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordState {
+    /// Waiting for every subtransaction to ack its operations.
+    CollectingAcks,
+    /// VOTE-REQ sent; collecting votes.
+    Voting,
+    /// Decision logged and sent; collecting decision acks.
+    Decided(bool),
+    /// All decision acks received; protocol complete.
+    Done(bool),
+}
+
+/// An instruction for the host (engine or transport driver).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoordAction {
+    /// Send VOTE-REQ to each listed participant.
+    SendVoteReq(Vec<SiteId>),
+    /// Decision reached (`true` = commit): it is now logged; send DECISION
+    /// to each listed participant.
+    SendDecision(bool, Vec<SiteId>),
+    /// Protocol complete (`true` = committed).
+    Complete(bool),
+}
+
+/// The coordinator of one global transaction.
+#[derive(Clone, Debug)]
+pub struct TwoPhaseCoordinator {
+    txn: GlobalTxnId,
+    participants: Vec<SiteId>,
+    state: CoordState,
+    op_acks: BTreeSet<SiteId>,
+    /// A subtransaction that failed during execution forces an abort
+    /// decision without waiting for votes from everyone.
+    failed_ack: bool,
+    votes: BTreeMap<SiteId, Vote>,
+    decision_acks: BTreeSet<SiteId>,
+}
+
+impl TwoPhaseCoordinator {
+    /// New coordinator for `txn` over the given participant sites.
+    pub fn new(txn: GlobalTxnId, participants: Vec<SiteId>) -> Self {
+        assert!(!participants.is_empty(), "a global transaction needs participants");
+        TwoPhaseCoordinator {
+            txn,
+            participants,
+            state: CoordState::CollectingAcks,
+            op_acks: BTreeSet::new(),
+            failed_ack: false,
+            votes: BTreeMap::new(),
+            decision_acks: BTreeSet::new(),
+        }
+    }
+
+    /// The transaction being coordinated.
+    pub fn txn(&self) -> GlobalTxnId {
+        self.txn
+    }
+
+    /// Participant sites.
+    pub fn participants(&self) -> &[SiteId] {
+        &self.participants
+    }
+
+    /// Current phase.
+    pub fn state(&self) -> CoordState {
+        self.state
+    }
+
+    /// The logged decision, if one has been taken.
+    pub fn decision(&self) -> Option<bool> {
+        match self.state {
+            CoordState::Decided(d) | CoordState::Done(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// A subtransaction acked (`ok = false` reports an execution failure).
+    /// Returns the next action, if the ack completes a phase. Acks arriving
+    /// after a timeout already moved the protocol on are ignored.
+    pub fn on_subtxn_ack(&mut self, site: SiteId, ok: bool) -> Option<CoordAction> {
+        if self.state != CoordState::CollectingAcks {
+            return None; // late ack (e.g. a timeout already presumed abort)
+        }
+        debug_assert!(self.participants.contains(&site));
+        self.op_acks.insert(site);
+        if !ok {
+            self.failed_ack = true;
+        }
+        if self.op_acks.len() == self.participants.len() {
+            if self.failed_ack {
+                // No point soliciting votes: decide abort now. VOTE-REQ is
+                // still sent so participants learn the transaction is
+                // terminating — exactly the standard message pattern (the
+                // votes will be ignored).
+                self.state = CoordState::Voting;
+            } else {
+                self.state = CoordState::Voting;
+            }
+            return Some(CoordAction::SendVoteReq(self.participants.clone()));
+        }
+        None
+    }
+
+    /// A participant voted. Unanimous yes ⇒ commit; the first no ⇒ abort.
+    pub fn on_vote(&mut self, site: SiteId, vote: Vote) -> Option<CoordAction> {
+        if !matches!(self.state, CoordState::Voting) {
+            // Late vote after an early abort decision: ignore.
+            return None;
+        }
+        debug_assert!(self.participants.contains(&site));
+        self.votes.insert(site, vote);
+        if vote == Vote::No || self.failed_ack {
+            return Some(self.decide(false));
+        }
+        if self.votes.len() == self.participants.len() {
+            let commit = self.votes.values().all(|&v| v == Vote::Yes);
+            return Some(self.decide(commit));
+        }
+        None
+    }
+
+    /// Vote-collection timeout: presumed abort.
+    pub fn on_vote_timeout(&mut self) -> Option<CoordAction> {
+        if matches!(self.state, CoordState::Voting) {
+            Some(self.decide(false))
+        } else {
+            None
+        }
+    }
+
+    /// General progress timeout: if no decision has been reached (stuck in
+    /// ack collection — e.g. a participant site is down — or in voting),
+    /// presume abort and notify everyone.
+    pub fn on_timeout(&mut self) -> Option<CoordAction> {
+        match self.state {
+            CoordState::CollectingAcks | CoordState::Voting => Some(self.decide(false)),
+            _ => None,
+        }
+    }
+
+    fn decide(&mut self, commit: bool) -> CoordAction {
+        self.state = CoordState::Decided(commit);
+        CoordAction::SendDecision(commit, self.participants.clone())
+    }
+
+    /// A participant acknowledged the decision.
+    pub fn on_decision_ack(&mut self, site: SiteId) -> Option<CoordAction> {
+        let CoordState::Decided(commit) = self.state else {
+            return None;
+        };
+        debug_assert!(self.participants.contains(&site));
+        self.decision_acks.insert(site);
+        if self.decision_acks.len() == self.participants.len() {
+            self.state = CoordState::Done(commit);
+            return Some(CoordAction::Complete(commit));
+        }
+        None
+    }
+
+    /// Coordinator recovery: what must be resent / presumed after a crash.
+    /// A logged decision is resent to participants that have not acked;
+    /// an undecided transaction is presumed aborted.
+    pub fn recover(&mut self) -> Option<CoordAction> {
+        match self.state {
+            CoordState::Decided(commit) => {
+                let missing: Vec<SiteId> = self
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.decision_acks.contains(s))
+                    .collect();
+                if missing.is_empty() {
+                    self.state = CoordState::Done(commit);
+                    Some(CoordAction::Complete(commit))
+                } else {
+                    Some(CoordAction::SendDecision(commit, missing))
+                }
+            }
+            CoordState::CollectingAcks | CoordState::Voting => {
+                // Presumed abort.
+                Some(self.decide(false))
+            }
+            CoordState::Done(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> GlobalTxnId {
+        GlobalTxnId(1)
+    }
+
+    fn sites(n: u32) -> Vec<SiteId> {
+        (0..n).map(SiteId).collect()
+    }
+
+    #[test]
+    fn happy_path_commit() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(3));
+        assert_eq!(c.state(), CoordState::CollectingAcks);
+        assert_eq!(c.on_subtxn_ack(SiteId(0), true), None);
+        assert_eq!(c.on_subtxn_ack(SiteId(1), true), None);
+        let a = c.on_subtxn_ack(SiteId(2), true).unwrap();
+        assert_eq!(a, CoordAction::SendVoteReq(sites(3)));
+        assert_eq!(c.on_vote(SiteId(0), Vote::Yes), None);
+        assert_eq!(c.on_vote(SiteId(1), Vote::Yes), None);
+        let a = c.on_vote(SiteId(2), Vote::Yes).unwrap();
+        assert_eq!(a, CoordAction::SendDecision(true, sites(3)));
+        assert_eq!(c.decision(), Some(true));
+        assert_eq!(c.on_decision_ack(SiteId(0)), None);
+        assert_eq!(c.on_decision_ack(SiteId(1)), None);
+        assert_eq!(c.on_decision_ack(SiteId(2)), Some(CoordAction::Complete(true)));
+        assert_eq!(c.state(), CoordState::Done(true));
+    }
+
+    #[test]
+    fn single_no_vote_aborts_immediately() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(3));
+        for s in sites(3) {
+            c.on_subtxn_ack(s, true);
+        }
+        assert_eq!(c.on_vote(SiteId(0), Vote::Yes), None);
+        let a = c.on_vote(SiteId(1), Vote::No).unwrap();
+        assert_eq!(a, CoordAction::SendDecision(false, sites(3)));
+        // A late yes from site 2 is ignored.
+        assert_eq!(c.on_vote(SiteId(2), Vote::Yes), None);
+        assert_eq!(c.decision(), Some(false));
+    }
+
+    #[test]
+    fn failed_subtxn_ack_forces_abort() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(2));
+        c.on_subtxn_ack(SiteId(0), true);
+        let a = c.on_subtxn_ack(SiteId(1), false).unwrap();
+        assert_eq!(a, CoordAction::SendVoteReq(sites(2)), "pattern preserved");
+        // First vote (whatever it is) triggers the abort decision.
+        let a = c.on_vote(SiteId(0), Vote::Yes).unwrap();
+        assert_eq!(a, CoordAction::SendDecision(false, sites(2)));
+    }
+
+    #[test]
+    fn vote_timeout_presumes_abort() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(2));
+        for s in sites(2) {
+            c.on_subtxn_ack(s, true);
+        }
+        c.on_vote(SiteId(0), Vote::Yes);
+        let a = c.on_vote_timeout().unwrap();
+        assert_eq!(a, CoordAction::SendDecision(false, sites(2)));
+        assert_eq!(c.on_vote_timeout(), None, "idempotent");
+    }
+
+    #[test]
+    fn recovery_resends_logged_decision_to_missing_only() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(3));
+        for s in sites(3) {
+            c.on_subtxn_ack(s, true);
+        }
+        for s in sites(3) {
+            c.on_vote(s, Vote::Yes);
+        }
+        c.on_decision_ack(SiteId(0));
+        // Crash here; recovery resends to 1 and 2 only.
+        let a = c.recover().unwrap();
+        assert_eq!(a, CoordAction::SendDecision(true, vec![SiteId(1), SiteId(2)]));
+        c.on_decision_ack(SiteId(1));
+        assert_eq!(c.on_decision_ack(SiteId(2)), Some(CoordAction::Complete(true)));
+    }
+
+    #[test]
+    fn recovery_before_decision_presumes_abort() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(2));
+        c.on_subtxn_ack(SiteId(0), true);
+        let a = c.recover().unwrap();
+        assert_eq!(a, CoordAction::SendDecision(false, sites(2)));
+        assert_eq!(c.decision(), Some(false));
+    }
+
+    #[test]
+    fn recovery_when_done_is_noop() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(1));
+        c.on_subtxn_ack(SiteId(0), true);
+        c.on_vote(SiteId(0), Vote::Yes);
+        c.on_decision_ack(SiteId(0));
+        assert_eq!(c.recover(), None);
+    }
+
+    #[test]
+    fn recovery_with_all_acks_completes() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(1));
+        c.on_subtxn_ack(SiteId(0), true);
+        c.on_vote(SiteId(0), Vote::Yes);
+        // Ack arrives, then crash before Complete was processed: recovery
+        // must complete, not resend.
+        c.on_decision_ack(SiteId(0));
+        let mut c2 = c.clone();
+        c2.state = CoordState::Decided(true);
+        assert_eq!(c2.recover(), Some(CoordAction::Complete(true)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs participants")]
+    fn empty_participants_rejected() {
+        let _ = TwoPhaseCoordinator::new(g(), vec![]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Deriving serialization graphs from recorded histories.
+
+use crate::graph::GlobalSg;
+use o2pc_common::{HistEventKind, History, Key, OpKind, SiteId, TxnId};
+use std::collections::HashMap;
+
+/// Build the **paper-faithful** global SG from a history: complete-history
+/// semantics (§5), where every global transaction's operations appear at
+/// every site it executed at — including subtransactions that were later
+/// rolled back. This is the graph the stratification machinery (S1/S2,
+/// C1/C2, the lemmas) is defined over.
+pub fn build_sgs(history: &History) -> GlobalSg {
+    build_with(history, false)
+}
+
+/// Build the **exposure-semantics** global SG from a history.
+///
+/// Failed **global** transactions appear with *exposure semantics*: the
+/// paper extends serializability theory to failed transactions because under
+/// O2PC their updates may have been **seen** (local commit released the
+/// locks). At a site that simply rolled the subtransaction back from the log
+/// (voted abort, was a deadlock victim, or was undone by an R1
+/// invalidation), strict 2PL guarantees nobody interleaved between its
+/// operations and the undo — its forward operations are invisible there,
+/// and including them would flag spurious "regular cycles" even for the
+/// plain 2PL-2PC baseline, where nothing is ever exposed. So a failed
+/// transaction's forward accesses at a site count iff the site locally
+/// committed (or committed) it; its roll-back's undo writes count
+/// everywhere, attributed to `CT_i` — which is exactly what Lemma 5 needs
+/// (`CT_i → T_j` at sites that undid `T_i` before `T_j` arrived).
+///
+/// Edges: `A → B` iff some operation of `A` precedes and conflicts with some
+/// operation of `B` in the site's history (same item, at least one write).
+pub fn build_exposed_sgs(history: &History) -> GlobalSg {
+    build_with(history, true)
+}
+
+fn build_with(history: &History, exposure_filter: bool) -> GlobalSg {
+    // Which local transactions committed, and where global transactions
+    // were exposed (locally committed / committed) or merely rolled back.
+    let mut local_committed: HashMap<TxnId, bool> = HashMap::new();
+    let mut exposed: HashMap<(TxnId, SiteId), bool> = HashMap::new();
+    for e in history.events() {
+        match e.txn {
+            TxnId::Local(_) => {
+                let entry = local_committed.entry(e.txn).or_insert(false);
+                if matches!(e.kind, HistEventKind::Committed) {
+                    *entry = true;
+                }
+            }
+            TxnId::Global(_) => match e.kind {
+                HistEventKind::LocallyCommitted | HistEventKind::Committed => {
+                    exposed.insert((e.txn, e.site), true);
+                }
+                HistEventKind::RolledBack => {
+                    exposed.entry((e.txn, e.site)).or_insert(false);
+                }
+                _ => {}
+            },
+            TxnId::Compensation(_) => {}
+        }
+    }
+    let include = |txn: TxnId, site: SiteId| -> bool {
+        match txn {
+            TxnId::Local(_) => local_committed.get(&txn).copied().unwrap_or(false),
+            // Under exposure semantics a global's forward accesses count
+            // only where it was exposed; a global with no terminal event at
+            // the site (in flight at the end of the recording, or a
+            // hand-built test history) defaults to included.
+            TxnId::Global(_) => {
+                !exposure_filter || exposed.get(&(txn, site)).copied().unwrap_or(true)
+            }
+            TxnId::Compensation(_) => true,
+        }
+    };
+
+    let mut gsg = GlobalSg::new();
+    // Per site, per key: accesses in order (txn, kind).
+    let mut per_site_key: HashMap<(SiteId, Key), Vec<(TxnId, OpKind)>> = HashMap::new();
+    for e in history.events() {
+        if let HistEventKind::Access { kind, key, .. } = e.kind {
+            if !include(e.txn, e.site) {
+                continue;
+            }
+            gsg.site_mut(e.site).add_node(e.txn);
+            per_site_key.entry((e.site, key)).or_default().push((e.txn, kind));
+        }
+    }
+
+    for ((site, _key), accesses) in per_site_key {
+        let sg = gsg.site_mut(site);
+        for (i, &(a_txn, a_kind)) in accesses.iter().enumerate() {
+            for &(b_txn, b_kind) in &accesses[i + 1..] {
+                if a_txn == b_txn {
+                    continue;
+                }
+                if a_kind == OpKind::Write || b_kind == OpKind::Write {
+                    sg.add_edge(a_txn, b_txn);
+                }
+            }
+        }
+    }
+    gsg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::{GlobalTxnId, HistEvent, LocalTxnId, SimTime};
+
+    fn t(i: u64) -> TxnId {
+        TxnId::Global(GlobalTxnId(i))
+    }
+
+    fn l(site: u32, seq: u64) -> TxnId {
+        TxnId::Local(LocalTxnId { site: SiteId(site), seq })
+    }
+
+    #[test]
+    fn write_read_conflict_creates_edge() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(t(1)), SimTime(2));
+        let gsg = build_sgs(&h);
+        let sg = gsg.site(SiteId(0)).unwrap();
+        assert_eq!(sg.successors(t(1)), &[t(2)]);
+        assert!(sg.successors(t(2)).is_empty());
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Read, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Read, Key(1), None, SimTime(2));
+        let gsg = build_sgs(&h);
+        assert!(gsg.edges().is_empty());
+        // Nodes still present.
+        assert_eq!(gsg.nodes().len(), 2);
+    }
+
+    #[test]
+    fn different_keys_do_not_conflict() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Write, Key(2), None, SimTime(2));
+        assert!(build_sgs(&h).edges().is_empty());
+    }
+
+    #[test]
+    fn cross_site_accesses_stay_in_their_local_sgs() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(1), t(2), OpKind::Write, Key(1), None, SimTime(2));
+        let gsg = build_sgs(&h);
+        assert!(gsg.edges().is_empty(), "same key id at different sites is a different item");
+    }
+
+    #[test]
+    fn aborted_local_txns_are_excluded() {
+        let mut h = History::new();
+        let lx = l(0, 1);
+        h.access(SiteId(0), lx, OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: lx,
+            kind: HistEventKind::RolledBack,
+            time: SimTime(2),
+        });
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(3));
+        let gsg = build_sgs(&h);
+        assert_eq!(gsg.nodes(), vec![t(1)], "aborted local dropped");
+        assert!(gsg.edges().is_empty());
+    }
+
+    #[test]
+    fn committed_local_txns_are_included() {
+        let mut h = History::new();
+        let lx = l(0, 1);
+        h.access(SiteId(0), lx, OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: lx,
+            kind: HistEventKind::Committed,
+            time: SimTime(2),
+        });
+        h.access(SiteId(0), t(1), OpKind::Read, Key(1), Some(lx), SimTime(3));
+        let gsg = build_sgs(&h);
+        let sg = gsg.site(SiteId(0)).unwrap();
+        assert_eq!(sg.successors(lx), &[t(1)]);
+    }
+
+    #[test]
+    fn global_and_compensating_always_included() {
+        let mut h = History::new();
+        let ct1 = TxnId::Compensation(GlobalTxnId(1));
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
+        let gsg = build_sgs(&h);
+        let sg = gsg.site(SiteId(0)).unwrap();
+        assert_eq!(sg.successors(t(1)), &[ct1], "T1 → CT1: compensation serialized after");
+    }
+
+    #[test]
+    fn ww_chain_orders_by_time() {
+        let mut h = History::new();
+        for (i, time) in [(1u64, 1u64), (2, 2), (3, 3)] {
+            h.access(SiteId(0), t(i), OpKind::Write, Key(7), None, SimTime(time));
+        }
+        let gsg = build_sgs(&h);
+        let sg = gsg.site(SiteId(0)).unwrap();
+        assert!(sg.has_path(t(1), t(3)));
+        assert!(!sg.has_path(t(3), t(1)));
+        assert_eq!(sg.successors(t(1)).len(), 2, "edges to both later writers");
+    }
+
+    #[test]
+    fn unexposed_rollback_drops_forward_accesses() {
+        // T1 wrote at site 0 and was rolled back there without ever being
+        // locally committed: its forward write is invisible and must not
+        // create edges; the CT undo-write still does.
+        let ct1 = TxnId::Compensation(GlobalTxnId(1));
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
+        h.push(HistEvent { site: SiteId(0), txn: t(1), kind: HistEventKind::RolledBack, time: SimTime(2) });
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(3));
+        let gsg = build_exposed_sgs(&h);
+        let sg = gsg.site(SiteId(0)).unwrap();
+        assert!(!sg.contains(t(1)), "unexposed forward accesses dropped");
+        assert_eq!(sg.successors(ct1), &[t(2)], "Lemma 5 edge CT1 → T2 kept");
+    }
+
+    #[test]
+    fn locally_committed_rollback_keeps_forward_accesses() {
+        // Same shape, but the site locally committed T1 first (O2PC
+        // exposure): the forward write was visible and stays in the SG.
+        let ct1 = TxnId::Compensation(GlobalTxnId(1));
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent { site: SiteId(0), txn: t(1), kind: HistEventKind::LocallyCommitted, time: SimTime(2) });
+        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(t(1)), SimTime(3));
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(4));
+        let gsg = build_exposed_sgs(&h);
+        let sg = gsg.site(SiteId(0)).unwrap();
+        assert!(sg.has_path(t(1), t(2)));
+        assert!(sg.has_path(t(2), ct1), "the exposed-window reader precedes the compensation");
+    }
+
+    #[test]
+    fn exposure_is_per_site() {
+        // T1 locally committed at site 0 but was rolled back unexposed at
+        // site 1: included there only via CT.
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent { site: SiteId(0), txn: t(1), kind: HistEventKind::LocallyCommitted, time: SimTime(2) });
+        h.access(SiteId(1), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent { site: SiteId(1), txn: t(1), kind: HistEventKind::RolledBack, time: SimTime(3) });
+        let gsg = build_exposed_sgs(&h);
+        assert!(gsg.site(SiteId(0)).unwrap().contains(t(1)));
+        assert!(
+            gsg.site(SiteId(1)).is_none_or(|sg| !sg.contains(t(1))),
+            "unexposed forward access must not materialize the node"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! The top-level correctness audit.
+//!
+//! The paper's criterion (§5): a history is correct iff its global SG
+//! contains **no regular cycles and no local cycles**. When no global
+//! transaction aborts there are no compensating transactions, every cycle
+//! would be regular, and the criterion reduces to plain serializability.
+//!
+//! The audit additionally checks *atomicity of compensation* (Theorem 2):
+//! because our compensating transactions write at least all items the
+//! forward transaction wrote, a correct history must contain no transaction
+//! that reads from both `T_i` and `CT_i`. The reads-from relation comes
+//! straight from the recorded history.
+
+use crate::build::build_exposed_sgs;
+use crate::cycles::enumerate_cycles;
+use crate::graph::GlobalSg;
+use crate::regular::{classify_cycle_with, CycleClass, RegularCycle, SegmentOracle};
+use o2pc_common::{GlobalTxnId, HistEventKind, History, SiteId, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of auditing a history.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Sites whose *local* SG contains a cycle (must be empty: local strict
+    /// 2PL guarantees local serializability).
+    pub local_cycles: Vec<SiteId>,
+    /// The first regular cycle found, if any (criterion violation).
+    pub regular_cycle: Option<RegularCycle>,
+    /// Total cycles examined in the union SG.
+    pub cycles_examined: usize,
+    /// Cycles that were non-regular (allowed: they involve compensating
+    /// transactions only, possibly with locals).
+    pub nonregular_cycles: usize,
+    /// Pairs `(reader, i)` such that the reader read from both `T_i` and
+    /// `CT_i` (atomicity-of-compensation violations; must be empty).
+    pub compensation_atomicity_violations: Vec<(TxnId, GlobalTxnId)>,
+    /// Whether the union SG is fully acyclic (plain serializability).
+    pub serializable: bool,
+}
+
+impl AuditReport {
+    /// Does the history satisfy the paper's correctness criterion?
+    pub fn is_correct(&self) -> bool {
+        self.local_cycles.is_empty() && self.regular_cycle.is_none()
+    }
+}
+
+/// Audit a recorded history. `max_cycles` / `max_len` bound cycle
+/// enumeration (pass generous values; the audit is offline).
+///
+/// Uses [`build_exposed_sgs`]: the verdict concerns effects that were
+/// actually visible — a cleanly rolled-back subtransaction whose updates
+/// nobody could have observed does not make a history incorrect (see the
+/// builder's docs for why the baseline protocol would otherwise be flagged).
+pub fn audit(history: &History, max_cycles: usize, max_len: usize) -> AuditReport {
+    let gsg = build_exposed_sgs(history);
+    audit_graph(&gsg, history, max_cycles, max_len)
+}
+
+/// Audit with a pre-built SG (lets callers reuse the graph).
+pub fn audit_graph(
+    gsg: &GlobalSg,
+    history: &History,
+    max_cycles: usize,
+    max_len: usize,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    for (site, sg) in gsg.sites() {
+        if sg.has_cycle() {
+            report.local_cycles.push(site);
+        }
+    }
+
+    let cycles = enumerate_cycles(gsg, max_cycles, max_len);
+    report.cycles_examined = cycles.len();
+    report.serializable = cycles.is_empty() && report.local_cycles.is_empty();
+    let oracle = if cycles.is_empty() { None } else { Some(SegmentOracle::new(gsg)) };
+    for cycle in &cycles {
+        match classify_cycle_with(oracle.as_ref().expect("cycles imply oracle"), cycle) {
+            CycleClass::Regular(rc) => {
+                if report.regular_cycle.is_none() {
+                    report.regular_cycle = Some(rc);
+                }
+            }
+            CycleClass::NonRegular { .. } => report.nonregular_cycles += 1,
+        }
+    }
+
+    report.compensation_atomicity_violations = compensation_atomicity_violations(history);
+    report
+}
+
+/// Find every `(reader, i)` where the reader read from both `T_i` and
+/// `CT_i` — the situation Theorem 2 proves impossible in correct histories
+/// when `CT_i` writes (at least) `T_i`'s write set.
+pub fn compensation_atomicity_violations(history: &History) -> Vec<(TxnId, GlobalTxnId)> {
+    // reader → set of sources read from.
+    let mut reads_from: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+    for e in history.events() {
+        if let HistEventKind::Access { read_from: Some(src), .. } = e.kind {
+            if src != e.txn {
+                reads_from.entry(e.txn).or_default().insert(src);
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    for (reader, sources) in &reads_from {
+        for src in sources {
+            if let TxnId::Global(i) = src {
+                if sources.contains(&TxnId::Compensation(*i)) {
+                    violations.push((*reader, *i));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::{Key, OpKind, SimTime};
+
+    fn t(i: u64) -> TxnId {
+        TxnId::Global(GlobalTxnId(i))
+    }
+
+    fn ct(i: u64) -> TxnId {
+        TxnId::Compensation(GlobalTxnId(i))
+    }
+
+    #[test]
+    fn serializable_history_is_correct() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(t(1)), SimTime(2));
+        h.access(SiteId(1), t(1), OpKind::Write, Key(2), None, SimTime(1));
+        h.access(SiteId(1), t(2), OpKind::Read, Key(2), Some(t(1)), SimTime(3));
+        let report = audit(&h, 1000, 16);
+        assert!(report.is_correct());
+        assert!(report.serializable);
+        assert_eq!(report.cycles_examined, 0);
+        assert!(report.compensation_atomicity_violations.is_empty());
+    }
+
+    #[test]
+    fn regular_cycle_history_is_incorrect() {
+        // Site 0: T1 writes k1, CT1 re-writes k1 (compensation), T2 reads k1.
+        // Site 1: T2 writes k2, then T1 writes k2 — T2 → T1.
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct(1), OpKind::Write, Key(1), None, SimTime(2));
+        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(ct(1)), SimTime(3));
+        h.access(SiteId(1), t(2), OpKind::Write, Key(2), None, SimTime(1));
+        h.access(SiteId(1), t(1), OpKind::Write, Key(2), None, SimTime(4));
+        let report = audit(&h, 1000, 16);
+        assert!(!report.is_correct());
+        let rc = report.regular_cycle.expect("regular cycle");
+        assert!(rc.nodes.contains(&t(2)));
+        assert!(!report.serializable);
+    }
+
+    #[test]
+    fn ct_only_cycle_is_correct_but_not_serializable() {
+        // CT1 → CT2 at site 0, CT2 → CT1 at site 1 (uncoordinated
+        // compensations may interleave freely — the paper allows this).
+        let mut h = History::new();
+        h.access(SiteId(0), ct(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct(2), OpKind::Write, Key(1), None, SimTime(2));
+        h.access(SiteId(1), ct(2), OpKind::Write, Key(2), None, SimTime(1));
+        h.access(SiteId(1), ct(1), OpKind::Write, Key(2), None, SimTime(3));
+        let report = audit(&h, 1000, 16);
+        assert!(report.is_correct(), "CT-only cycles are allowed");
+        assert!(!report.serializable);
+        assert_eq!(report.nonregular_cycles, 1);
+    }
+
+    #[test]
+    fn atomicity_of_compensation_violation_detected() {
+        let mut h = History::new();
+        // T3 reads k1 from T1, and k2 from CT1: forbidden mixed view.
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(3), OpKind::Read, Key(1), Some(t(1)), SimTime(2));
+        h.access(SiteId(1), t(1), OpKind::Write, Key(2), None, SimTime(1));
+        h.access(SiteId(1), ct(1), OpKind::Write, Key(2), None, SimTime(2));
+        h.access(SiteId(1), t(3), OpKind::Read, Key(2), Some(ct(1)), SimTime(3));
+        let report = audit(&h, 1000, 16);
+        assert_eq!(report.compensation_atomicity_violations, vec![(t(3), GlobalTxnId(1))]);
+    }
+
+    #[test]
+    fn consistent_view_of_compensation_is_clean() {
+        let mut h = History::new();
+        // T3 reads only post-compensation state: fine.
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct(1), OpKind::Write, Key(1), None, SimTime(2));
+        h.access(SiteId(0), t(3), OpKind::Read, Key(1), Some(ct(1)), SimTime(3));
+        let report = audit(&h, 1000, 16);
+        assert!(report.compensation_atomicity_violations.is_empty());
+    }
+
+    #[test]
+    fn empty_history_is_trivially_correct() {
+        let report = audit(&History::new(), 10, 10);
+        assert!(report.is_correct());
+        assert!(report.serializable);
+    }
+}

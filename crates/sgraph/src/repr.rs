@@ -1,0 +1,224 @@
+//! Path representations of global paths (§5, Example 1) and DOT export.
+//!
+//! A global path between two transactions is realized by *representations*:
+//! sequences of local segments, each a path within a single site's SG. The
+//! *minimal* representations use the fewest segments, and a path *includes*
+//! a transaction iff it appears as a segment endpoint on some minimal
+//! representation. This module exposes those notions directly — Example 1
+//! of the paper is the doctest of [`includes`].
+
+use crate::graph::GlobalSg;
+use crate::regular::SegmentOracle;
+use o2pc_common::TxnId;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Hop distance between transactions in the *segment graph* (one hop = one
+/// local segment). `None` when no global path exists. Distances are ≥ 1:
+/// the empty path does not count.
+pub fn segment_distance(gsg: &GlobalSg, from: TxnId, to: TxnId) -> Option<usize> {
+    segment_distance_with(&SegmentOracle::new(gsg), &gsg.nodes(), from, to)
+}
+
+fn segment_distance_with(
+    oracle: &SegmentOracle,
+    nodes: &[TxnId],
+    from: TxnId,
+    to: TxnId,
+) -> Option<usize> {
+    // BFS over the "one segment" relation.
+    let mut dist: HashMap<TxnId, usize> = HashMap::new();
+    let mut queue: VecDeque<TxnId> = VecDeque::new();
+    // Seed with everything one segment away from `from`.
+    for &n in nodes {
+        if oracle.exists(from, n) {
+            if n == to {
+                return Some(1);
+            }
+            dist.insert(n, 1);
+            queue.push_back(n);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[&cur];
+        for &n in nodes {
+            if oracle.exists(cur, n) && !dist.contains_key(&n) {
+                if n == to {
+                    return Some(d + 1);
+                }
+                dist.insert(n, d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    None
+}
+
+/// Does the global path `from → to` *include* `via` — i.e. does `via`
+/// appear as a segment endpoint on some **minimal** representation?
+///
+/// The paper's Example 1: `SG_1: CT1→T2`, `SG_2: CT1→T2→CT3`,
+/// `SG_3: CT3→CT1`. The global path `CT1 → CT3` has a 2-segment
+/// representation through `T2` and a 1-segment representation directly in
+/// `SG_2`; only the latter is minimal, so the path does **not** include
+/// `T2`.
+///
+/// ```
+/// use o2pc_common::{GlobalTxnId, SiteId, TxnId};
+/// use o2pc_sgraph::graph::GlobalSg;
+/// use o2pc_sgraph::repr::{includes, segment_distance};
+///
+/// let t = |i| TxnId::Global(GlobalTxnId(i));
+/// let ct = |i| TxnId::Compensation(GlobalTxnId(i));
+/// let mut g = GlobalSg::new();
+/// g.site_mut(SiteId(1)).add_edge(ct(1), t(2));
+/// g.site_mut(SiteId(2)).add_edge(ct(1), t(2));
+/// g.site_mut(SiteId(2)).add_edge(t(2), ct(3));
+/// g.site_mut(SiteId(3)).add_edge(ct(3), ct(1));
+///
+/// assert_eq!(segment_distance(&g, ct(1), ct(3)), Some(1), "direct in SG_2");
+/// assert!(!includes(&g, ct(1), ct(3), t(2)), "Example 1: T2 is skipped");
+/// ```
+pub fn includes(gsg: &GlobalSg, from: TxnId, to: TxnId, via: TxnId) -> bool {
+    if via == from || via == to {
+        return segment_distance(gsg, from, to).is_some();
+    }
+    let oracle = SegmentOracle::new(gsg);
+    let nodes = gsg.nodes();
+    let Some(total) = segment_distance_with(&oracle, &nodes, from, to) else {
+        return false;
+    };
+    let Some(a) = segment_distance_with(&oracle, &nodes, from, via) else {
+        return false;
+    };
+    let Some(b) = segment_distance_with(&oracle, &nodes, via, to) else {
+        return false;
+    };
+    a + b == total
+}
+
+/// One minimal representation of the global path `from → to`, as the list
+/// of segment endpoints (`[from, ..., to]`). `None` if no path exists.
+pub fn minimal_representation(gsg: &GlobalSg, from: TxnId, to: TxnId) -> Option<Vec<TxnId>> {
+    let oracle = SegmentOracle::new(gsg);
+    let nodes = gsg.nodes();
+    let mut dist: HashMap<TxnId, (usize, TxnId)> = HashMap::new();
+    let mut queue: VecDeque<TxnId> = VecDeque::new();
+    for &n in &nodes {
+        if oracle.exists(from, n) {
+            dist.insert(n, (1, from));
+            queue.push_back(n);
+        }
+    }
+    if from != to && !dist.contains_key(&to) {
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                break;
+            }
+            let d = dist[&cur].0;
+            for &n in &nodes {
+                if oracle.exists(cur, n) && !dist.contains_key(&n) {
+                    dist.insert(n, (d + 1, cur));
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    let (_, mut prev) = *dist.get(&to)?;
+    let mut path = vec![to];
+    while prev != from {
+        path.push(prev);
+        prev = dist[&prev].1;
+    }
+    path.push(from);
+    path.reverse();
+    Some(path)
+}
+
+/// Render the global SG in Graphviz DOT (one cluster per site; regular
+/// globals are boxes, compensations are hexagons, locals are ellipses).
+pub fn to_dot(gsg: &GlobalSg) -> String {
+    let mut out = String::from("digraph sg {\n  rankdir=LR;\n");
+    for (site, sg) in gsg.sites() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{\n    label=\"{site}\";", site.0);
+        for n in sg.nodes() {
+            let shape = match n {
+                TxnId::Global(_) => "box",
+                TxnId::Compensation(_) => "hexagon",
+                TxnId::Local(_) => "ellipse",
+            };
+            let _ = writeln!(out, "    \"{site}/{n}\" [label=\"{n}\", shape={shape}];");
+        }
+        for (a, b) in sg.edges() {
+            let _ = writeln!(out, "    \"{site}/{a}\" -> \"{site}/{b}\";");
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::{GlobalTxnId, SiteId};
+
+    fn t(i: u64) -> TxnId {
+        TxnId::Global(GlobalTxnId(i))
+    }
+
+    fn ct(i: u64) -> TxnId {
+        TxnId::Compensation(GlobalTxnId(i))
+    }
+
+    fn example1() -> GlobalSg {
+        let mut g = GlobalSg::new();
+        g.site_mut(SiteId(1)).add_edge(ct(1), t(2));
+        g.site_mut(SiteId(2)).add_edge(ct(1), t(2));
+        g.site_mut(SiteId(2)).add_edge(t(2), ct(3));
+        g.site_mut(SiteId(3)).add_edge(ct(3), ct(1));
+        g
+    }
+
+    #[test]
+    fn example1_distances() {
+        let g = example1();
+        assert_eq!(segment_distance(&g, ct(1), ct(3)), Some(1));
+        assert_eq!(segment_distance(&g, ct(1), t(2)), Some(1));
+        assert_eq!(segment_distance(&g, t(2), ct(1)), Some(2), "T2 → CT3 → CT1");
+        assert_eq!(segment_distance(&g, ct(3), t(2)), Some(2));
+        assert_eq!(segment_distance(&g, t(2), t(2)), Some(3), "around the cycle");
+    }
+
+    #[test]
+    fn example1_inclusion() {
+        let g = example1();
+        assert!(!includes(&g, ct(1), ct(3), t(2)), "minimal representation skips T2");
+        assert!(includes(&g, ct(1), ct(1), ct(3)), "CT3 lies on the minimal cyclic walk");
+        assert!(includes(&g, t(2), ct(1), ct(3)), "T2→CT3→CT1 needs CT3");
+        // Endpoints are always included when the path exists.
+        assert!(includes(&g, ct(1), ct(3), ct(1)));
+        assert!(includes(&g, ct(1), ct(3), ct(3)));
+        // Unreachable targets include nothing.
+        assert!(!includes(&g, t(2), t(9), ct(1)));
+    }
+
+    #[test]
+    fn minimal_representation_endpoints() {
+        let g = example1();
+        assert_eq!(minimal_representation(&g, ct(1), ct(3)), Some(vec![ct(1), ct(3)]));
+        assert_eq!(minimal_representation(&g, t(2), ct(1)), Some(vec![t(2), ct(3), ct(1)]));
+        assert_eq!(minimal_representation(&g, t(2), t(9)), None);
+    }
+
+    #[test]
+    fn dot_export_contains_clusters_and_shapes() {
+        let g = example1();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph sg"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("shape=hexagon"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("\"S2/CT1\" -> \"S2/T2\""));
+    }
+}

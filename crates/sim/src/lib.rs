@@ -1,0 +1,31 @@
+//! # o2pc-sim
+//!
+//! The deterministic discrete-event substrate on which the distributed
+//! engine runs. This replaces a real network/runtime (the paper's testbed
+//! would have been an R\*-era distributed system): all protocol-visible
+//! delays — message latency, operation service time, lock-hold windows,
+//! blocking intervals — happen on a virtual clock, so every experiment is
+//! reproducible bit-for-bit from its seed, and pathological schedules (the
+//! unbounded 2PC blocking window of experiment E4) can be measured rather
+//! than waited out.
+//!
+//! * [`events`] — the time-ordered event queue (stable FIFO among
+//!   simultaneous events).
+//! * [`network`] — per-link latency models (fixed / uniform / exponential),
+//!   message loss, and partitions.
+//! * [`failure`] — scripted site-crash and link-outage plans.
+//! * [`transport`] — a second, wall-clock backend: a threaded in-process
+//!   transport over `crossbeam` channels, demonstrating that the protocol
+//!   state machines are substrate-agnostic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod failure;
+pub mod network;
+pub mod transport;
+
+pub use events::EventQueue;
+pub use failure::FailurePlan;
+pub use network::{LatencyModel, Network, NetworkConfig};

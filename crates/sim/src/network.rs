@@ -1,0 +1,232 @@
+//! The simulated network: latency models, loss, and partitions.
+
+use crate::failure::FailurePlan;
+use o2pc_common::{DetRng, Duration, SimTime, SiteId};
+use std::collections::HashMap;
+
+/// How long a message takes on a link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Constant latency.
+    Fixed(Duration),
+    /// Uniform in `[lo, hi]`.
+    Uniform(Duration, Duration),
+    /// Exponential with the given mean, capped at 10× the mean (keeps the
+    /// virtual clock well-behaved without changing the distribution shape
+    /// meaningfully).
+    Exponential(Duration),
+}
+
+impl LatencyModel {
+    /// Draw one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                debug_assert!(lo <= hi);
+                Duration::micros(rng.gen_range_inclusive(lo.as_micros(), hi.as_micros()))
+            }
+            LatencyModel::Exponential(mean) => {
+                let cap = mean.as_micros().saturating_mul(10);
+                let v = rng.gen_exp(mean.as_micros() as f64) as u64;
+                Duration::micros(v.min(cap))
+            }
+        }
+    }
+
+    /// Mean of the model (exact).
+    pub fn mean(&self) -> Duration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform(lo, hi) => Duration::micros((lo.as_micros() + hi.as_micros()) / 2),
+            LatencyModel::Exponential(mean) => mean,
+        }
+    }
+}
+
+/// Static configuration of the simulated network.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Latency applied to every link without an override.
+    pub default_latency: LatencyModel,
+    /// Per-ordered-link overrides.
+    pub link_latency: HashMap<(SiteId, SiteId), LatencyModel>,
+    /// Probability that any given message is dropped (0.0 = reliable).
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            default_latency: LatencyModel::Fixed(Duration::millis(1)),
+            link_latency: HashMap::new(),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Reliable network with a fixed latency everywhere.
+    pub fn fixed(latency: Duration) -> Self {
+        NetworkConfig { default_latency: LatencyModel::Fixed(latency), ..Default::default() }
+    }
+}
+
+/// The live network: configuration + RNG stream + failure plan.
+#[derive(Clone, Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: DetRng,
+    failures: FailurePlan,
+    sent: u64,
+    dropped: u64,
+}
+
+impl Network {
+    /// Build a network from configuration and a dedicated RNG stream.
+    pub fn new(config: NetworkConfig, rng: DetRng) -> Self {
+        Network { config, rng, failures: FailurePlan::new(), sent: 0, dropped: 0 }
+    }
+
+    /// Attach a failure plan (site crashes / link outages).
+    pub fn with_failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// The failure plan (engine queries site liveness through it too).
+    pub fn failures(&self) -> &FailurePlan {
+        &self.failures
+    }
+
+    /// Decide the fate of a message sent `from → to` at time `now`:
+    /// `Some(delay)` = deliver after `delay`; `None` = lost (link down,
+    /// partition, or random drop). Destination-site liveness is checked at
+    /// *send* time by the link test; the engine re-checks at delivery (the
+    /// site may crash in flight).
+    pub fn transmit(&mut self, from: SiteId, to: SiteId, now: SimTime) -> Option<Duration> {
+        self.sent += 1;
+        if !self.failures.link_up(from, to, now) {
+            self.dropped += 1;
+            return None;
+        }
+        if self.config.drop_probability > 0.0 && self.rng.gen_bool(self.config.drop_probability) {
+            self.dropped += 1;
+            return None;
+        }
+        let model = self
+            .config
+            .link_latency
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.config.default_latency);
+        Some(model.sample(&mut self.rng))
+    }
+
+    /// Messages handed to the network so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages lost so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(7)
+    }
+
+    #[test]
+    fn fixed_latency() {
+        let mut n = Network::new(NetworkConfig::fixed(Duration::millis(2)), rng());
+        let d = n.transmit(SiteId(0), SiteId(1), SimTime::ZERO).unwrap();
+        assert_eq!(d, Duration::millis(2));
+        assert_eq!(n.sent_count(), 1);
+        assert_eq!(n.dropped_count(), 0);
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let cfg = NetworkConfig {
+            default_latency: LatencyModel::Uniform(Duration::micros(100), Duration::micros(200)),
+            ..Default::default()
+        };
+        let mut n = Network::new(cfg, rng());
+        for _ in 0..1000 {
+            let d = n.transmit(SiteId(0), SiteId(1), SimTime::ZERO).unwrap();
+            assert!((100..=200).contains(&d.as_micros()), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_latency_mean_and_cap() {
+        let model = LatencyModel::Exponential(Duration::micros(500));
+        let mut r = rng();
+        let n = 100_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let d = model.sample(&mut r);
+            assert!(d.as_micros() <= 5000, "cap at 10x mean");
+            sum += d.as_micros();
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 15.0, "mean {mean}");
+        assert_eq!(model.mean(), Duration::micros(500));
+    }
+
+    #[test]
+    fn per_link_override() {
+        let mut cfg = NetworkConfig::fixed(Duration::millis(1));
+        cfg.link_latency
+            .insert((SiteId(0), SiteId(2)), LatencyModel::Fixed(Duration::millis(50)));
+        let mut n = Network::new(cfg, rng());
+        assert_eq!(n.transmit(SiteId(0), SiteId(1), SimTime::ZERO), Some(Duration::millis(1)));
+        assert_eq!(n.transmit(SiteId(0), SiteId(2), SimTime::ZERO), Some(Duration::millis(50)));
+        // Overrides are directional.
+        assert_eq!(n.transmit(SiteId(2), SiteId(0), SimTime::ZERO), Some(Duration::millis(1)));
+    }
+
+    #[test]
+    fn random_drops_counted() {
+        let cfg = NetworkConfig { drop_probability: 0.5, ..NetworkConfig::fixed(Duration::millis(1)) };
+        let mut n = Network::new(cfg, rng());
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            if n.transmit(SiteId(0), SiteId(1), SimTime::ZERO).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(n.sent_count(), 10_000);
+        assert_eq!(n.dropped_count() + delivered, 10_000);
+        let rate = delivered as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn link_outage_blocks_messages() {
+        let mut plan = FailurePlan::new();
+        plan.link_outage(SiteId(0), SiteId(1), SimTime(100), SimTime(200));
+        let mut n =
+            Network::new(NetworkConfig::fixed(Duration::millis(1)), rng()).with_failures(plan);
+        assert!(n.transmit(SiteId(0), SiteId(1), SimTime(50)).is_some());
+        assert!(n.transmit(SiteId(0), SiteId(1), SimTime(150)).is_none());
+        assert!(n.transmit(SiteId(1), SiteId(0), SimTime(150)).is_none(), "outage is symmetric");
+        assert!(n.transmit(SiteId(0), SiteId(1), SimTime(250)).is_some());
+    }
+
+    #[test]
+    fn crashed_site_cannot_receive() {
+        let mut plan = FailurePlan::new();
+        plan.site_crash(SiteId(1), SimTime(100), SimTime(300));
+        let mut n =
+            Network::new(NetworkConfig::fixed(Duration::millis(1)), rng()).with_failures(plan);
+        assert!(n.transmit(SiteId(0), SiteId(1), SimTime(150)).is_none());
+        assert!(n.transmit(SiteId(0), SiteId(1), SimTime(350)).is_some());
+    }
+}

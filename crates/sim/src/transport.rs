@@ -1,0 +1,154 @@
+//! A threaded, wall-clock transport over `crossbeam` channels.
+//!
+//! The deterministic simulator is the primary substrate, but the protocol
+//! state machines in `o2pc-protocol` are pure (inputs in, actions out), so
+//! they also run unchanged over a real asynchronous transport. This module
+//! provides that second backend: every endpoint gets a mailbox; `send`
+//! optionally delays delivery on a router thread to emulate latency. The
+//! `threaded_transport` example drives a full commit round over it.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use o2pc_common::SiteId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration as StdDuration;
+
+/// One addressed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender endpoint.
+    pub from: SiteId,
+    /// Destination endpoint.
+    pub to: SiteId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// A threaded in-process network: endpoints register mailboxes; sends are
+/// routed (with optional latency) on dedicated delivery threads.
+pub struct ThreadedTransport<M> {
+    mailboxes: Arc<Mutex<HashMap<SiteId, Sender<Envelope<M>>>>>,
+    latency: StdDuration,
+}
+
+impl<M: Send + 'static> Default for ThreadedTransport<M> {
+    fn default() -> Self {
+        Self::new(StdDuration::ZERO)
+    }
+}
+
+impl<M: Send + 'static> ThreadedTransport<M> {
+    /// Create a transport applying `latency` to every delivery.
+    pub fn new(latency: StdDuration) -> Self {
+        ThreadedTransport { mailboxes: Arc::new(Mutex::new(HashMap::new())), latency }
+    }
+
+    /// Register an endpoint, returning its receiving side.
+    pub fn register(&self, id: SiteId) -> Receiver<Envelope<M>> {
+        let (tx, rx) = unbounded();
+        let previous = self.mailboxes.lock().insert(id, tx);
+        assert!(previous.is_none(), "endpoint {id} registered twice");
+        rx
+    }
+
+    /// Remove an endpoint (simulates a crash: subsequent sends are dropped).
+    pub fn deregister(&self, id: SiteId) {
+        self.mailboxes.lock().remove(&id);
+    }
+
+    /// Send `msg` from `from` to `to`. Returns `false` if the destination is
+    /// not registered (message dropped, like a crashed site).
+    pub fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool {
+        let tx = match self.mailboxes.lock().get(&to) {
+            Some(tx) => tx.clone(),
+            None => return false,
+        };
+        let env = Envelope { from, to, msg };
+        if self.latency.is_zero() {
+            tx.send(env).is_ok()
+        } else {
+            let latency = self.latency;
+            thread::spawn(move || {
+                thread::sleep(latency);
+                let _ = tx.send(env);
+            });
+            true
+        }
+    }
+}
+
+/// Receive with a timeout, mapping the channel error space onto an Option.
+pub fn recv_timeout<M>(rx: &Receiver<Envelope<M>>, timeout: StdDuration) -> Option<Envelope<M>> {
+    match rx.recv_timeout(timeout) {
+        Ok(env) => Some(env),
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let t: ThreadedTransport<&'static str> = ThreadedTransport::default();
+        let rx0 = t.register(SiteId(0));
+        let _rx1 = t.register(SiteId(1));
+        assert!(t.send(SiteId(1), SiteId(0), "hello"));
+        let env = recv_timeout(&rx0, StdDuration::from_secs(1)).unwrap();
+        assert_eq!(env.from, SiteId(1));
+        assert_eq!(env.msg, "hello");
+    }
+
+    #[test]
+    fn send_to_unregistered_is_dropped() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let _rx = t.register(SiteId(0));
+        assert!(!t.send(SiteId(0), SiteId(9), 1));
+    }
+
+    #[test]
+    fn deregister_simulates_crash() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let _rx0 = t.register(SiteId(0));
+        let rx1 = t.register(SiteId(1));
+        t.deregister(SiteId(1));
+        assert!(!t.send(SiteId(0), SiteId(1), 7));
+        assert!(recv_timeout(&rx1, StdDuration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn latency_delays_but_delivers() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(20));
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        let start = std::time::Instant::now();
+        assert!(t.send(SiteId(1), SiteId(0), 42));
+        let env = recv_timeout(&rx, StdDuration::from_secs(2)).unwrap();
+        assert_eq!(env.msg, 42);
+        assert!(start.elapsed() >= StdDuration::from_millis(15));
+    }
+
+    #[test]
+    fn many_messages_preserve_channel_order_without_latency() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        for i in 0..100 {
+            assert!(t.send(SiteId(1), SiteId(0), i));
+        }
+        for i in 0..100 {
+            assert_eq!(recv_timeout(&rx, StdDuration::from_secs(1)).unwrap().msg, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let _a = t.register(SiteId(0));
+        let _b = t.register(SiteId(0));
+    }
+}

@@ -1,0 +1,843 @@
+//! The site kernel.
+
+use crate::exec::{ExecPhase, ExecState, OpResult};
+use o2pc_common::{
+    ExecId, GlobalTxnId, HistEvent, HistEventKind, History, Key, LocalTxnId, Op, OpKind, SimTime,
+    SiteId, TxnId, Value,
+};
+use o2pc_compensation::{plan_compensation, CompensationModel, CompensationPlan};
+use o2pc_locking::{LockManager, RequestOutcome};
+use o2pc_marking::{MarkEvent, MarkState, SiteMarks};
+use o2pc_storage::{CommitRecord, LogRecord, Store, Wal};
+use std::collections::HashMap;
+
+/// What a *yes* vote does with the subtransaction's locks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LockPolicy {
+    /// O2PC: release **all** locks at the commit vote (local commit).
+    #[default]
+    ReleaseAll,
+    /// Distributed 2PL — or an O2PC site performing non-compensatable real
+    /// actions: release read locks, retain write locks until the decision.
+    HoldWrites,
+}
+
+/// A participant's vote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// Vote to commit.
+    Yes,
+    /// Vote to abort (the subtransaction has been rolled back locally).
+    No,
+}
+
+/// What a participant can answer about a transaction's fate when a blocked
+/// peer runs the cooperative termination protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerState {
+    /// This site has not voted yes (and, per the protocol's safety rule,
+    /// has now unilaterally aborted): the decision cannot be commit.
+    NotPrepared,
+    /// Voted yes, decision unknown here.
+    PreparedUncertain,
+    /// The decision commit is known here.
+    KnowsCommit,
+    /// The decision abort is known here.
+    KnowsAbort,
+    /// No answer (used by callers for unreachable peers; a site never
+    /// answers this itself).
+    Unreachable,
+}
+
+/// Site configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SiteConfig {
+    /// Which compensation model the site's interface supports.
+    pub compensation_model: CompensationModel,
+}
+
+/// Result of [`Site::vote`].
+#[derive(Clone, Debug)]
+pub struct VoteOutcome {
+    /// The vote sent back to the coordinator.
+    pub vote: Vote,
+    /// Executions unblocked by any lock release this triggered.
+    pub woken: Vec<ExecId>,
+}
+
+/// Result of [`Site::decide`].
+#[derive(Clone, Debug, Default)]
+pub struct DecideOutcome {
+    /// Executions unblocked by lock releases.
+    pub woken: Vec<ExecId>,
+    /// If the decision was *abort* for a locally-committed subtransaction:
+    /// the compensation plan to execute as `CT_ij` (possibly empty for a
+    /// read-only subtransaction — the caller should then complete the
+    /// compensation immediately).
+    pub compensation: Option<CompensationPlan>,
+}
+
+/// One autonomous local DBMS.
+#[derive(Clone, Debug)]
+pub struct Site {
+    id: SiteId,
+    config: SiteConfig,
+    store: Store,
+    wal: Wal,
+    locks: LockManager,
+    marks: SiteMarks,
+    last_writer: HashMap<Key, TxnId>,
+    execs: HashMap<ExecId, ExecState>,
+    /// Locally-committed subtransactions awaiting the coordinator decision.
+    commit_records: HashMap<GlobalTxnId, CommitRecord>,
+    /// Decisions this site has learned (answers termination-protocol
+    /// queries from blocked peers).
+    decided: HashMap<GlobalTxnId, bool>,
+    local_seq: u64,
+    /// Compensation operations skipped because the state they would restore
+    /// no longer admits them (e.g. re-deleting an already-deleted item).
+    pub skipped_comp_ops: u64,
+}
+
+impl Site {
+    /// New empty site.
+    pub fn new(id: SiteId, config: SiteConfig) -> Self {
+        Site {
+            id,
+            config,
+            store: Store::new(),
+            wal: Wal::new(),
+            locks: LockManager::new(),
+            marks: SiteMarks::new(),
+            last_writer: HashMap::new(),
+            execs: HashMap::new(),
+            commit_records: HashMap::new(),
+            decided: HashMap::new(),
+            local_seq: 0,
+            skipped_comp_ops: 0,
+        }
+    }
+
+    /// Site id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Pre-load a data item (setup; not logged as a transaction).
+    pub fn load(&mut self, key: Key, value: Value) {
+        self.store.load(key, value);
+    }
+
+    /// Take a WAL checkpoint (call after loading).
+    pub fn checkpoint(&mut self) {
+        self.wal.checkpoint(&self.store);
+    }
+
+    /// Current value of an item.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.store.get(key)
+    }
+
+    /// Sum of all item values (invariant checks).
+    pub fn total(&self) -> i64 {
+        self.store.total()
+    }
+
+    /// Allocate an id for a new independent local transaction.
+    pub fn next_local_id(&mut self) -> LocalTxnId {
+        let id = LocalTxnId { site: self.id, seq: self.local_seq };
+        self.local_seq += 1;
+        id
+    }
+
+    /// The site's marking state (R1 checks read it).
+    pub fn marks(&self) -> &SiteMarks {
+        &self.marks
+    }
+
+    /// Marking of this site with respect to `txn`.
+    pub fn mark_of(&self, txn: GlobalTxnId) -> MarkState {
+        self.marks.mark_of(txn)
+    }
+
+    /// Rule R3: forget the undone marking for `txn` (UDUM1 fired).
+    pub fn unmark(&mut self, txn: GlobalTxnId) {
+        self.marks.unmark(txn);
+    }
+
+    /// The lock manager's statistics.
+    pub fn lock_stats(&self) -> &o2pc_locking::LockStats {
+        self.locks.stats()
+    }
+
+    /// Is the execution currently parked on a lock queue?
+    pub fn is_blocked(&self, exec: ExecId) -> bool {
+        self.locks.waiting_on(exec).is_some()
+    }
+
+    /// The execution's state, if active.
+    pub fn exec_state(&self, exec: ExecId) -> Option<&ExecState> {
+        self.execs.get(&exec)
+    }
+
+    /// Global transactions with a subtransaction still *running* here
+    /// (blocked or mid-program — not yet acked). The engine re-checks these
+    /// against the marking sets whenever a mark is added: with the marking
+    /// sets under strict 2PL, a subtransaction admitted under the old marks
+    /// could never observe data past the new mark, so its in-flight
+    /// incarnation must be aborted before it can (see §6.2's deadlock
+    /// discussion — aborting here is the deadlock-victim path of the
+    /// sitemarks lock cycle).
+    pub fn running_subs(&self) -> Vec<GlobalTxnId> {
+        let mut v: Vec<GlobalTxnId> = self
+            .execs
+            .iter()
+            .filter_map(|(e, st)| match (e, st.phase) {
+                (ExecId::Sub(g), ExecPhase::Running) => Some(*g),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable(); // HashMap order is not deterministic; runs must be
+        v
+    }
+
+    /// Global transactions prepared at this site (in-doubt under 2PC).
+    pub fn prepared_subs(&self) -> Vec<GlobalTxnId> {
+        let mut v: Vec<GlobalTxnId> = self
+            .execs
+            .iter()
+            .filter_map(|(e, st)| match (e, st.phase) {
+                (ExecId::Sub(g), ExecPhase::Prepared) => Some(*g),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Global transactions locally committed here whose decision is still
+    /// unknown (in-doubt under O2PC — the data is exposed, only the
+    /// compensate-or-finalize question is open).
+    pub fn pending_local_commits(&self) -> Vec<GlobalTxnId> {
+        let mut v: Vec<GlobalTxnId> = self.commit_records.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Find a local deadlock cycle, if any.
+    pub fn find_deadlock(&mut self) -> Option<Vec<ExecId>> {
+        self.locks.find_deadlock()
+    }
+
+    /// The site's current waits-for edges (`(waiter, blocker)`), used by the
+    /// engine's distributed deadlock detector.
+    pub fn waits_for_edges(&self) -> Vec<(ExecId, ExecId)> {
+        self.locks.waits_for_edges()
+    }
+
+    /// Begin an execution with the given operation program.
+    pub fn begin(&mut self, exec: ExecId, ops: Vec<Op>, now: SimTime, hist: &mut History) {
+        debug_assert!(!self.execs.contains_key(&exec), "{exec} already active");
+        self.wal.append(LogRecord::Begin(exec));
+        hist.push(HistEvent { site: self.id, txn: exec.txn_id(), kind: HistEventKind::Begin, time: now });
+        self.execs.insert(exec, ExecState::new(exec, ops));
+    }
+
+    /// Execute the execution's next operation. On `Blocked` the caller must
+    /// wait for the exec to appear in a `woken` list and then call again
+    /// (the lock is granted re-entrantly at that point).
+    pub fn execute_next_op(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> OpResult {
+        let state = self.execs.get(&exec).unwrap_or_else(|| panic!("{exec} not active"));
+        debug_assert_eq!(state.phase, ExecPhase::Running, "{exec} not running");
+        let Some(op) = state.current_op() else {
+            return OpResult::Done { value: None, finished: true };
+        };
+
+        if self.locks.request(exec, op.key(), op.access_mode(), now) == RequestOutcome::Waiting {
+            return OpResult::Blocked;
+        }
+
+        match self.store.apply(exec, op) {
+            Ok(value) => {
+                let txn = exec.txn_id();
+                let read_from = if op.kind() == OpKind::Read {
+                    self.last_writer.get(&op.key()).copied().filter(|w| *w != txn)
+                } else {
+                    None
+                };
+                if op.kind() == OpKind::Write {
+                    let rec = *self.store.last_undo(exec).expect("mutation logged");
+                    self.wal.append_update(exec, &rec);
+                }
+                hist.access(self.id, txn, op.kind(), op.key(), read_from, now);
+                if op.kind() == OpKind::Write {
+                    self.last_writer.insert(op.key(), txn);
+                }
+                let state = self.execs.get_mut(&exec).unwrap();
+                state.pc += 1;
+                let finished = state.pc == state.ops.len();
+                if finished {
+                    state.phase = ExecPhase::Completed;
+                }
+                OpResult::Done { value, finished }
+            }
+            Err(e) => {
+                if exec.is_comp() {
+                    // Persistence of compensation: a CT never fails as a
+                    // whole. A compensating operation that no longer applies
+                    // (the item was since deleted, etc.) is skipped — the
+                    // semantic state it would re-establish is already gone.
+                    self.skipped_comp_ops += 1;
+                    let state = self.execs.get_mut(&exec).unwrap();
+                    state.pc += 1;
+                    let finished = state.pc == state.ops.len();
+                    if finished {
+                        state.phase = ExecPhase::Completed;
+                    }
+                    OpResult::Done { value: None, finished }
+                } else {
+                    let state = self.execs.get_mut(&exec).unwrap();
+                    state.phase = ExecPhase::Failed;
+                    state.error = Some(e.clone());
+                    OpResult::Failed(e)
+                }
+            }
+        }
+    }
+
+    /// Commit an independent local transaction (strict 2PL: all locks
+    /// released now). Returns woken executions.
+    pub fn commit_local(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+        debug_assert!(matches!(exec, ExecId::Local(_)));
+        let state = self.execs.remove(&exec).expect("local exec active");
+        debug_assert_eq!(state.phase, ExecPhase::Completed);
+        self.store.commit(exec);
+        self.wal.append(LogRecord::Commit(exec));
+        hist.push(HistEvent { site: self.id, txn: exec.txn_id(), kind: HistEventKind::Committed, time: now });
+        self.locks.release_all(exec, now)
+    }
+
+    /// Roll an execution back from the log and release its locks.
+    ///
+    /// For subtransactions of global transactions the undo writes are
+    /// recorded in the history as write accesses of `CT_i` (§3.2: standard
+    /// roll-back *is* the compensating subtransaction at a site that voted
+    /// abort). For local transactions and in-flight compensating
+    /// subtransactions the undo is purely physical — strict 2PL guarantees
+    /// nobody observed the undone values.
+    pub fn abort_exec(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+        let undo = self.store.rollback(exec);
+        for rec in undo.iter().rev() {
+            self.wal.append(LogRecord::Update {
+                exec,
+                key: rec.key,
+                before: rec.after,
+                after: rec.before,
+            });
+        }
+        self.wal.append(LogRecord::Abort(exec));
+        if let ExecId::Sub(g) = exec {
+            let ct = TxnId::Compensation(g);
+            for rec in undo.iter().rev() {
+                hist.access(self.id, ct, OpKind::Write, rec.key, None, now);
+                self.last_writer.insert(rec.key, ct);
+            }
+            hist.push(HistEvent { site: self.id, txn: TxnId::Global(g), kind: HistEventKind::RolledBack, time: now });
+        } else {
+            hist.push(HistEvent { site: self.id, txn: exec.txn_id(), kind: HistEventKind::RolledBack, time: now });
+        }
+        self.execs.remove(&exec);
+        self.locks.release_all(exec, now)
+    }
+
+    /// Unilaterally abort the subtransaction of `g` before the vote (local
+    /// autonomy: deadlock victimhood, R1 revalidation failure, operator
+    /// action). The roll-back is recorded as `CT_i` activity and the site
+    /// becomes undone with respect to `g`; the eventual VOTE-REQ will be
+    /// answered *no* (the execution is gone).
+    pub fn unilateral_abort(&mut self, g: GlobalTxnId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+        let exec = ExecId::Sub(g);
+        debug_assert!(self.execs.contains_key(&exec), "no subtransaction of {g} to abort");
+        let woken = self.abort_exec(exec, now, hist);
+        let _ = self.marks.apply(g, MarkEvent::VoteAbort);
+        woken
+    }
+
+    /// Respond to VOTE-REQ for global transaction `g`. `force_abort` models
+    /// the site exercising its autonomy (or any local validation failure).
+    pub fn vote(
+        &mut self,
+        g: GlobalTxnId,
+        policy: LockPolicy,
+        force_abort: bool,
+        now: SimTime,
+        hist: &mut History,
+    ) -> VoteOutcome {
+        let exec = ExecId::Sub(g);
+        let Some(state) = self.execs.get(&exec) else {
+            // Already rolled back unilaterally: the marking is in place.
+            return VoteOutcome { vote: Vote::No, woken: Vec::new() };
+        };
+        if force_abort || state.phase == ExecPhase::Failed || state.phase == ExecPhase::Running {
+            let woken = self.abort_exec(exec, now, hist);
+            // Roll-back is this site's compensation: undone immediately.
+            let _ = self.marks.apply(g, MarkEvent::VoteAbort);
+            return VoteOutcome { vote: Vote::No, woken };
+        }
+        debug_assert_eq!(state.phase, ExecPhase::Completed);
+        match policy {
+            LockPolicy::ReleaseAll => {
+                let rec = self.store.commit(exec);
+                self.wal.append(LogRecord::LocalCommit { exec, record: rec.clone() });
+                self.commit_records.insert(g, rec);
+                hist.push(HistEvent {
+                    site: self.id,
+                    txn: TxnId::Global(g),
+                    kind: HistEventKind::LocallyCommitted,
+                    time: now,
+                });
+                let _ = self.marks.apply(g, MarkEvent::VoteCommit);
+                self.execs.remove(&exec);
+                let woken = self.locks.release_all(exec, now);
+                VoteOutcome { vote: Vote::Yes, woken }
+            }
+            LockPolicy::HoldWrites => {
+                self.wal.append(LogRecord::Prepared(exec));
+                let _ = self.marks.apply(g, MarkEvent::VoteCommit);
+                self.execs.get_mut(&exec).unwrap().phase = ExecPhase::Prepared;
+                let woken = self.locks.release_read_locks(exec, now);
+                VoteOutcome { vote: Vote::Yes, woken }
+            }
+        }
+    }
+
+    /// Apply the coordinator's decision for `g`.
+    pub fn decide(
+        &mut self,
+        g: GlobalTxnId,
+        commit: bool,
+        now: SimTime,
+        hist: &mut History,
+    ) -> DecideOutcome {
+        let repeat = self.decided.insert(g, commit) == Some(commit);
+        if !repeat {
+            self.wal.append(LogRecord::Outcome { txn: g, commit });
+        }
+        let exec = ExecId::Sub(g);
+        // Case 1: the subtransaction is still active here — prepared under
+        // hold-writes, or never even asked to vote (an abort decision can
+        // overtake the VOTE-REQ when the coordinator times out on another
+        // participant).
+        if let Some(state) = self.execs.get(&exec) {
+            if commit {
+                debug_assert_eq!(state.phase, ExecPhase::Prepared, "commit for unprepared exec");
+                self.store.commit(exec);
+                self.wal.append(LogRecord::Commit(exec));
+                hist.push(HistEvent { site: self.id, txn: TxnId::Global(g), kind: HistEventKind::Committed, time: now });
+                let _ = self.marks.apply(g, MarkEvent::DecisionCommit);
+                self.execs.remove(&exec);
+                return DecideOutcome { woken: self.locks.release_all(exec, now), compensation: None };
+            }
+            let woken = self.abort_exec(exec, now, hist);
+            // LocallyCommitted → Undone; a site that never voted jumps
+            // straight to undone (the roll-back completed synchronously).
+            if self.marks.apply(g, MarkEvent::DecisionAbort).is_err() {
+                self.marks.mark_undone(g);
+            }
+            return DecideOutcome { woken, compensation: None };
+        }
+        // Case 2: locally committed under O2PC.
+        if let Some(rec) = self.commit_records.remove(&g) {
+            if commit {
+                hist.push(HistEvent { site: self.id, txn: TxnId::Global(g), kind: HistEventKind::Committed, time: now });
+                let _ = self.marks.apply(g, MarkEvent::DecisionCommit);
+                return DecideOutcome::default();
+            }
+            let plan = plan_compensation(self.config.compensation_model, &rec);
+            // The marking transition to Undone happens when CT_ij completes
+            // (rule R2); until then the site remains locally-committed.
+            return DecideOutcome { woken: Vec::new(), compensation: Some(plan) };
+        }
+        // Case 3: a repeated decision (e.g. the coordinator resends after
+        // the termination protocol already resolved us) is a no-op; a fresh
+        // decision here means the site voted no (already undone) and only
+        // an abort can arrive.
+        if repeat {
+            return DecideOutcome::default();
+        }
+        debug_assert!(!commit, "commit decision for a site that voted no");
+        let _ = self.marks.apply(g, MarkEvent::DecisionAbort);
+        DecideOutcome::default()
+    }
+
+    /// Answer a cooperative-termination query from a blocked peer (§ the
+    /// classic BHG protocol; see `o2pc-protocol::termination`). Following
+    /// its safety rule, a participant that has **not yet voted** aborts its
+    /// subtransaction unilaterally before answering "not prepared" — that
+    /// answer licenses the asker to abort, so this site must never vote yes
+    /// afterwards. Returns the answer and any executions woken by the
+    /// abort's lock release.
+    pub fn answer_termination_query(
+        &mut self,
+        g: GlobalTxnId,
+        now: SimTime,
+        hist: &mut History,
+    ) -> (PeerState, Vec<ExecId>) {
+        if let Some(&commit) = self.decided.get(&g) {
+            let state = if commit { PeerState::KnowsCommit } else { PeerState::KnowsAbort };
+            return (state, Vec::new());
+        }
+        let exec = ExecId::Sub(g);
+        if let Some(state) = self.execs.get(&exec) {
+            return match state.phase {
+                ExecPhase::Prepared => (PeerState::PreparedUncertain, Vec::new()),
+                // Not voted yet: abort unilaterally, then answer.
+                _ => {
+                    let woken = self.unilateral_abort(g, now, hist);
+                    (PeerState::NotPrepared, woken)
+                }
+            };
+        }
+        if self.commit_records.contains_key(&g) {
+            // Voted yes under O2PC, awaiting the decision: uncertain.
+            return (PeerState::PreparedUncertain, Vec::new());
+        }
+        if self.marks.mark_of(g) == MarkState::Undone {
+            // Rolled back here: the transaction cannot commit.
+            return (PeerState::NotPrepared, Vec::new());
+        }
+        // Never participated / already forgotten: safely "not prepared".
+        (PeerState::NotPrepared, Vec::new())
+    }
+
+    /// Begin executing the compensation plan for `g` as `CT_ij`. The caller
+    /// drives it with [`Site::execute_next_op`] on `ExecId::CompSub(g)`.
+    pub fn begin_compensation(
+        &mut self,
+        g: GlobalTxnId,
+        plan: &CompensationPlan,
+        now: SimTime,
+        hist: &mut History,
+    ) {
+        self.begin(ExecId::CompSub(g), plan.ops.clone(), now, hist);
+    }
+
+    /// Complete `CT_ij`: commit its writes, set the undone marking (rule R2
+    /// — "the last operation of `CT_ik`"), release its locks.
+    pub fn finish_compensation(&mut self, g: GlobalTxnId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+        let exec = ExecId::CompSub(g);
+        let state = self.execs.remove(&exec).expect("compensation active");
+        debug_assert_eq!(state.phase, ExecPhase::Completed);
+        self.store.commit(exec);
+        self.wal.append(LogRecord::Commit(exec));
+        hist.push(HistEvent { site: self.id, txn: TxnId::Compensation(g), kind: HistEventKind::Compensated, time: now });
+        // Figure 2: locally-committed --decision:abort--> undone, realized at
+        // compensation completion.
+        if self.marks.mark_of(g) == MarkState::LocallyCommitted {
+            let _ = self.marks.apply(g, MarkEvent::DecisionAbort);
+        } else {
+            self.marks.mark_undone(g);
+        }
+        self.locks.release_all(exec, now)
+    }
+
+    /// Roll back an in-flight compensating subtransaction that lost a local
+    /// deadlock. Persistence of compensation: the caller must re-submit the
+    /// plan later. The partial writes are physically undone (unobserved —
+    /// the CT still held its locks).
+    pub fn rollback_compensation(&mut self, g: GlobalTxnId, now: SimTime) -> Vec<ExecId> {
+        let exec = ExecId::CompSub(g);
+        let undo = self.store.rollback(exec);
+        for rec in undo.iter().rev() {
+            self.wal.append(LogRecord::Update { exec, key: rec.key, before: rec.after, after: rec.before });
+        }
+        self.wal.append(LogRecord::Abort(exec));
+        self.execs.remove(&exec);
+        self.locks.release_all(exec, now)
+    }
+
+    /// Simulated crash: the volatile state is lost; the WAL survives.
+    pub fn crash(self) -> Wal {
+        self.wal
+    }
+
+    /// Restart from a surviving WAL: committed and locally-committed state
+    /// is restored; in-flight executions are rolled back; *prepared*
+    /// subtransactions keep their updates and re-acquire their write locks;
+    /// locally-committed subtransactions with an unknown decision keep
+    /// their commit records so they can still compensate.
+    pub fn recover(id: SiteId, config: SiteConfig, wal: Wal) -> Site {
+        let recovered = wal.recover();
+        let mut site = Site::new(id, config);
+        for (k, v) in recovered.items {
+            site.store.load(k, v);
+        }
+        // Prepared subtransactions survive: re-register their undo
+        // obligations, re-acquire their write locks, and restore the
+        // in-doubt execution (its program is exhausted — it was prepared).
+        for (exec, undo) in recovered.prepared {
+            for rec in &undo {
+                site.locks.request(exec, rec.key, o2pc_common::AccessMode::Write, SimTime::ZERO);
+            }
+            site.store.restore_pending(exec, undo);
+            let mut st = ExecState::new(exec, Vec::new());
+            st.phase = ExecPhase::Prepared;
+            site.execs.insert(exec, st);
+            if let ExecId::Sub(g) = exec {
+                let _ = site.marks.apply(g, MarkEvent::VoteCommit);
+            }
+        }
+        // Locally-committed subtransactions with unknown global fate keep
+        // their commit records so a late abort decision can still compensate.
+        for (g, rec) in recovered.unresolved_local_commits {
+            site.commit_records.insert(g, rec);
+            let _ = site.marks.apply(g, MarkEvent::VoteCommit);
+        }
+        site.wal = wal;
+        site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Site, History) {
+        let mut s = Site::new(SiteId(0), SiteConfig::default());
+        s.load(Key(1), Value(100));
+        s.load(Key(2), Value(50));
+        s.checkpoint();
+        (s, History::new())
+    }
+
+    fn g(i: u64) -> GlobalTxnId {
+        GlobalTxnId(i)
+    }
+
+    fn run_all(s: &mut Site, exec: ExecId, now: SimTime, hist: &mut History) {
+        loop {
+            match s.execute_next_op(exec, now, hist) {
+                OpResult::Done { finished: true, .. } => break,
+                OpResult::Done { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn local_txn_lifecycle() {
+        let (mut s, mut h) = setup();
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Read(Key(1)), Op::Add(Key(1), 10)], SimTime(1), &mut h);
+        run_all(&mut s, l, SimTime(2), &mut h);
+        s.commit_local(l, SimTime(3), &mut h);
+        assert_eq!(s.get(Key(1)), Some(Value(110)));
+        let kinds: Vec<_> = h.events().iter().map(|e| e.kind).collect();
+        assert!(matches!(kinds.last(), Some(HistEventKind::Committed)));
+    }
+
+    #[test]
+    fn o2pc_vote_yes_releases_all_locks() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), -30), Op::Read(Key(2))], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        let out = s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        assert_eq!(out.vote, Vote::Yes);
+        assert_eq!(s.mark_of(g(1)), MarkState::LocallyCommitted);
+        // Another execution can immediately lock the same keys.
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Add(Key(1), 1)], SimTime(4), &mut h);
+        assert!(matches!(s.execute_next_op(l, SimTime(4), &mut h), OpResult::Done { .. }));
+    }
+
+    #[test]
+    fn d2pl_vote_yes_holds_write_locks() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), -30), Op::Read(Key(2))], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        let out = s.vote(g(1), LockPolicy::HoldWrites, false, SimTime(3), &mut h);
+        assert_eq!(out.vote, Vote::Yes);
+        // Write lock on k1 retained: a new writer blocks.
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Add(Key(1), 1)], SimTime(4), &mut h);
+        assert_eq!(s.execute_next_op(l, SimTime(4), &mut h), OpResult::Blocked);
+        // Read lock on k2 released: a writer of k2 proceeds.
+        let l2 = ExecId::Local(s.next_local_id());
+        s.begin(l2, vec![Op::Add(Key(2), 1)], SimTime(5), &mut h);
+        assert!(matches!(s.execute_next_op(l2, SimTime(5), &mut h), OpResult::Done { .. }));
+        // Decision commit unblocks the writer.
+        let out = s.decide(g(1), true, SimTime(6), &mut h);
+        assert_eq!(out.woken, vec![l]);
+        assert_eq!(s.mark_of(g(1)), MarkState::Unmarked);
+    }
+
+    #[test]
+    fn vote_no_rolls_back_and_records_ct_writes() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), -30)], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        let out = s.vote(g(1), LockPolicy::ReleaseAll, true, SimTime(3), &mut h);
+        assert_eq!(out.vote, Vote::No);
+        assert_eq!(s.get(Key(1)), Some(Value(100)), "rolled back");
+        assert_eq!(s.mark_of(g(1)), MarkState::Undone);
+        // The undo write appears as a CT_1 access.
+        let ct_writes: Vec<_> = h
+            .events()
+            .iter()
+            .filter(|e| e.txn == TxnId::Compensation(g(1)) && matches!(e.kind, HistEventKind::Access { .. }))
+            .collect();
+        assert_eq!(ct_writes.len(), 1);
+    }
+
+    #[test]
+    fn semantic_failure_leads_to_no_vote() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Reserve(Key(2), 500)], SimTime(1), &mut h);
+        let r = s.execute_next_op(sub, SimTime(1), &mut h);
+        assert!(matches!(r, OpResult::Failed(_)));
+        let out = s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(2), &mut h);
+        assert_eq!(out.vote, Vote::No);
+        assert_eq!(s.get(Key(2)), Some(Value(50)));
+    }
+
+    #[test]
+    fn o2pc_decision_commit_finalizes() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), 5)], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        let out = s.decide(g(1), true, SimTime(4), &mut h);
+        assert!(out.compensation.is_none());
+        assert_eq!(s.mark_of(g(1)), MarkState::Unmarked);
+        assert_eq!(s.get(Key(1)), Some(Value(105)));
+    }
+
+    #[test]
+    fn o2pc_decision_abort_compensates() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), 5)], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        // Interleaved local transaction sees the locally-committed value —
+        // no cascading abort follows.
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Add(Key(1), 7)], SimTime(4), &mut h);
+        run_all(&mut s, l, SimTime(4), &mut h);
+        s.commit_local(l, SimTime(5), &mut h);
+
+        let out = s.decide(g(1), false, SimTime(6), &mut h);
+        let plan = out.compensation.expect("compensation plan");
+        assert_eq!(plan.ops, vec![Op::Add(Key(1), -5)]);
+        s.begin_compensation(g(1), &plan, SimTime(7), &mut h);
+        run_all(&mut s, ExecId::CompSub(g(1)), SimTime(8), &mut h);
+        s.finish_compensation(g(1), SimTime(9), &mut h);
+        assert_eq!(s.get(Key(1)), Some(Value(107)), "local +7 preserved, +5 undone");
+        assert_eq!(s.mark_of(g(1)), MarkState::Undone);
+    }
+
+    #[test]
+    fn decision_abort_under_hold_writes_rolls_back() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), 5)], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::HoldWrites, false, SimTime(3), &mut h);
+        let out = s.decide(g(1), false, SimTime(4), &mut h);
+        assert!(out.compensation.is_none());
+        assert_eq!(s.get(Key(1)), Some(Value(100)));
+        assert_eq!(s.mark_of(g(1)), MarkState::Undone);
+    }
+
+    #[test]
+    fn compensation_skips_inapplicable_ops() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Insert(Key(9), Value(1))], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        // A local transaction deletes the key before compensation runs.
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Delete(Key(9))], SimTime(4), &mut h);
+        run_all(&mut s, l, SimTime(4), &mut h);
+        s.commit_local(l, SimTime(5), &mut h);
+
+        let plan = s.decide(g(1), false, SimTime(6), &mut h).compensation.unwrap();
+        assert_eq!(plan.ops, vec![Op::Delete(Key(9))]);
+        s.begin_compensation(g(1), &plan, SimTime(7), &mut h);
+        run_all(&mut s, ExecId::CompSub(g(1)), SimTime(8), &mut h);
+        s.finish_compensation(g(1), SimTime(9), &mut h);
+        assert_eq!(s.skipped_comp_ops, 1, "delete of a gone key skipped");
+        assert_eq!(s.get(Key(9)), None);
+    }
+
+    #[test]
+    fn crash_and_recovery_preserves_local_commits() {
+        let (mut s, mut h) = setup();
+        // Locally commit one subtransaction, leave another in flight.
+        let sub1 = ExecId::Sub(g(1));
+        s.begin(sub1, vec![Op::Add(Key(1), 11)], SimTime(1), &mut h);
+        run_all(&mut s, sub1, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        let sub2 = ExecId::Sub(g(2));
+        s.begin(sub2, vec![Op::Add(Key(2), 13)], SimTime(4), &mut h);
+        run_all(&mut s, sub2, SimTime(5), &mut h);
+        // Crash.
+        let wal = s.crash();
+        let s2 = Site::recover(SiteId(0), SiteConfig::default(), wal);
+        assert_eq!(s2.get(Key(1)), Some(Value(111)), "locally-committed update durable");
+        assert_eq!(s2.get(Key(2)), Some(Value(50)), "in-flight update rolled back");
+    }
+
+    #[test]
+    fn reads_from_tracking() {
+        let (mut s, mut h) = setup();
+        let sub = ExecId::Sub(g(1));
+        s.begin(sub, vec![Op::Add(Key(1), 5)], SimTime(1), &mut h);
+        run_all(&mut s, sub, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Read(Key(1))], SimTime(4), &mut h);
+        run_all(&mut s, l, SimTime(4), &mut h);
+        let read = h
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                HistEventKind::Access { kind: OpKind::Read, read_from, .. } if e.txn == l.txn_id() => {
+                    Some(read_from)
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(read, Some(TxnId::Global(g(1))), "read the locally-committed write");
+    }
+
+    #[test]
+    fn own_reads_do_not_count_as_reads_from() {
+        let (mut s, mut h) = setup();
+        let l = ExecId::Local(s.next_local_id());
+        s.begin(l, vec![Op::Add(Key(1), 1), Op::Read(Key(1))], SimTime(1), &mut h);
+        run_all(&mut s, l, SimTime(1), &mut h);
+        let read = h
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                HistEventKind::Access { kind: OpKind::Read, read_from, .. } => Some(read_from),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(read, None, "reading your own write is not a reads-from edge");
+    }
+
+    #[test]
+    fn missing_exec_votes_no() {
+        let (mut s, mut h) = setup();
+        let out = s.vote(g(9), LockPolicy::ReleaseAll, false, SimTime(1), &mut h);
+        assert_eq!(out.vote, Vote::No);
+    }
+}

@@ -1,0 +1,23 @@
+//! # o2pc-storage
+//!
+//! The per-site storage kernel: an in-place key/value store with per-execution
+//! undo tracking ([`store::Store`]) and a write-ahead log with
+//! checkpoint-based crash recovery ([`wal::Wal`]).
+//!
+//! The paper's recovery assumptions (§2, §3.2) are exactly: (a) a site can
+//! roll back any not-yet-committed (sub)transaction from its log ("standard
+//! recovery techniques, e.g. undo from log"), and (b) after a site votes to
+//! commit under O2PC the updates are *locally committed* — they survive in the
+//! store, later undone only *semantically* by a compensating subtransaction.
+//! [`store::CommitRecord`], returned by [`store::Store::commit`], carries both
+//! the before-images and the semantic operation log that `o2pc-compensation`
+//! turns into a compensating subtransaction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod wal;
+
+pub use store::{CommitRecord, Store, UndoRecord};
+pub use wal::{LogRecord, RecoveredState, Wal};

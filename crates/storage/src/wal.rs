@@ -1,0 +1,552 @@
+//! Write-ahead log with checkpointing and crash recovery.
+//!
+//! The log is the durability substrate a site needs to honour the paper's
+//! recovery assumptions: after a crash a site must (a) restore all committed
+//! and *locally-committed* state — under O2PC a vote to commit makes the
+//! updates durable at that site even though the global fate is unknown — and
+//! (b) roll back every execution that was still in flight.
+//!
+//! Recovery is redo/undo from the last checkpoint: replay all `Update`
+//! records in order, then undo (reverse order) the updates of executions
+//! with neither a `Commit` nor an `Abort` record. Roll-backs performed before
+//! the crash wrote their own reversing `Update` records followed by `Abort`
+//! (compensation-log-record style), so replay is idempotent.
+
+use crate::store::{CommitRecord, Store, UndoRecord};
+use o2pc_common::{ExecId, GlobalTxnId, Key, Value};
+use std::collections::{HashMap, HashSet};
+
+/// One log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Execution started.
+    Begin(ExecId),
+    /// One in-place mutation (physical logging: before- and after-image).
+    Update {
+        /// Execution performing the mutation.
+        exec: ExecId,
+        /// Item mutated.
+        key: Key,
+        /// Before-image (`None` = key absent).
+        before: Option<Value>,
+        /// After-image (`None` = key deleted).
+        after: Option<Value>,
+    },
+    /// Execution committed (for subtransactions under O2PC this is written at
+    /// *local commit*, i.e. when the site votes yes and releases locks).
+    Commit(ExecId),
+    /// A subtransaction entered the *prepared* state (voted yes under the
+    /// hold-writes policy): its updates are durable and must survive a
+    /// crash, with its write locks re-acquired on recovery.
+    Prepared(ExecId),
+    /// O2PC local commit of a subtransaction, carrying everything a later
+    /// compensation needs (the semantic op log and before-images). Durable:
+    /// a site that crashes between its yes-vote and the decision can still
+    /// compensate after recovery.
+    LocalCommit {
+        /// The subtransaction.
+        exec: ExecId,
+        /// Its retained commit record.
+        record: CommitRecord,
+    },
+    /// The coordinator's decision for a global transaction reached this
+    /// site (resolves a pending `LocalCommit`).
+    Outcome {
+        /// The global transaction.
+        txn: GlobalTxnId,
+        /// `true` = commit.
+        commit: bool,
+    },
+    /// Execution rolled back; its reversing updates precede this record.
+    Abort(ExecId),
+    /// Checkpoint: a full fuzzy-free snapshot of the store (the store is
+    /// small in this reproduction; a production system would checkpoint
+    /// incrementally, which changes nothing observable here).
+    Checkpoint {
+        /// Snapshot of all items.
+        items: Vec<(Key, Value)>,
+    },
+}
+
+/// The state reconstructed by [`Wal::recover`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredState {
+    /// Recovered store contents.
+    pub items: Vec<(Key, Value)>,
+    /// Executions that were rolled back during recovery (in-flight at crash).
+    pub rolled_back: Vec<ExecId>,
+    /// Executions whose commit records were found after the checkpoint.
+    pub committed: Vec<ExecId>,
+    /// Prepared subtransactions (updates kept, write locks to re-acquire),
+    /// with their undo records for a later abort decision.
+    pub prepared: Vec<(ExecId, Vec<UndoRecord>)>,
+    /// Locally-committed subtransactions whose global fate was still
+    /// unknown at the crash: their commit records, so compensation remains
+    /// possible.
+    pub unresolved_local_commits: Vec<(GlobalTxnId, CommitRecord)>,
+}
+
+impl RecoveredState {
+    /// Build a [`Store`] from the recovered items.
+    pub fn into_store(self) -> Store {
+        let mut s = Store::new();
+        for (k, v) in self.items {
+            s.load(k, v);
+        }
+        s
+    }
+}
+
+/// An in-memory write-ahead log.
+///
+/// Durability is simulated: the log survives a simulated site crash (the
+/// `Site` is dropped, the `Wal` is kept), which is exactly the fault model
+/// the experiments need.
+#[derive(Clone, Debug, Default)]
+pub struct Wal {
+    records: Vec<LogRecord>,
+    last_checkpoint: Option<usize>,
+}
+
+impl Wal {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn append(&mut self, rec: LogRecord) {
+        if matches!(rec, LogRecord::Checkpoint { .. }) {
+            self.last_checkpoint = Some(self.records.len());
+        }
+        self.records.push(rec);
+    }
+
+    /// Convenience: append an `Update` from an [`UndoRecord`].
+    pub fn append_update(&mut self, exec: ExecId, rec: &UndoRecord) {
+        self.append(LogRecord::Update { exec, key: rec.key, before: rec.before, after: rec.after });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records (tests / audits).
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Take a checkpoint of the given store.
+    pub fn checkpoint(&mut self, store: &Store) {
+        let mut items: Vec<(Key, Value)> = store.iter().collect();
+        items.sort_unstable_by_key(|&(k, _)| k);
+        self.append(LogRecord::Checkpoint { items });
+    }
+
+    /// Truncate the log to the last checkpoint (log reclamation). Records
+    /// before the checkpoint can never be needed again.
+    pub fn truncate_to_checkpoint(&mut self) {
+        if let Some(cp) = self.last_checkpoint {
+            self.records.drain(..cp);
+            self.last_checkpoint = Some(0);
+        }
+    }
+
+    /// Crash recovery: rebuild store state from the last checkpoint.
+    pub fn recover(&self) -> RecoveredState {
+        let start = self.last_checkpoint.unwrap_or(0);
+        let mut items: HashMap<Key, Option<Value>> = HashMap::new();
+        if let Some(LogRecord::Checkpoint { items: snap }) = self.records.get(start) {
+            for &(k, v) in snap {
+                items.insert(k, Some(v));
+            }
+        }
+
+        // Redo pass.
+        let mut terminated: HashSet<ExecId> = HashSet::new();
+        let mut committed: Vec<ExecId> = Vec::new();
+        let mut prepared_set: HashSet<ExecId> = HashSet::new();
+        let mut local_commits: HashMap<GlobalTxnId, CommitRecord> = HashMap::new();
+        let mut outcomes: HashMap<GlobalTxnId, bool> = HashMap::new();
+        let mut comp_done: HashSet<GlobalTxnId> = HashSet::new();
+        let mut pending: HashMap<ExecId, Vec<(Key, Option<Value>)>> = HashMap::new();
+        let mut order: Vec<ExecId> = Vec::new();
+        for rec in &self.records[start..] {
+            match rec {
+                LogRecord::Begin(e) => {
+                    if !pending.contains_key(e) && !terminated.contains(e) {
+                        pending.insert(*e, Vec::new());
+                        order.push(*e);
+                    }
+                }
+                LogRecord::Update { exec, key, before, after } => {
+                    items.insert(*key, *after);
+                    pending.entry(*exec).or_insert_with(|| {
+                        order.push(*exec);
+                        Vec::new()
+                    });
+                    if let Some(undo) = pending.get_mut(exec) {
+                        undo.push((*key, *before));
+                    }
+                }
+                LogRecord::Commit(e) => {
+                    terminated.insert(*e);
+                    committed.push(*e);
+                    prepared_set.remove(e);
+                    pending.remove(e);
+                    if let ExecId::CompSub(g) = e {
+                        comp_done.insert(*g);
+                    }
+                }
+                LogRecord::Prepared(e) => {
+                    prepared_set.insert(*e);
+                }
+                LogRecord::LocalCommit { exec, record } => {
+                    terminated.insert(*exec);
+                    committed.push(*exec);
+                    prepared_set.remove(exec);
+                    pending.remove(exec);
+                    if let ExecId::Sub(g) = exec {
+                        local_commits.insert(*g, record.clone());
+                    }
+                }
+                LogRecord::Outcome { txn, commit } => {
+                    outcomes.insert(*txn, *commit);
+                }
+                LogRecord::Abort(e) => {
+                    terminated.insert(*e);
+                    prepared_set.remove(e);
+                    pending.remove(e);
+                }
+                LogRecord::Checkpoint { .. } => {}
+            }
+        }
+
+        // Undo pass: reverse the updates of every in-flight execution,
+        // newest execution first, each execution's updates newest first —
+        // except *prepared* executions, whose updates must survive.
+        let mut rolled_back = Vec::new();
+        let mut prepared = Vec::new();
+        let mut undone_seen: HashSet<ExecId> = HashSet::new();
+        for e in order.iter().rev() {
+            if prepared_set.contains(e) || !undone_seen.insert(*e) {
+                continue;
+            }
+            if let Some(undo) = pending.get(e) {
+                for &(key, before) in undo.iter().rev() {
+                    items.insert(key, before);
+                }
+                rolled_back.push(*e);
+            }
+        }
+        for e in &order {
+            if prepared_set.contains(e) {
+                let undo = pending
+                    .get(e)
+                    .map(|u| {
+                        u.iter()
+                            .map(|&(key, before)| UndoRecord { key, before, after: items.get(&key).copied().flatten() })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                prepared.push((*e, undo));
+            }
+        }
+
+        // A locally-committed subtransaction is unresolved unless a commit
+        // outcome arrived, or its compensation already completed.
+        let mut unresolved: Vec<(GlobalTxnId, CommitRecord)> = local_commits
+            .into_iter()
+            .filter(|(g, _)| outcomes.get(g) != Some(&true) && !comp_done.contains(g))
+            .collect();
+        unresolved.sort_unstable_by_key(|&(g, _)| g);
+
+        let mut out: Vec<(Key, Value)> =
+            items.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        RecoveredState { items: out, rolled_back, committed, prepared, unresolved_local_commits: unresolved }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::{GlobalTxnId, LocalTxnId, Op, SiteId};
+
+    fn sub(i: u64) -> ExecId {
+        ExecId::Sub(GlobalTxnId(i))
+    }
+
+    fn local(seq: u64) -> ExecId {
+        ExecId::Local(LocalTxnId { site: SiteId(0), seq })
+    }
+
+    /// A little harness that mirrors what a site does: apply to store + log.
+    struct Logged {
+        store: Store,
+        wal: Wal,
+    }
+
+    impl Logged {
+        fn new() -> Self {
+            Logged { store: Store::new(), wal: Wal::new() }
+        }
+
+        fn load(&mut self, k: Key, v: Value) {
+            self.store.load(k, v);
+        }
+
+        fn begin(&mut self, e: ExecId) {
+            self.wal.append(LogRecord::Begin(e));
+        }
+
+        fn apply(&mut self, e: ExecId, op: Op) {
+            self.store.apply(e, op).unwrap();
+            let rec = *self.store.last_undo(e).expect("mutation must log an undo record");
+            self.wal.append_update(e, &rec);
+        }
+
+        fn commit(&mut self, e: ExecId) {
+            self.store.commit(e);
+            self.wal.append(LogRecord::Commit(e));
+        }
+
+        fn abort(&mut self, e: ExecId) {
+            let undo = self.store.rollback(e);
+            for rec in undo.iter().rev() {
+                // reversing updates (CLRs)
+                self.wal.append(LogRecord::Update {
+                    exec: e,
+                    key: rec.key,
+                    before: rec.after,
+                    after: rec.before,
+                });
+            }
+            self.wal.append(LogRecord::Abort(e));
+        }
+    }
+
+    #[test]
+    fn recover_empty_log() {
+        let wal = Wal::new();
+        let st = wal.recover();
+        assert!(st.items.is_empty());
+        assert!(st.rolled_back.is_empty());
+    }
+
+    #[test]
+    fn recover_committed_updates() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Write(Key(1), Value(20)));
+        h.commit(sub(0));
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(20))]);
+        assert_eq!(st.committed, vec![sub(0)]);
+        assert!(st.rolled_back.is_empty());
+    }
+
+    #[test]
+    fn recover_rolls_back_in_flight() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.load(Key(2), Value(5));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Write(Key(1), Value(99)));
+        h.apply(sub(0), Op::Write(Key(2), Value(98)));
+        // crash before commit
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(10)), (Key(2), Value(5))]);
+        assert_eq!(st.rolled_back, vec![sub(0)]);
+    }
+
+    #[test]
+    fn recover_after_explicit_abort_is_clean() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(local(0));
+        h.apply(local(0), Op::Write(Key(1), Value(50)));
+        h.abort(local(0));
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(10))]);
+        assert!(st.rolled_back.is_empty(), "aborted exec is terminated, not in-flight");
+    }
+
+    #[test]
+    fn recover_mixed_committed_and_inflight() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(1));
+        h.load(Key(2), Value(2));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Add(Key(1), 10));
+        h.commit(sub(0)); // locally committed under O2PC: durable
+        h.begin(sub(1));
+        h.apply(sub(1), Op::Add(Key(2), 10));
+        // crash: sub(1) in flight
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(11)), (Key(2), Value(2))]);
+        assert_eq!(st.rolled_back, vec![sub(1)]);
+        assert_eq!(st.committed, vec![sub(0)]);
+    }
+
+    #[test]
+    fn recover_inserted_key_in_flight_is_removed() {
+        let mut h = Logged::new();
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Insert(Key(7), Value(3)));
+        let st = h.wal.recover();
+        assert!(st.items.is_empty(), "insert by in-flight exec must vanish");
+    }
+
+    #[test]
+    fn recovery_uses_last_checkpoint_only() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(1));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Write(Key(1), Value(2)));
+        h.commit(sub(0));
+        h.wal.checkpoint(&h.store); // second checkpoint captures Value(2)
+        h.begin(sub(1));
+        h.apply(sub(1), Op::Write(Key(1), Value(3)));
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(2))]);
+        assert_eq!(st.rolled_back, vec![sub(1)]);
+        // Truncation preserves recoverability.
+        h.wal.truncate_to_checkpoint();
+        let st2 = h.wal.recover();
+        assert_eq!(st2.items, vec![(Key(1), Value(2))]);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(1));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Add(Key(1), 5));
+        let a = h.wal.recover();
+        let b = h.wal.recover();
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.rolled_back, b.rolled_back);
+    }
+
+    #[test]
+    fn into_store_roundtrip() {
+        let mut h = Logged::new();
+        h.load(Key(4), Value(44));
+        h.wal.checkpoint(&h.store);
+        let store = h.wal.recover().into_store();
+        assert_eq!(store.get(Key(4)), Some(Value(44)));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn wal_len_and_records() {
+        let mut w = Wal::new();
+        assert!(w.is_empty());
+        w.append(LogRecord::Begin(sub(0)));
+        assert_eq!(w.len(), 1);
+        assert!(matches!(w.records()[0], LogRecord::Begin(_)));
+    }
+
+    #[test]
+    fn multiple_inflight_undone_in_reverse_order() {
+        // Two in-flight execs touching the same key: undo must restore the
+        // oldest before-image.
+        let mut w = Wal::new();
+        w.append(LogRecord::Checkpoint { items: vec![(Key(1), Value(0))] });
+        w.append(LogRecord::Update { exec: sub(0), key: Key(1), before: Some(Value(0)), after: Some(Value(1)) });
+        w.append(LogRecord::Update { exec: sub(1), key: Key(1), before: Some(Value(1)), after: Some(Value(2)) });
+        let st = w.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(0))]);
+        assert_eq!(st.rolled_back, vec![sub(1), sub(0)], "newest rolled back first");
+    }
+
+    #[test]
+    fn prepared_updates_survive_recovery() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Write(Key(1), Value(77)));
+        h.wal.append(LogRecord::Prepared(sub(0)));
+        // Crash while prepared.
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(77))], "prepared update kept");
+        assert!(st.rolled_back.is_empty());
+        assert_eq!(st.prepared.len(), 1);
+        let (e, undo) = &st.prepared[0];
+        assert_eq!(*e, sub(0));
+        assert_eq!(undo.len(), 1);
+        assert_eq!(undo[0].before, Some(Value(10)), "undo records survive for a late abort");
+    }
+
+    #[test]
+    fn prepared_then_committed_is_final() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Write(Key(1), Value(77)));
+        h.wal.append(LogRecord::Prepared(sub(0)));
+        h.wal.append(LogRecord::Commit(sub(0)));
+        let st = h.wal.recover();
+        assert!(st.prepared.is_empty());
+        assert_eq!(st.items, vec![(Key(1), Value(77))]);
+    }
+
+    #[test]
+    fn local_commit_record_is_recoverable_until_resolved() {
+        let _ = CommitRecord::default();
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(3));
+        h.apply(sub(3), Op::Add(Key(1), 5));
+        let record = h.store.commit(sub(3));
+        h.wal.append(LogRecord::LocalCommit { exec: sub(3), record: record.clone() });
+        // Crash before the decision: the commit record must be recoverable.
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(15))]);
+        assert_eq!(st.unresolved_local_commits, vec![(GlobalTxnId(3), record.clone())]);
+        // A commit outcome resolves it.
+        h.wal.append(LogRecord::Outcome { txn: GlobalTxnId(3), commit: true });
+        assert!(h.wal.recover().unresolved_local_commits.is_empty());
+    }
+
+    #[test]
+    fn completed_compensation_resolves_local_commit() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(3));
+        h.apply(sub(3), Op::Add(Key(1), 5));
+        let record = h.store.commit(sub(3));
+        h.wal.append(LogRecord::LocalCommit { exec: sub(3), record });
+        h.wal.append(LogRecord::Outcome { txn: GlobalTxnId(3), commit: false });
+        // Abort outcome alone keeps the record (the CT may still need to run)…
+        assert_eq!(h.wal.recover().unresolved_local_commits.len(), 1);
+        // …until the compensating subtransaction commits.
+        let ct = ExecId::CompSub(GlobalTxnId(3));
+        h.begin(ct);
+        h.apply(ct, Op::Add(Key(1), -5));
+        h.store.commit(ct);
+        h.wal.append(LogRecord::Commit(ct));
+        let st = h.wal.recover();
+        assert!(st.unresolved_local_commits.is_empty());
+        assert_eq!(st.items, vec![(Key(1), Value(10))]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Failure injection: crash the 2PC coordinator between VOTE-REQ and
+//! DECISION and watch the difference the paper is about — under distributed
+//! 2PL the participants' write locks stay held for the whole outage
+//! (unbounded in the limit); under O2PC they were released at the vote and
+//! only the *compensation* waits for the recovered coordinator's abort.
+//!
+//! ```sh
+//! cargo run --example failure_injection
+//! ```
+
+use o2pc_repro::common::{Duration, Key, Op, SimTime, SiteId, Value};
+use o2pc_repro::core::{Engine, SystemConfig, TxnRequest};
+use o2pc_repro::protocol::ProtocolKind;
+use o2pc_repro::sim::FailurePlan;
+
+fn run(protocol: ProtocolKind, downtime: Duration) -> (f64, u64, u64) {
+    let mut cfg = SystemConfig::new(3, protocol);
+    cfg.network = o2pc_repro::sim::NetworkConfig::fixed(Duration::millis(1));
+    cfg.seed = 0xFA11;
+    let mut failures = FailurePlan::new();
+    let crash_at = SimTime::ZERO + Duration::millis(3);
+    failures.site_crash(SiteId(0), crash_at, crash_at + downtime);
+    cfg.failures = failures;
+    let mut engine = Engine::new(cfg);
+    engine.load(SiteId(1), Key(0), Value(100));
+    engine.load(SiteId(2), Key(0), Value(100));
+    // Coordinator at site 0 (holds no data); participants at 1 and 2.
+    engine.submit_at(
+        SimTime::ZERO,
+        TxnRequest::global_with_coordinator(
+            SiteId(0),
+            vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+        ),
+    );
+    let r = engine.run(Duration::secs(120));
+    (r.locks.exclusive_hold.max() as f64 / 1000.0, r.global_committed, r.global_aborted)
+}
+
+fn main() {
+    println!("== coordinator crash between VOTE-REQ and DECISION ==\n");
+    println!("{:>14} | {:>22} | {:>22}", "downtime", "2PL-2PC max hold (ms)", "O2PC max hold (ms)");
+    println!("{:-<66}", "");
+    for down_ms in [10u64, 100, 1000, 10_000, 60_000] {
+        let (h2pc, _, _) = run(ProtocolKind::D2pl2pc, Duration::millis(down_ms));
+        let (ho2pc, _, _) = run(ProtocolKind::O2pc, Duration::millis(down_ms));
+        println!("{:>11} ms | {:>22.1} | {:>22.1}", down_ms, h2pc, ho2pc);
+    }
+    println!(
+        "\n2PC participants stay blocked for the entire coordinator outage;\n\
+         O2PC participants released their locks at the vote — the blocking\n\
+         window does not grow with the failure duration."
+    );
+}

@@ -1,0 +1,23 @@
+//! # o2pc-repro
+//!
+//! Umbrella crate for the reproduction of Levy, Korth & Silberschatz,
+//! *"An Optimistic Commit Protocol for Distributed Transaction Management"*
+//! (SIGMOD 1991). Re-exports every member crate so the examples and the
+//! cross-crate integration tests have a single import root.
+//!
+//! Start with the `quickstart` example, then see `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduced results.
+
+#![forbid(unsafe_code)]
+
+pub use o2pc_common as common;
+pub use o2pc_compensation as compensation;
+pub use o2pc_core as core;
+pub use o2pc_locking as locking;
+pub use o2pc_marking as marking;
+pub use o2pc_protocol as protocol;
+pub use o2pc_sgraph as sgraph;
+pub use o2pc_sim as sim;
+pub use o2pc_site as site;
+pub use o2pc_storage as storage;
+pub use o2pc_workload as workload;
