@@ -97,7 +97,11 @@ fn synthetic_history(txns: u64, sites: u32, keys: u64) -> History {
         for s in 0..sites {
             for _ in 0..3 {
                 t += 1;
-                let kind = if rng.gen_bool(0.5) { OpKind::Read } else { OpKind::Write };
+                let kind = if rng.gen_bool(0.5) {
+                    OpKind::Read
+                } else {
+                    OpKind::Write
+                };
                 h.access(
                     SiteId(s),
                     TxnId::Global(GlobalTxnId(i)),
@@ -114,7 +118,9 @@ fn synthetic_history(txns: u64, sites: u32, keys: u64) -> History {
 
 fn bench_sgraph(c: &mut Criterion) {
     let h = synthetic_history(100, 4, 16);
-    c.bench_function("sgraph/build_100txn", |b| b.iter(|| black_box(build_sgs(&h))));
+    c.bench_function("sgraph/build_100txn", |b| {
+        b.iter(|| black_box(build_sgs(&h)))
+    });
     let g = build_sgs(&h);
     c.bench_function("sgraph/regular_cycle_search", |b| {
         b.iter(|| black_box(find_regular_cycle(&g, 1000, 8)))

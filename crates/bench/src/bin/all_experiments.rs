@@ -1,19 +1,73 @@
-//! Run the full experiment suite (F1, F2, E1–E8) in order.
+//! Run the full experiment suite (F1, F2, E1–E9) in order.
+//!
+//! ```sh
+//! all_experiments [--backend {sim,threaded}]
+//! ```
+//!
+//! `--backend sim` (the default) runs every experiment on the deterministic
+//! simulator. `--backend threaded` runs the experiments ported to the
+//! wall-clock runtime (currently E1); the others only exist on the
+//! simulator and are skipped with a note.
 use o2pc_bench::experiments as ex;
+use o2pc_bench::experiments::Backend;
+use std::process::exit;
+
+fn parse_backend() -> Backend {
+    let mut args = std::env::args().skip(1);
+    let mut backend = Backend::Sim;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --backend requires a value (`sim` or `threaded`)");
+                    exit(2);
+                };
+                backend = match value.parse() {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("usage: all_experiments [--backend {{sim,threaded}}]");
+                exit(0);
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`");
+                eprintln!("usage: all_experiments [--backend {{sim,threaded}}]");
+                exit(2);
+            }
+        }
+    }
+    backend
+}
 
 fn main() {
-    println!("# O2PC reproduction — full experiment suite\n");
-    ex::fig1();
-    ex::fig2();
-    ex::e1();
-    ex::e2();
-    ex::e3();
-    ex::e4();
-    ex::e5();
-    ex::e5b();
-    ex::e6();
-    ex::e7();
-    ex::e8();
-    ex::e9();
-    println!("\nAll experiments completed.");
+    match parse_backend() {
+        Backend::Sim => {
+            println!("# O2PC reproduction — full experiment suite (deterministic sim)\n");
+            ex::fig1();
+            ex::fig2();
+            ex::e1();
+            ex::e2();
+            ex::e3();
+            ex::e4();
+            ex::e5();
+            ex::e5b();
+            ex::e6();
+            ex::e7();
+            ex::e8();
+            ex::e9();
+            println!("\nAll experiments completed.");
+        }
+        Backend::Threaded => {
+            println!("# O2PC reproduction — threaded wall-clock backend\n");
+            println!("(F1–F2, E2–E9 are defined on the deterministic simulator only;");
+            println!(" run them with `--backend sim`.)\n");
+            ex::e1_threaded();
+            println!("\nThreaded experiments completed.");
+        }
+    }
 }

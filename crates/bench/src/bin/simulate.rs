@@ -43,7 +43,9 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let take = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--protocol" => {
@@ -60,10 +62,14 @@ fn parse_args() -> Result<Args, String> {
             "--sites" => args.sites = take(&mut i)?.parse().map_err(|e| format!("--sites: {e}"))?,
             "--txns" => args.txns = take(&mut i)?.parse().map_err(|e| format!("--txns: {e}"))?,
             "--abort-prob" => {
-                args.abort_prob = take(&mut i)?.parse().map_err(|e| format!("--abort-prob: {e}"))?
+                args.abort_prob = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--abort-prob: {e}"))?
             }
             "--latency-ms" => {
-                args.latency_ms = take(&mut i)?.parse().map_err(|e| format!("--latency-ms: {e}"))?
+                args.latency_ms = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--latency-ms: {e}"))?
             }
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--audit" => args.audit = true,
@@ -148,16 +154,44 @@ fn main() {
     let r = engine.run(Duration::secs(3_600));
 
     println!("== simulate: {} / {} ==", args.protocol, args.workload);
-    println!("sites={} txns={} abort_prob={} latency={}ms seed={}", args.sites, args.txns, args.abort_prob, args.latency_ms, args.seed);
+    println!(
+        "sites={} txns={} abort_prob={} latency={}ms seed={}",
+        args.sites, args.txns, args.abort_prob, args.latency_ms, args.seed
+    );
     println!();
     println!("virtual time:          {}", r.end_time);
-    println!("globals:               {} committed / {} aborted ({:.1}% abort rate)", r.global_committed, r.global_aborted, r.abort_rate() * 100.0);
-    println!("locals:                {} committed / {} aborted", r.local_committed, r.local_aborted);
+    println!(
+        "globals:               {} committed / {} aborted ({:.1}% abort rate)",
+        r.global_committed,
+        r.global_aborted,
+        r.abort_rate() * 100.0
+    );
+    println!(
+        "locals:                {} committed / {} aborted",
+        r.local_committed, r.local_aborted
+    );
     println!("throughput:            {:.1} txn/s", r.throughput());
-    println!("global latency:        mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms", r.global_latency.mean() / 1000.0, r.global_latency.p50() as f64 / 1000.0, r.global_latency.p99() as f64 / 1000.0);
-    println!("exclusive-lock hold:   mean {:.2} ms, p99 {:.2} ms, max {:.2} ms", r.locks.exclusive_hold.mean() / 1000.0, r.locks.exclusive_hold.p99() as f64 / 1000.0, r.locks.exclusive_hold.max() as f64 / 1000.0);
-    println!("lock waits:            {} (mean {:.2} ms)", r.locks.wait_time.count(), r.locks.wait_time.mean() / 1000.0);
-    println!("compensations:         {} completed, {} pending", r.compensations_completed, r.compensations_pending);
+    println!(
+        "global latency:        mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+        r.global_latency.mean() / 1000.0,
+        r.global_latency.p50() as f64 / 1000.0,
+        r.global_latency.p99() as f64 / 1000.0
+    );
+    println!(
+        "exclusive-lock hold:   mean {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        r.locks.exclusive_hold.mean() / 1000.0,
+        r.locks.exclusive_hold.p99() as f64 / 1000.0,
+        r.locks.exclusive_hold.max() as f64 / 1000.0
+    );
+    println!(
+        "lock waits:            {} (mean {:.2} ms)",
+        r.locks.wait_time.count(),
+        r.locks.wait_time.mean() / 1000.0
+    );
+    println!(
+        "compensations:         {} completed, {} pending",
+        r.compensations_completed, r.compensations_pending
+    );
     println!("2PC msgs per txn:      {:.1}", r.msgs_2pc_per_txn());
     println!();
     println!("counters:");
@@ -167,7 +201,12 @@ fn main() {
     if let Some(expected) = expected_total {
         let ok = r.total_value == expected;
         println!();
-        println!("conservation check:    {} ({} expected, {} measured)", if ok { "OK" } else { "VIOLATED" }, expected, r.total_value);
+        println!(
+            "conservation check:    {} ({} expected, {} measured)",
+            if ok { "OK" } else { "VIOLATED" },
+            expected,
+            r.total_value
+        );
     }
     if args.audit {
         let report = audit(&r.history, 20_000, 8);
@@ -175,9 +214,22 @@ fn main() {
         println!("serialization-graph audit:");
         println!("  cycles examined:     {}", report.cycles_examined);
         println!("  non-regular cycles:  {}", report.nonregular_cycles);
-        println!("  regular cycle:       {:?}", report.regular_cycle.as_ref().map(|rc| &rc.nodes));
-        println!("  AoC violations:      {}", report.compensation_atomicity_violations.len());
-        println!("  criterion:           {}", if report.is_correct() { "SATISFIED" } else { "VIOLATED" });
+        println!(
+            "  regular cycle:       {:?}",
+            report.regular_cycle.as_ref().map(|rc| &rc.nodes)
+        );
+        println!(
+            "  AoC violations:      {}",
+            report.compensation_atomicity_violations.len()
+        );
+        println!(
+            "  criterion:           {}",
+            if report.is_correct() {
+                "SATISFIED"
+            } else {
+                "VIOLATED"
+            }
+        );
         println!("  plain serializable:  {}", report.serializable);
     }
 }

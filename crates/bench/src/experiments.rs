@@ -2,19 +2,72 @@
 
 use crate::table::{f, Table};
 use o2pc_common::{Duration, GlobalTxnId, Key, Op, SimTime, SiteId, TxnId, Value};
-use o2pc_core::{Engine, RunReport, SystemConfig, TxnRequest};
+use o2pc_core::{Engine, Msg, RunReport, SystemConfig, TimerEvent, TxnRequest};
 use o2pc_marking::state::transition_table;
 use o2pc_protocol::ProtocolKind;
+use o2pc_runtime::{
+    LinkPolicy, Runtime, ThreadedRuntime, ThreadedRuntimeConfig, ThreadedTransport,
+};
 use o2pc_sgraph::graph::GlobalSg;
 use o2pc_sgraph::regular::{classify_all_cycles, CycleClass};
 use o2pc_sgraph::{audit, holds_s1, holds_s2};
 use o2pc_sim::{FailurePlan, NetworkConfig};
 use o2pc_workload::{BankingWorkload, GenericWorkload, MultidbWorkload, Schedule, TravelWorkload};
 
-fn run_schedule(cfg: SystemConfig, schedule: &Schedule, horizon: Duration) -> RunReport {
-    let mut engine = Engine::new(cfg);
+/// Which substrate an experiment runs on.
+///
+/// Every experiment is defined on [`Backend::Sim`] (deterministic, seeded,
+/// the substrate all published numbers come from). [`Backend::Threaded`] is
+/// available for the experiments that have been ported to wall-clock
+/// execution (currently E1); the rest reject it with a clear error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator.
+    Sim,
+    /// Real threads + wall-clock latency (`o2pc_runtime::ThreadedRuntime`).
+    Threaded,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "threaded" => Ok(Backend::Threaded),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `sim` or `threaded`)"
+            )),
+        }
+    }
+}
+
+fn run_schedule_with<R: Runtime<TimerEvent, Msg>>(
+    mut engine: Engine<R>,
+    schedule: &Schedule,
+    horizon: Duration,
+) -> RunReport {
     schedule.install(&mut engine);
     engine.run(horizon)
+}
+
+fn run_schedule(cfg: SystemConfig, schedule: &Schedule, horizon: Duration) -> RunReport {
+    run_schedule_with(Engine::new(cfg), schedule, horizon)
+}
+
+/// Run a schedule on the threaded wall-clock runtime with a fixed link
+/// latency. Virtual durations in `cfg` (service times, timeouts) become
+/// microseconds of real time; the horizon bounds *wall* time.
+fn run_schedule_threaded(
+    cfg: SystemConfig,
+    latency: std::time::Duration,
+    schedule: &Schedule,
+    horizon: Duration,
+) -> RunReport {
+    let transport: ThreadedTransport<Msg> =
+        ThreadedTransport::with_policy(LinkPolicy::fixed(latency));
+    let rt: ThreadedRuntime<TimerEvent, Msg> =
+        ThreadedRuntime::new(transport, ThreadedRuntimeConfig::default());
+    run_schedule_with(Engine::with_runtime(cfg, rt), schedule, horizon)
 }
 
 // ---------------------------------------------------------------------------
@@ -31,7 +84,13 @@ pub fn fig1() {
         TxnId::Compensation(GlobalTxnId(i))
     }
 
-    let mut table = Table::new(&["scenario", "cycle", "min segments", "witness endpoints", "regular?"]);
+    let mut table = Table::new(&[
+        "scenario",
+        "cycle",
+        "min segments",
+        "witness endpoints",
+        "regular?",
+    ]);
 
     let mut scenarios: Vec<(&str, GlobalSg)> = Vec::new();
 
@@ -82,16 +141,30 @@ pub fn fig1() {
     for (name, sg) in &scenarios {
         let classes = classify_all_cycles(sg, 1000, 12);
         if classes.is_empty() {
-            table.row(&[name.to_string(), "-".into(), "-".into(), "-".into(), "no cycle".into()]);
+            table.row(&[
+                name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "no cycle".into(),
+            ]);
         }
         for (cycle, class) in classes {
-            let cycle_s = cycle.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("→");
+            let cycle_s = cycle
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("→");
             match class {
                 CycleClass::Regular(rc) => table.row(&[
                     name.to_string(),
                     cycle_s,
                     rc.min_segments.to_string(),
-                    rc.witness_endpoints.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
+                    rc.witness_endpoints
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
                     "REGULAR".into(),
                 ]),
                 CycleClass::NonRegular { min_segments } => table.row(&[
@@ -107,7 +180,10 @@ pub fn fig1() {
         let s2 = holds_s2(sg);
         println!("  [{name}] S1={s1} S2={s2}");
     }
-    table.emit("F1 — Figure 1 / Example 1: regular-cycle classification", "f1_regular_cycles");
+    table.emit(
+        "F1 — Figure 1 / Example 1: regular-cycle classification",
+        "f1_regular_cycles",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -124,7 +200,10 @@ pub fn fig2() {
         };
         table.row(&[s.to_string(), format!("{e:?}"), next]);
     }
-    table.emit("F2 — Figure 2: marking state machine (6 legal transitions)", "f2_marking_transitions");
+    table.emit(
+        "F2 — Figure 2: marking state machine (6 legal transitions)",
+        "f2_marking_transitions",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -168,7 +247,60 @@ pub fn e1() {
             ]);
         }
     }
-    table.emit("E1 — exclusive-lock hold time vs network latency", "e1_lock_hold_time");
+    table.emit(
+        "E1 — exclusive-lock hold time vs network latency",
+        "e1_lock_hold_time",
+    );
+}
+
+/// E1 on the threaded wall-clock runtime: the same engine, the same
+/// `RunReport` metrics pipeline, but real link latency through the router
+/// thread instead of simulated latency. The workload is scaled down because
+/// every simulated microsecond is now a real one; the qualitative claim —
+/// O2PC's exclusive-lock holds stop scaling with the decision round-trip —
+/// must still be visible in the measured hold times.
+pub fn e1_threaded() {
+    let mut table = Table::new(&[
+        "latency(ms)",
+        "protocol",
+        "mean X-hold(ms)",
+        "p99 X-hold(ms)",
+        "mean txn latency(ms)",
+        "committed",
+    ]);
+    for lat_ms in [0u64, 1, 2, 5] {
+        for proto in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc] {
+            let wl = BankingWorkload {
+                sites: 4,
+                accounts_per_site: 32,
+                transfers: 60,
+                mean_interarrival: Duration::millis(2),
+                seed: 0xE1,
+                ..Default::default()
+            };
+            let mut cfg = SystemConfig::new(wl.sites, proto);
+            cfg.seed = 0xE1;
+            cfg.record_history = false;
+            let r = run_schedule_threaded(
+                cfg,
+                std::time::Duration::from_millis(lat_ms),
+                &wl.generate(),
+                Duration::secs(30),
+            );
+            table.row(&[
+                lat_ms.to_string(),
+                proto.to_string(),
+                f(r.locks.exclusive_hold.mean() / 1000.0),
+                f(r.locks.exclusive_hold.p99() as f64 / 1000.0),
+                f(r.global_latency.mean() / 1000.0),
+                r.global_committed.to_string(),
+            ]);
+        }
+    }
+    table.emit(
+        "E1(threaded) — lock hold time vs real link latency (wall clock)",
+        "e1_lock_hold_time_threaded",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -187,9 +319,14 @@ pub fn e2() {
         "mean wait(ms)",
         "waits",
     ]);
-    for (inter_us, theta) in
-        [(2000u64, 0.0), (1000, 0.0), (500, 0.0), (500, 0.8), (250, 0.8), (250, 0.99)]
-    {
+    for (inter_us, theta) in [
+        (2000u64, 0.0),
+        (1000, 0.0),
+        (500, 0.0),
+        (500, 0.8),
+        (250, 0.8),
+        (250, 0.99),
+    ] {
         for proto in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc] {
             let wl = GenericWorkload {
                 sites: 4,
@@ -219,7 +356,10 @@ pub fn e2() {
             ]);
         }
     }
-    table.emit("E2 — throughput and waiting under contention", "e2_contention_throughput");
+    table.emit(
+        "E2 — throughput and waiting under contention",
+        "e2_contention_throughput",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -270,7 +410,10 @@ pub fn e3() {
             ]);
         }
     }
-    table.emit("E3 — abort-probability sweep (optimism crossover)", "e3_abort_crossover");
+    table.emit(
+        "E3 — abort-probability sweep (optimism crossover)",
+        "e3_abort_crossover",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -326,9 +469,16 @@ pub fn e4() {
                 ),
             );
             let r = e.run(Duration::secs(60));
-            let outcome = if r.global_committed > 0 { "commit" } else { "abort" };
+            let outcome = if r.global_committed > 0 {
+                "commit"
+            } else {
+                "abort"
+            };
             let name = if termination {
-                format!("{proto}+coop-term ({} rounds)", r.counters.get("term.rounds"))
+                format!(
+                    "{proto}+coop-term ({} rounds)",
+                    r.counters.get("term.rounds")
+                )
             } else {
                 proto.to_string()
             };
@@ -341,7 +491,10 @@ pub fn e4() {
             ]);
         }
     }
-    table.emit("E4 — blocking window while the coordinator is down", "e4_blocking_window");
+    table.emit(
+        "E4 — blocking window while the coordinator is down",
+        "e4_blocking_window",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -363,7 +516,11 @@ pub fn e5() {
         "UDUM fired",
     ]);
     for p in [0.0, 0.1, 0.3, 0.5] {
-        for proto in [ProtocolKind::O2pc, ProtocolKind::O2pcP1, ProtocolKind::O2pcSimple] {
+        for proto in [
+            ProtocolKind::O2pc,
+            ProtocolKind::O2pcP1,
+            ProtocolKind::O2pcSimple,
+        ] {
             // A multidatabase-style mix: local traffic both contends with
             // the globals and supplies the UDUM1 fences that let undone
             // markings be forgotten.
@@ -399,7 +556,10 @@ pub fn e5() {
             ]);
         }
     }
-    table.emit("E5 — admission (P1) overhead vs abort probability", "e5_p1_overhead");
+    table.emit(
+        "E5 — admission (P1) overhead vs abort probability",
+        "e5_p1_overhead",
+    );
 }
 
 /// E5b (ablation): the UDUM1 "safe forgetting" transition on vs off. With
@@ -436,7 +596,11 @@ pub fn e5b() {
             cfg.record_history = false;
             let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
             table.row(&[
-                if enable_udum { "on".into() } else { "off".to_string() },
+                if enable_udum {
+                    "on".into()
+                } else {
+                    "off".to_string()
+                },
                 format!("{p:.2}"),
                 f(r.throughput()),
                 r.counters.get("r1.rejections").to_string(),
@@ -445,7 +609,10 @@ pub fn e5b() {
             ]);
         }
     }
-    table.emit("E5b — ablation: UDUM1 safe forgetting on/off (O2PC+P1)", "e5b_udum_ablation");
+    table.emit(
+        "E5b — ablation: UDUM1 safe forgetting on/off (O2PC+P1)",
+        "e5b_udum_ablation",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -493,7 +660,10 @@ pub fn e6() {
             f(r.msgs_2pc_per_txn()),
         ]);
     }
-    table.emit("E6 — message counts (O2PC/P1 add no message types or rounds)", "e6_message_counts");
+    table.emit(
+        "E6 — message counts (O2PC/P1 add no message types or rounds)",
+        "e6_message_counts",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -567,10 +737,17 @@ pub fn e7() {
             format!("{regular}/8 runs"),
             nonregular.to_string(),
             aoc.to_string(),
-            if all_correct { "SATISFIED".into() } else { "VIOLATED".to_string() },
+            if all_correct {
+                "SATISFIED".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     }
-    table.emit("E7 — serialization-graph audit of recorded histories", "e7_correctness_audit");
+    table.emit(
+        "E7 — serialization-graph audit of recorded histories",
+        "e7_correctness_audit",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -617,7 +794,10 @@ pub fn e8() {
             r.global_aborted.to_string(),
         ]);
     }
-    table.emit("E8 — real actions: blocking confined to non-compensatable sites", "e8_real_actions");
+    table.emit(
+        "E8 — real actions: blocking confined to non-compensatable sites",
+        "e8_real_actions",
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -638,8 +818,15 @@ pub fn e9() {
         "locals done",
     ]);
     for (scenario, crash) in [("healthy", false), ("coordinator crash 2s", true)] {
-        for proto in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc, ProtocolKind::O2pcP1] {
-            let wl = MultidbWorkload { seed: 0xE9, ..Default::default() };
+        for proto in [
+            ProtocolKind::D2pl2pc,
+            ProtocolKind::O2pc,
+            ProtocolKind::O2pcP1,
+        ] {
+            let wl = MultidbWorkload {
+                seed: 0xE9,
+                ..Default::default()
+            };
             let mut cfg = SystemConfig::new(wl.sites, proto);
             cfg.network = NetworkConfig::fixed(Duration::millis(5));
             cfg.vote_abort_probability = 0.15;
@@ -667,5 +854,8 @@ pub fn e9() {
             ]);
         }
     }
-    table.emit("E9 — multidatabase autonomy: local latency under global traffic", "e9_autonomy");
+    table.emit(
+        "E9 — multidatabase autonomy: local latency under global traffic",
+        "e9_autonomy",
+    );
 }

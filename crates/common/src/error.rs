@@ -58,9 +58,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(CommonError::KeyNotFound(Key(3)).to_string(), "key k3 not found");
-        assert_eq!(CommonError::KeyExists(Key(1)).to_string(), "key k1 already exists");
-        let e = CommonError::ConstraintViolated { key: Key(2), reason: "sold out" };
+        assert_eq!(
+            CommonError::KeyNotFound(Key(3)).to_string(),
+            "key k3 not found"
+        );
+        assert_eq!(
+            CommonError::KeyExists(Key(1)).to_string(),
+            "key k1 already exists"
+        );
+        let e = CommonError::ConstraintViolated {
+            key: Key(2),
+            reason: "sold out",
+        };
         assert_eq!(e.to_string(), "constraint violated on k2: sold out");
         let e = CommonError::UnknownExecution(ExecId::Sub(GlobalTxnId(4)));
         assert!(e.to_string().contains("sub(T4)"));

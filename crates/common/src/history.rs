@@ -15,11 +15,10 @@ use crate::ids::{SiteId, TxnId};
 use crate::ops::OpKind;
 use crate::time::SimTime;
 use crate::value::Key;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What happened in one history event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HistEventKind {
     /// Transaction became active at the site.
     Begin,
@@ -45,7 +44,7 @@ pub enum HistEventKind {
 }
 
 /// One event in a site's history.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HistEvent {
     /// Site at which the event occurred.
     pub site: SiteId,
@@ -58,7 +57,7 @@ pub struct HistEvent {
 }
 
 /// A multi-site execution history: per-site ordered event sequences.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct History {
     events: Vec<HistEvent>,
 }
@@ -74,7 +73,10 @@ impl History {
     pub fn push(&mut self, ev: HistEvent) {
         #[cfg(debug_assertions)]
         if let Some(last) = self.events.iter().rev().find(|e| e.site == ev.site) {
-            debug_assert!(last.time <= ev.time, "per-site history must be time-ordered");
+            debug_assert!(
+                last.time <= ev.time,
+                "per-site history must be time-ordered"
+            );
         }
         self.events.push(ev);
     }
@@ -89,7 +91,16 @@ impl History {
         read_from: Option<TxnId>,
         time: SimTime,
     ) {
-        self.push(HistEvent { site, txn, kind: HistEventKind::Access { kind, key, read_from }, time });
+        self.push(HistEvent {
+            site,
+            txn,
+            kind: HistEventKind::Access {
+                kind,
+                key,
+                read_from,
+            },
+            time,
+        });
     }
 
     /// All events in insertion order.
@@ -155,7 +166,12 @@ mod tests {
     use crate::ids::{GlobalTxnId, LocalTxnId};
 
     fn ev(site: u32, txn: TxnId, t: u64) -> HistEvent {
-        HistEvent { site: SiteId(site), txn, kind: HistEventKind::Begin, time: SimTime(t) }
+        HistEvent {
+            site: SiteId(site),
+            txn,
+            kind: HistEventKind::Begin,
+            time: SimTime(t),
+        }
     }
 
     #[test]
@@ -163,7 +179,10 @@ mod tests {
         let mut h = History::new();
         assert!(h.is_empty());
         let t1 = TxnId::Global(GlobalTxnId(1));
-        let t2 = TxnId::Local(LocalTxnId { site: SiteId(0), seq: 0 });
+        let t2 = TxnId::Local(LocalTxnId {
+            site: SiteId(0),
+            seq: 0,
+        });
         h.push(ev(0, t1, 10));
         h.push(ev(1, t1, 12));
         h.push(ev(0, t2, 15));
@@ -179,9 +198,20 @@ mod tests {
         let writer = TxnId::Global(GlobalTxnId(1));
         let reader = TxnId::Global(GlobalTxnId(2));
         h.access(SiteId(0), writer, OpKind::Write, Key(5), None, SimTime(1));
-        h.access(SiteId(0), reader, OpKind::Read, Key(5), Some(writer), SimTime(2));
+        h.access(
+            SiteId(0),
+            reader,
+            OpKind::Read,
+            Key(5),
+            Some(writer),
+            SimTime(2),
+        );
         match h.events()[1].kind {
-            HistEventKind::Access { read_from, kind, key } => {
+            HistEventKind::Access {
+                read_from,
+                kind,
+                key,
+            } => {
                 assert_eq!(read_from, Some(writer));
                 assert_eq!(kind, OpKind::Read);
                 assert_eq!(key, Key(5));

@@ -12,11 +12,10 @@
 //! variants. Per-site executors additionally need a handle for *which body of
 //! work at this site* holds locks; that is [`ExecId`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a database site (one autonomous local DBMS).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u32);
 
 impl SiteId {
@@ -40,7 +39,7 @@ impl fmt::Display for SiteId {
 }
 
 /// Identifier of a global (multi-site) transaction `T_i`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalTxnId(pub u64);
 
 impl fmt::Debug for GlobalTxnId {
@@ -56,7 +55,7 @@ impl fmt::Display for GlobalTxnId {
 }
 
 /// Identifier of an independent local transaction at one site.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocalTxnId {
     /// Site the transaction runs at.
     pub site: SiteId,
@@ -83,7 +82,7 @@ impl fmt::Display for LocalTxnId {
 /// modelled, per the paper, "as a special case of a compensating transaction",
 /// so both actual compensation and automatic roll-back appear under
 /// [`TxnId::Compensation`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TxnId {
     /// A regular global transaction `T_i`.
     Global(GlobalTxnId),
@@ -158,7 +157,7 @@ impl From<LocalTxnId> for TxnId {
 /// With respect to locking, the paper treats `CT_ij` "as local transactions
 /// rather than as subtransactions of global transactions" (§3.2) — i.e. each
 /// follows strict 2PL *on its own* — which this handle makes structural.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ExecId {
     /// Subtransaction `T_ij` of global transaction `T_i` (site implied by context).
     Sub(GlobalTxnId),
@@ -233,7 +232,10 @@ mod tests {
         assert!(!TxnId::Global(g).is_compensation());
         assert!(TxnId::Compensation(g).is_compensation());
         assert!(!TxnId::Compensation(g).is_regular_global());
-        let l = LocalTxnId { site: SiteId(1), seq: 3 };
+        let l = LocalTxnId {
+            site: SiteId(1),
+            seq: 3,
+        };
         assert!(TxnId::Local(l).is_local());
         assert_eq!(TxnId::Local(l).global_id(), None);
         assert_eq!(TxnId::Global(g).global_id(), Some(g));
@@ -245,7 +247,10 @@ mod tests {
         let g = GlobalTxnId(2);
         assert_eq!(ExecId::Sub(g).txn_id(), TxnId::Global(g));
         assert_eq!(ExecId::CompSub(g).txn_id(), TxnId::Compensation(g));
-        let l = LocalTxnId { site: SiteId(0), seq: 1 };
+        let l = LocalTxnId {
+            site: SiteId(0),
+            seq: 1,
+        };
         assert_eq!(ExecId::Local(l).txn_id(), TxnId::Local(l));
         assert!(ExecId::Sub(g).is_sub());
         assert!(ExecId::CompSub(g).is_comp());
@@ -257,7 +262,10 @@ mod tests {
         let g = GlobalTxnId(4);
         assert_eq!(format!("{}", TxnId::Global(g)), "T4");
         assert_eq!(format!("{}", TxnId::Compensation(g)), "CT4");
-        let l = LocalTxnId { site: SiteId(2), seq: 9 };
+        let l = LocalTxnId {
+            site: SiteId(2),
+            seq: 9,
+        };
         assert_eq!(format!("{}", TxnId::Local(l)), "L2.9");
         assert_eq!(format!("{}", SiteId(3)), "S3");
     }
@@ -274,8 +282,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut v = vec![
-            TxnId::Local(LocalTxnId { site: SiteId(1), seq: 0 }),
+        let mut v = [
+            TxnId::Local(LocalTxnId {
+                site: SiteId(1),
+                seq: 0,
+            }),
             TxnId::Global(GlobalTxnId(1)),
             TxnId::Compensation(GlobalTxnId(0)),
             TxnId::Global(GlobalTxnId(0)),

@@ -12,11 +12,10 @@
 //!   abort a global transaction).
 
 use crate::value::{Key, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Lock mode an operation requires on its item.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessMode {
     /// Shared (read) access.
     Read,
@@ -34,7 +33,7 @@ impl AccessMode {
 
 /// Coarse classification of an operation, used by history recording and the
 /// serialization-graph builder.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum OpKind {
     /// Pure read.
     Read,
@@ -43,7 +42,7 @@ pub enum OpKind {
 }
 
 /// One operation against a single data item at a single site.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Op {
     /// Read the item's current value.
     Read(Key),
@@ -108,7 +107,10 @@ impl Op {
     /// Can the operation fail for semantic reasons (not just lock conflicts)?
     #[inline]
     pub fn is_conditional(&self) -> bool {
-        matches!(self, Op::Reserve(..) | Op::Insert(..) | Op::Delete(..) | Op::Add(..))
+        matches!(
+            self,
+            Op::Reserve(..) | Op::Insert(..) | Op::Delete(..) | Op::Add(..)
+        )
     }
 }
 

@@ -6,10 +6,8 @@
 //! across dependency upgrades — the same discipline FoundationDB-style
 //! deterministic simulation testing relies on.
 
-use serde::{Deserialize, Serialize};
-
 /// Deterministic xoshiro256++ PRNG.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DetRng {
     s: [u64; 4],
 }
@@ -315,7 +313,12 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }
-        assert!(counts[0] > counts[50] * 5, "rank0={} rank50={}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "rank0={} rank50={}",
+            counts[0],
+            counts[50]
+        );
         // All samples valid ranks.
         assert_eq!(counts.iter().sum::<usize>(), n);
     }
@@ -325,7 +328,7 @@ mod tests {
         let mut r = DetRng::new(47);
         let z = Zipf::new(10, 0.0);
         let n = 100_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }

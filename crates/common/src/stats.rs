@@ -6,12 +6,11 @@
 //! * [`Histogram`] — log-bucketed values with percentile estimation,
 //! * [`Counter`] — a named monotonic counter.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Streaming scalar statistics (Welford's online algorithm).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Stats {
     n: u64,
     mean: f64,
@@ -24,7 +23,14 @@ pub struct Stats {
 impl Stats {
     /// New empty accumulator.
     pub fn new() -> Self {
-        Stats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        Stats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Record one observation.
@@ -134,7 +140,7 @@ impl fmt::Display for Stats {
 /// Buckets are geometric with ~4.6% relative width (64 sub-buckets per
 /// power of two over `u64`), giving percentile error well under the noise of
 /// any simulated experiment while staying allocation-free after construction.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -176,7 +182,11 @@ impl Default for Histogram {
 impl Histogram {
     /// New empty histogram.
     pub fn new() -> Self {
-        Histogram { counts: vec![0; NUM_BUCKETS], total: 0, stats: Stats::new() }
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            stats: Stats::new(),
+        }
     }
 
     /// Record one value.
@@ -254,7 +264,7 @@ impl fmt::Display for Histogram {
 }
 
 /// A named monotonic counter.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter(pub u64);
 
 impl Counter {
@@ -279,7 +289,7 @@ impl Counter {
 
 /// A string-keyed registry of counters, used for ad-hoc experiment metrics
 /// (message type counts, rejection reasons, ...).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CounterSet {
     counters: BTreeMap<String, u64>,
 }
@@ -375,7 +385,10 @@ mod tests {
             let b = bucket_index(v);
             assert!(b >= last || v < 4096, "index regressed at {v}");
             last = b;
-            assert!(bucket_lower_bound(b) <= v, "lower bound exceeds value at {v}");
+            assert!(
+                bucket_lower_bound(b) <= v,
+                "lower bound exceeds value at {v}"
+            );
         }
         // Small values are exact.
         for v in 0..64 {

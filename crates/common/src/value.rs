@@ -8,14 +8,13 @@
 //! (`Add(-d)` undoing `Add(d)`) meaningful even after other transactions have
 //! observed and modified the item.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Key of a data item within one site's store.
 ///
 /// Keys are site-local: the pair (`SiteId`, `Key`) names a unique item in the
 /// distributed database; there is no replication in the paper's model.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub u64);
 
 impl fmt::Debug for Key {
@@ -31,7 +30,7 @@ impl fmt::Display for Key {
 }
 
 /// Value of a data item: a signed counter.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Value(pub i64);
 
 impl Value {

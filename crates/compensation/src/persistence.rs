@@ -48,7 +48,10 @@ impl PersistenceGuard {
     /// Record successful completion.
     pub fn completed(&mut self, txn: GlobalTxnId, site: SiteId) {
         let removed = self.pending.remove(&(txn, site));
-        debug_assert!(removed.is_some(), "completed a compensation that was never initiated");
+        debug_assert!(
+            removed.is_some(),
+            "completed a compensation that was never initiated"
+        );
         self.completed += 1;
     }
 
@@ -117,7 +120,11 @@ mod tests {
         p.initiated(g(1), SiteId(0));
         p.retried(g(1), SiteId(0));
         p.initiated(g(1), SiteId(0));
-        assert_eq!(p.pending().next(), Some((g(1), SiteId(0), 1)), "retry count preserved");
+        assert_eq!(
+            p.pending().next(),
+            Some((g(1), SiteId(0), 1)),
+            "retry count preserved"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ fn invert(op: &Op, undo: Option<&UndoRecord>) -> Option<Op> {
         Op::Add(k, d) => Some(Op::Add(k, -d)),
         Op::Insert(k, _) => Some(Op::Delete(k)),
         Op::Delete(k) => {
-            let before = undo.and_then(|u| u.before).expect("delete logged a before-image");
+            let before = undo
+                .and_then(|u| u.before)
+                .expect("delete logged a before-image");
             Some(Op::Insert(k, before))
         }
         Op::Reserve(k, n) => Some(Op::Release(k, n)),
@@ -174,7 +176,11 @@ mod tests {
         s.commit(exec(9));
         let plan = plan_compensation(CompensationModel::Generic, &rec);
         run_plan(&mut s, &plan);
-        assert_eq!(s.get(Key(1)), Some(Value(100)), "before-image restored verbatim");
+        assert_eq!(
+            s.get(Key(1)),
+            Some(Value(100)),
+            "before-image restored verbatim"
+        );
     }
 
     #[test]
@@ -215,7 +221,11 @@ mod tests {
         s.load(Key(4), Value(1));
         let rec = run_forward(&mut s, &[Op::Release(Key(4), 5)]);
         let plan = plan_compensation(CompensationModel::Restricted, &rec);
-        assert_eq!(plan.ops, vec![Op::Add(Key(4), -5)], "Add, not Reserve: CTs may not fail");
+        assert_eq!(
+            plan.ops,
+            vec![Op::Add(Key(4), -5)],
+            "Add, not Reserve: CTs may not fail"
+        );
         run_plan(&mut s, &plan);
         assert_eq!(s.get(Key(4)), Some(Value(1)));
     }
@@ -224,10 +234,16 @@ mod tests {
     fn absolute_write_falls_back_to_before_image() {
         let mut s = Store::new();
         s.load(Key(5), Value(1));
-        let rec = run_forward(&mut s, &[Op::Write(Key(5), Value(2)), Op::Write(Key(5), Value(3))]);
+        let rec = run_forward(
+            &mut s,
+            &[Op::Write(Key(5), Value(2)), Op::Write(Key(5), Value(3))],
+        );
         let plan = plan_compensation(CompensationModel::Restricted, &rec);
         // Reverse order: undo 3→2, then 2→1.
-        assert_eq!(plan.ops, vec![Op::Write(Key(5), Value(2)), Op::Write(Key(5), Value(1))]);
+        assert_eq!(
+            plan.ops,
+            vec![Op::Write(Key(5), Value(2)), Op::Write(Key(5), Value(1))]
+        );
         run_plan(&mut s, &plan);
         assert_eq!(s.get(Key(5)), Some(Value(1)));
     }
@@ -260,7 +276,11 @@ mod tests {
         let plan = plan_compensation(CompensationModel::Restricted, &rec);
         assert_eq!(
             plan.ops,
-            vec![Op::Insert(Key(2), Value(1)), Op::Delete(Key(2)), Op::Add(Key(1), -5)]
+            vec![
+                Op::Insert(Key(2), Value(1)),
+                Op::Delete(Key(2)),
+                Op::Add(Key(1), -5)
+            ]
         );
         run_plan(&mut s, &plan);
         assert_eq!(s.get(Key(1)), Some(Value(10)));
@@ -273,7 +293,10 @@ mod tests {
         let mut s = Store::new();
         s.load(Key(1), Value(0));
         s.load(Key(2), Value(0));
-        let rec = run_forward(&mut s, &[Op::Add(Key(1), 1), Op::Add(Key(2), 2), Op::Read(Key(1))]);
+        let rec = run_forward(
+            &mut s,
+            &[Op::Add(Key(1), 1), Op::Add(Key(2), 2), Op::Read(Key(1))],
+        );
         for model in [CompensationModel::Restricted, CompensationModel::Generic] {
             let plan = plan_compensation(model, &rec);
             let fw = rec.write_set();
@@ -290,6 +313,10 @@ mod tests {
         let rec = run_forward(&mut s, &[Op::Write(Key(1), Value(2)), Op::Add(Key(1), 10)]);
         let plan = plan_compensation(CompensationModel::Generic, &rec);
         run_plan(&mut s, &plan);
-        assert_eq!(s.get(Key(1)), Some(Value(1)), "reverse replay lands on the oldest image");
+        assert_eq!(
+            s.get(Key(1)),
+            Some(Value(1)),
+            "reverse replay lands on the oldest image"
+        );
     }
 }

@@ -1,0 +1,162 @@
+//! Coordinator-side protocol logic: arrival, vote collection, decisions,
+//! and coordinator crash/recovery.
+
+use super::{Engine, GTxn, TimerEvent};
+use crate::config::TxnRequest;
+use crate::msg::Msg;
+use o2pc_common::{ExecId, GlobalTxnId, SimTime, SiteId};
+use o2pc_marking::TransMarks;
+use o2pc_protocol::{CoordAction, TwoPhaseCoordinator};
+use o2pc_runtime::Runtime;
+use o2pc_site::{Site, SiteConfig};
+use std::collections::{BTreeSet, HashMap};
+
+impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
+    pub(crate) fn on_arrive(&mut self, now: SimTime, req: TxnRequest) {
+        match req {
+            TxnRequest::Local { site, ops } => {
+                if !self.site_up(site) {
+                    self.report.local_aborted += 1;
+                    return;
+                }
+                let hist = &mut self.hist;
+                let s = self.sites[site.index()].as_mut().unwrap();
+                let exec = ExecId::Local(s.next_local_id());
+                s.begin(exec, ops, now, hist);
+                self.local_starts.insert(exec, now);
+                let service = self.cfg.op_service_time;
+                self.rt
+                    .schedule(now + service, TimerEvent::OpDone { site, exec });
+            }
+            TxnRequest::Global { subs, coordinator } => {
+                let id = self.idgen.next_id();
+                let participants: Vec<SiteId> = subs.iter().map(|&(s, _)| s).collect();
+                debug_assert_eq!(
+                    participants.iter().collect::<BTreeSet<_>>().len(),
+                    participants.len(),
+                    "duplicate participant sites"
+                );
+                let coord = TwoPhaseCoordinator::new(id, participants);
+                let gtxn = GTxn {
+                    coord_site: coordinator,
+                    coord,
+                    subs: subs.iter().cloned().collect(),
+                    tm: TransMarks::new(),
+                    start: now,
+                    spawn_retries: HashMap::new(),
+                    began: BTreeSet::new(),
+                    done: false,
+                };
+                self.txns.insert(id, gtxn);
+                for (site, ops) in subs {
+                    self.send(now, coordinator, site, Msg::SpawnSubtxn { txn: id, ops });
+                }
+                if let Some(t) = self.cfg.vote_timeout {
+                    // Overall progress timeout: covers a participant that
+                    // never acks (down site) as well as lost votes.
+                    self.rt
+                        .schedule(now + t, TimerEvent::VoteTimeout { txn: id });
+                }
+            }
+        }
+    }
+
+    pub(crate) fn coord_action(&mut self, now: SimTime, txn: GlobalTxnId, action: CoordAction) {
+        let coord_site = self.txns[&txn].coord_site;
+        match action {
+            CoordAction::SendVoteReq(sites) => {
+                for s in sites {
+                    self.send(now, coord_site, s, Msg::VoteReq { txn });
+                }
+                if let Some(t) = self.cfg.vote_timeout {
+                    self.rt.schedule(now + t, TimerEvent::VoteTimeout { txn });
+                }
+            }
+            CoordAction::SendDecision(commit, sites) => {
+                if !commit {
+                    // Piggy-backed on the DECISION messages: the aborted
+                    // transaction's *actual* execution-site set, enabling
+                    // UDUM1 detection at the sites (no extra messages).
+                    let began = self.txns[&txn].began.clone();
+                    self.udum.register_aborted(txn, began);
+                }
+                for s in sites {
+                    self.send(now, coord_site, s, Msg::Decision { txn, commit });
+                }
+            }
+            CoordAction::Complete(commit) => {
+                let g = self.txns.get_mut(&txn).expect("txn exists");
+                if g.done {
+                    return;
+                }
+                g.done = true;
+                if commit {
+                    self.report.global_committed += 1;
+                } else {
+                    self.report.global_aborted += 1;
+                }
+                self.report
+                    .global_latency
+                    .record((now - g.start).as_micros());
+            }
+        }
+    }
+
+    pub(crate) fn on_vote_timeout(&mut self, now: SimTime, txn: GlobalTxnId) {
+        if !self.site_up(self.txns[&txn].coord_site) {
+            return; // a crashed coordinator times out nothing
+        }
+        let Some(g) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        if g.done {
+            return;
+        }
+        if let Some(action) = g.coord.on_timeout() {
+            self.coord_action(now, txn, action);
+        }
+    }
+
+    pub(crate) fn on_crash(&mut self, site: SiteId) {
+        if let Some(s) = self.sites[site.index()].take() {
+            self.crashed_wals.insert(site, s.crash());
+        }
+    }
+
+    pub(crate) fn on_recover(&mut self, now: SimTime, site: SiteId) {
+        let Some(wal) = self.crashed_wals.remove(&site) else {
+            return;
+        };
+        let site_cfg = SiteConfig {
+            compensation_model: self.cfg.compensation_model,
+        };
+        self.sites[site.index()] = Some(Site::recover(site, site_cfg, wal));
+        // Coordinators hosted here resume: resend logged decisions, presume
+        // abort for undecided transactions.
+        let to_recover: Vec<GlobalTxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, g)| g.coord_site == site && !g.done)
+            .map(|(&id, _)| id)
+            .collect();
+        for txn in to_recover {
+            if let Some(action) = self.txns.get_mut(&txn).unwrap().coord.recover() {
+                self.coord_action(now, txn, action);
+            }
+        }
+        // Recovered in-doubt participants (prepared, or locally committed
+        // with the decision lost in the crash) resolve their fate through
+        // the termination protocol when it is enabled.
+        if let Some(t) = self.cfg.termination_timeout {
+            let site_ref = self.sites[site.index()].as_ref().unwrap();
+            let mut in_doubt = site_ref.prepared_subs();
+            in_doubt.extend(site_ref.pending_local_commits());
+            for txn in in_doubt {
+                if self.txns.contains_key(&txn) {
+                    self.rt
+                        .schedule(now + t, TimerEvent::TermTimeout { txn, site });
+                }
+            }
+        }
+    }
+}

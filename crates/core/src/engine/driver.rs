@@ -1,0 +1,52 @@
+//! The run loop: pull [`Step`]s from the runtime and dispatch them.
+
+use super::{Engine, TimerEvent};
+use crate::msg::Msg;
+use crate::report::RunReport;
+use o2pc_common::{Duration, SimTime};
+use o2pc_runtime::{Runtime, Step};
+
+impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
+    /// Run until the runtime yields no step at or before `horizon` (queue
+    /// drained / quiescent / past the deadline) or the event cap trips.
+    /// Returns the collected report. May be called again to continue.
+    pub fn run(&mut self, horizon: Duration) -> RunReport {
+        if !self.checkpointed {
+            for s in self.sites.iter_mut().flatten() {
+                s.checkpoint();
+            }
+            self.checkpointed = true;
+        }
+        let deadline = SimTime::ZERO + horizon;
+        let mut events = 0u64;
+        while events < self.cfg.max_events {
+            let Some((now, step)) = self.rt.next(deadline) else {
+                break;
+            };
+            events += 1;
+            self.step(now, step);
+        }
+        self.report.events_processed += events;
+        self.finalize()
+    }
+
+    fn step(&mut self, now: SimTime, step: Step<TimerEvent, Msg>) {
+        match step {
+            Step::Timer(ev) => self.handle_timer(now, ev),
+            Step::Deliver { to, msg } => self.on_deliver(now, to, msg),
+        }
+    }
+
+    fn handle_timer(&mut self, now: SimTime, ev: TimerEvent) {
+        match ev {
+            TimerEvent::Arrive(req) => self.on_arrive(now, req),
+            TimerEvent::OpDone { site, exec } => self.on_op_done(now, site, exec),
+            TimerEvent::R1Retry { txn, site } => self.try_spawn(now, txn, site),
+            TimerEvent::CompRetry { txn, site } => self.resume_compensation(now, txn, site),
+            TimerEvent::VoteTimeout { txn } => self.on_vote_timeout(now, txn),
+            TimerEvent::TermTimeout { txn, site } => self.on_term_timeout(now, txn, site),
+            TimerEvent::Crash { site } => self.on_crash(site),
+            TimerEvent::Recover { site } => self.on_recover(now, site),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Folding engine state into the final [`RunReport`].
+
+use super::{Engine, TimerEvent};
+use crate::msg::Msg;
+use crate::report::RunReport;
+use o2pc_runtime::Runtime;
+
+impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
+    /// Snapshot the report: decided-but-unfinished transactions, per-site
+    /// lock statistics and value totals, network losses, and compensation
+    /// accounting. Identical on every substrate — the report is the shared
+    /// currency between a simulated experiment and its wall-clock twin.
+    pub(crate) fn finalize(&mut self) -> RunReport {
+        let mut report = self.report.clone();
+        report.end_time = self.rt.now();
+        // Transactions that never reached Complete: count by logged decision
+        // (presumed abort when undecided — the coordinator discipline).
+        for g in self.txns.values() {
+            if !g.done {
+                match g.coord.decision() {
+                    Some(true) => report.global_committed += 1,
+                    _ => report.global_aborted += 1,
+                }
+            }
+        }
+        for s in self.sites.iter().flatten() {
+            report.locks.merge(s.lock_stats());
+            report.total_value += s.total();
+            report.counters.add("comp.skipped_ops", s.skipped_comp_ops);
+        }
+        report
+            .counters
+            .add("net.dropped", self.rt.messages_dropped());
+        report.compensations_pending = self.persistence.pending_count();
+        report.compensations_completed = self.persistence.completed_count();
+        report
+            .counters
+            .add("comp.retries", self.persistence.total_retries());
+        if self.cfg.record_history {
+            report.history = self.hist.clone();
+        }
+        report
+    }
+}

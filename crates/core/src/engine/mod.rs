@@ -1,0 +1,254 @@
+//! The distributed engine, generic over its [`Runtime`] substrate.
+//!
+//! The engine wires sites, coordinators, marking, and compensation into one
+//! event loop. Everything substrate-specific — where time comes from, how
+//! messages travel, what order simultaneous steps arrive in — lives behind
+//! `o2pc_runtime::Runtime`. The same protocol logic therefore runs on:
+//!
+//! * [`DefaultSimRuntime`] — the deterministic event-queue simulator (the
+//!   default type parameter, so `Engine::new(cfg)` behaves as it always
+//!   has: seeded, replayable bit-for-bit);
+//! * `ThreadedRuntime` — real threads and wall-clock latency, where
+//!   outcomes are schedule-dependent and verified by invariant.
+//!
+//! Module layout:
+//!
+//! * [`mod@self`] — the `Engine` type, its constructors, and shared helpers
+//!   (messaging, site access);
+//! * `driver` — the run loop pulling [`Step`]s from the runtime;
+//! * `coordinator_rt` — transaction arrival and the coordinator side of
+//!   2PC/O2PC (vote collection, decisions, crash recovery);
+//! * `site_rt` — the participant side: admission (rule R1), operation
+//!   execution, unilateral aborts, compensation, cooperative termination;
+//! * `deadlock` — local and lifted (cross-site) waits-for cycle resolution;
+//! * `metrics` — folding engine state into the final [`RunReport`].
+
+mod coordinator_rt;
+mod deadlock;
+mod driver;
+mod metrics;
+mod site_rt;
+
+use crate::config::{SystemConfig, TxnRequest};
+use crate::msg::Msg;
+use crate::report::RunReport;
+use o2pc_common::{
+    DetRng, ExecId, GlobalTxnId, GlobalTxnIdGen, History, Key, SimTime, SiteId, Value,
+};
+use o2pc_compensation::{CompensationPlan, PersistenceGuard};
+use o2pc_marking::{MarkingProtocol, TransMarks, UdumTracker};
+use o2pc_protocol::{TerminationRound, TwoPhaseCoordinator};
+use o2pc_runtime::{Runtime, SimRuntime};
+use o2pc_sim::Network;
+use o2pc_site::{LockPolicy, Site, SiteConfig};
+use o2pc_storage::Wal;
+use std::collections::{BTreeSet, HashMap};
+
+/// Engine timers: everything the engine schedules against its own clock.
+/// Message deliveries are *not* timers — they arrive through the runtime's
+/// transport as [`o2pc_runtime::Step::Deliver`] steps.
+#[derive(Clone, Debug)]
+pub enum TimerEvent {
+    /// A workload transaction arrives.
+    Arrive(TxnRequest),
+    /// An executing (sub)transaction finishes its current operation.
+    OpDone {
+        /// Site where the execution runs.
+        site: SiteId,
+        /// The execution.
+        exec: ExecId,
+    },
+    /// Re-attempt an R1-rejected subtransaction admission.
+    R1Retry {
+        /// Global transaction.
+        txn: GlobalTxnId,
+        /// Site to admit at.
+        site: SiteId,
+    },
+    /// Re-attempt a rolled-back compensating subtransaction.
+    CompRetry {
+        /// Global transaction being compensated.
+        txn: GlobalTxnId,
+        /// Site being compensated.
+        site: SiteId,
+    },
+    /// Coordinator progress timeout (missing acks or votes).
+    VoteTimeout {
+        /// Global transaction.
+        txn: GlobalTxnId,
+    },
+    /// A prepared participant has waited too long for the decision.
+    TermTimeout {
+        /// Global transaction.
+        txn: GlobalTxnId,
+        /// The in-doubt participant.
+        site: SiteId,
+    },
+    /// Scripted site crash.
+    Crash {
+        /// Crashing site.
+        site: SiteId,
+    },
+    /// Scripted site recovery.
+    Recover {
+        /// Recovering site.
+        site: SiteId,
+    },
+}
+
+/// Book-keeping for one global transaction.
+pub(crate) struct GTxn {
+    pub(crate) coord_site: SiteId,
+    pub(crate) coord: TwoPhaseCoordinator,
+    pub(crate) subs: HashMap<SiteId, Vec<o2pc_common::Op>>,
+    pub(crate) tm: TransMarks,
+    pub(crate) start: SimTime,
+    pub(crate) spawn_retries: HashMap<SiteId, u32>,
+    /// Sites where the subtransaction actually began executing. Only these
+    /// can ever carry an *undone* marking for this transaction, so only
+    /// these count as UDUM1 execution sites — registering all participants
+    /// would leave markings that can never be cleared (an R1-rejected site
+    /// never executes, never marks, never fences).
+    pub(crate) began: BTreeSet<SiteId>,
+    pub(crate) done: bool,
+}
+
+/// The runtime `Engine::new` builds: the deterministic simulator.
+pub type DefaultSimRuntime = SimRuntime<TimerEvent, Msg>;
+
+/// The engine: sites + coordinators + a message substrate on one clock.
+///
+/// Generic over the [`Runtime`]; defaults to the deterministic simulator so
+/// `Engine::new(cfg)` needs no type annotations and replays from its seed.
+pub struct Engine<R: Runtime<TimerEvent, Msg> = DefaultSimRuntime> {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) sites: Vec<Option<Site>>,
+    pub(crate) crashed_wals: HashMap<SiteId, Wal>,
+    pub(crate) rt: R,
+    pub(crate) rng: DetRng,
+    pub(crate) idgen: GlobalTxnIdGen,
+    pub(crate) txns: HashMap<GlobalTxnId, GTxn>,
+    pub(crate) pending_comp: HashMap<(GlobalTxnId, SiteId), CompensationPlan>,
+    pub(crate) term_rounds: HashMap<(GlobalTxnId, SiteId), TerminationRound>,
+    pub(crate) local_starts: HashMap<ExecId, SimTime>,
+    pub(crate) persistence: PersistenceGuard,
+    pub(crate) udum: UdumTracker,
+    pub(crate) hist: History,
+    pub(crate) report: RunReport,
+    pub(crate) checkpointed: bool,
+}
+
+impl Engine {
+    /// Build an engine on the deterministic simulator from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut root = DetRng::new(cfg.seed);
+        let net_rng = root.fork(0x6e65);
+        let network =
+            Network::new(cfg.network.clone(), net_rng).with_failures(cfg.failures.clone());
+        Self::assemble(cfg, SimRuntime::new(network), root)
+    }
+}
+
+impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
+    /// Build an engine on an explicit runtime (e.g. a `ThreadedRuntime`).
+    ///
+    /// The engine's own RNG stream (vote-abort sampling) is derived exactly
+    /// as in [`Engine::new`] — including the discarded network fork — so a
+    /// given seed drives the same autonomy decisions on every substrate.
+    pub fn with_runtime(cfg: SystemConfig, rt: R) -> Self {
+        let mut root = DetRng::new(cfg.seed);
+        let _net_rng = root.fork(0x6e65);
+        Self::assemble(cfg, rt, root)
+    }
+
+    fn assemble(cfg: SystemConfig, mut rt: R, rng: DetRng) -> Self {
+        for id in cfg.sites() {
+            rt.register_endpoint(id);
+        }
+        let site_cfg = SiteConfig {
+            compensation_model: cfg.compensation_model,
+        };
+        let sites = cfg
+            .sites()
+            .map(|id| Some(Site::new(id, site_cfg)))
+            .collect();
+        for (site, from, to) in cfg.failures.crashes() {
+            rt.schedule(from, TimerEvent::Crash { site });
+            rt.schedule(to, TimerEvent::Recover { site });
+        }
+        Engine {
+            cfg,
+            sites,
+            crashed_wals: HashMap::new(),
+            rt,
+            rng,
+            idgen: GlobalTxnIdGen::new(),
+            txns: HashMap::new(),
+            pending_comp: HashMap::new(),
+            term_rounds: HashMap::new(),
+            local_starts: HashMap::new(),
+            persistence: PersistenceGuard::new(),
+            udum: UdumTracker::new(),
+            hist: History::new(),
+            report: RunReport::default(),
+            checkpointed: false,
+        }
+    }
+
+    /// Pre-load a data item at a site.
+    pub fn load(&mut self, site: SiteId, key: Key, value: Value) {
+        self.site_mut(site).load(key, value);
+    }
+
+    /// Submit a transaction for arrival at `at`.
+    pub fn submit_at(&mut self, at: SimTime, req: TxnRequest) {
+        self.rt.schedule(at, TimerEvent::Arrive(req));
+    }
+
+    /// Read an item's current value (tests / invariants).
+    pub fn value(&self, site: SiteId, key: Key) -> Option<Value> {
+        self.sites[site.index()].as_ref().and_then(|s| s.get(key))
+    }
+
+    /// The runtime the engine runs on.
+    pub fn runtime(&self) -> &R {
+        &self.rt
+    }
+
+    pub(crate) fn site_mut(&mut self, site: SiteId) -> &mut Site {
+        self.sites[site.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("{site} is crashed"))
+    }
+
+    pub(crate) fn site_up(&self, site: SiteId) -> bool {
+        self.sites[site.index()].is_some()
+    }
+
+    pub(crate) fn marking(&self) -> MarkingProtocol {
+        self.cfg.protocol.marking()
+    }
+
+    pub(crate) fn lock_policy_at(&self, site: SiteId) -> LockPolicy {
+        if self.cfg.real_action_sites.contains(&site) {
+            LockPolicy::HoldWrites
+        } else {
+            self.cfg.protocol.lock_policy()
+        }
+    }
+
+    // ----- messaging -------------------------------------------------------
+
+    pub(crate) fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
+        self.report.counters.inc(msg.label());
+        // A `false` return means the substrate lost the message at send time
+        // (link down or random drop); the runtime counts it.
+        let _ = self.rt.send(now, from, to, msg);
+    }
+
+    pub(crate) fn wake(&mut self, now: SimTime, site: SiteId, woken: Vec<ExecId>) {
+        for exec in woken {
+            self.rt.schedule(now, TimerEvent::OpDone { site, exec });
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Participant-side protocol logic: message handling, admission (rule R1),
+//! operation execution, compensation, and cooperative termination.
+
+use super::{Engine, TimerEvent};
+use crate::msg::Msg;
+use o2pc_common::{ExecId, GlobalTxnId, SimTime, SiteId};
+use o2pc_marking::MarkingProtocol;
+use o2pc_protocol::TerminationOutcome;
+use o2pc_runtime::Runtime;
+use o2pc_site::{LockPolicy, OpResult};
+
+impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
+    pub(crate) fn on_deliver(&mut self, now: SimTime, to: SiteId, msg: Msg) {
+        if !self.site_up(to) {
+            return; // message to a crashed site is lost
+        }
+        match msg {
+            Msg::SpawnSubtxn { txn, .. } => self.try_spawn(now, txn, to),
+            Msg::SubtxnAck { txn, from, ok } => {
+                let Some(g) = self.txns.get_mut(&txn) else {
+                    return;
+                };
+                if g.done {
+                    return;
+                }
+                if let Some(action) = g.coord.on_subtxn_ack(from, ok) {
+                    self.coord_action(now, txn, action);
+                }
+            }
+            Msg::VoteReq { txn } => {
+                let force = self.cfg.vote_abort_probability > 0.0
+                    && self.rng.gen_bool(self.cfg.vote_abort_probability);
+                let policy = self.lock_policy_at(to);
+                let hist = &mut self.hist;
+                let site = self.sites[to.index()].as_mut().unwrap();
+                let had_exec = site.exec_state(ExecId::Sub(txn)).is_some();
+                let out = site.vote(txn, policy, force, now, hist);
+                if force && had_exec {
+                    self.report.counters.inc("vote.autonomy_aborts");
+                }
+                self.wake(now, to, out.woken);
+                if out.vote == o2pc_site::Vote::No {
+                    self.invalidate_incompatible_subs(now, to);
+                }
+                if out.vote == o2pc_site::Vote::Yes && policy == LockPolicy::HoldWrites {
+                    if let Some(t) = self.cfg.termination_timeout {
+                        self.rt
+                            .schedule(now + t, TimerEvent::TermTimeout { txn, site: to });
+                    }
+                }
+                let coord_site = self.txns[&txn].coord_site;
+                self.send(
+                    now,
+                    to,
+                    coord_site,
+                    Msg::VoteMsg {
+                        txn,
+                        from: to,
+                        vote: out.vote,
+                    },
+                );
+            }
+            Msg::VoteMsg { txn, from, vote } => {
+                let Some(g) = self.txns.get_mut(&txn) else {
+                    return;
+                };
+                if g.done {
+                    return;
+                }
+                if let Some(action) = g.coord.on_vote(from, vote) {
+                    self.coord_action(now, txn, action);
+                }
+            }
+            Msg::Decision { txn, commit } => {
+                let hist = &mut self.hist;
+                let site = self.sites[to.index()].as_mut().unwrap();
+                let out = site.decide(txn, commit, now, hist);
+                self.wake(now, to, out.woken);
+                if let Some(plan) = out.compensation {
+                    self.report.counters.inc("comp.plans");
+                    self.persistence.initiated(txn, to);
+                    self.pending_comp.insert((txn, to), plan);
+                    self.start_compensation(now, txn, to);
+                }
+                if !commit {
+                    self.invalidate_incompatible_subs(now, to);
+                }
+                let coord_site = self.txns[&txn].coord_site;
+                self.send(now, to, coord_site, Msg::DecisionAck { txn, from: to });
+            }
+            Msg::DecisionAck { txn, from } => {
+                let Some(g) = self.txns.get_mut(&txn) else {
+                    return;
+                };
+                if g.done {
+                    return;
+                }
+                if let Some(action) = g.coord.on_decision_ack(from) {
+                    self.coord_action(now, txn, action);
+                }
+            }
+            Msg::TermReq { txn, from } => {
+                let hist = &mut self.hist;
+                let site = self.sites[to.index()].as_mut().unwrap();
+                let (state, woken) = site.answer_termination_query(txn, now, hist);
+                self.wake(now, to, woken);
+                self.send(
+                    now,
+                    to,
+                    from,
+                    Msg::TermAnswer {
+                        txn,
+                        from: to,
+                        state,
+                    },
+                );
+            }
+            Msg::TermAnswer { txn, from, state } => {
+                let Some(round) = self.term_rounds.get_mut(&(txn, to)) else {
+                    return;
+                };
+                match round.on_answer(from, state) {
+                    Some(TerminationOutcome::Commit) => {
+                        self.term_rounds.remove(&(txn, to));
+                        self.report.counters.inc("term.resolved_commit");
+                        self.apply_peer_decision(now, txn, to, true);
+                    }
+                    Some(TerminationOutcome::Abort) => {
+                        self.term_rounds.remove(&(txn, to));
+                        self.report.counters.inc("term.resolved_abort");
+                        self.apply_peer_decision(now, txn, to, false);
+                    }
+                    Some(TerminationOutcome::StillBlocked) => {
+                        self.term_rounds.remove(&(txn, to));
+                        self.report.counters.inc("term.still_blocked");
+                        // Retry after another timeout period.
+                        if let Some(t) = self.cfg.termination_timeout {
+                            self.rt
+                                .schedule(now + t, TimerEvent::TermTimeout { txn, site: to });
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Apply a decision learned via the termination protocol (not from the
+    /// coordinator). The coordinator, once recovered, will resend its own
+    /// DECISION; `Site::decide` is idempotent for repeats.
+    fn apply_peer_decision(
+        &mut self,
+        now: SimTime,
+        txn: GlobalTxnId,
+        site_id: SiteId,
+        commit: bool,
+    ) {
+        let hist = &mut self.hist;
+        let site = self.sites[site_id.index()].as_mut().unwrap();
+        let out = site.decide(txn, commit, now, hist);
+        self.wake(now, site_id, out.woken);
+        if let Some(plan) = out.compensation {
+            self.report.counters.inc("comp.plans");
+            self.persistence.initiated(txn, site_id);
+            self.pending_comp.insert((txn, site_id), plan);
+            self.start_compensation(now, txn, site_id);
+        }
+    }
+
+    /// A prepared participant has waited too long for the decision: run a
+    /// cooperative-termination round against its peers.
+    pub(crate) fn on_term_timeout(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        if !self.site_up(site_id) {
+            return;
+        }
+        // Still uncertain? (Prepared under 2PC, or locally committed under
+        // O2PC with the decision unknown — e.g. after a participant crash
+        // swallowed the DECISION message.)
+        {
+            let site = self.sites[site_id.index()].as_ref().unwrap();
+            let prepared = site
+                .exec_state(ExecId::Sub(txn))
+                .map(|s| s.phase == o2pc_site::ExecPhase::Prepared)
+                .unwrap_or(false);
+            let pending_lc = site.pending_local_commits().contains(&txn);
+            if !prepared && !pending_lc {
+                return;
+            }
+        }
+        let peers: Vec<SiteId> = self.txns[&txn]
+            .coord
+            .participants()
+            .iter()
+            .copied()
+            .filter(|&p| p != site_id)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        self.report.counters.inc("term.rounds");
+        self.term_rounds.insert(
+            (txn, site_id),
+            o2pc_protocol::TerminationRound::new(txn, peers.clone()),
+        );
+        for p in peers {
+            self.send(now, site_id, p, Msg::TermReq { txn, from: site_id });
+        }
+    }
+
+    /// Rule R1: admission check before (re)starting a subtransaction.
+    pub(crate) fn try_spawn(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        if !self.site_up(site_id) {
+            return;
+        }
+        let marking = self.marking();
+        let Some(g) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        if g.done || g.coord.decision().is_some() {
+            return;
+        }
+        self.report.counters.inc("r1.checks");
+        let site = self.sites[site_id.index()].as_ref().unwrap();
+        match g.tm.check_and_absorb(marking, site.marks()) {
+            Ok(()) => {
+                let ops = g.subs[&site_id].clone();
+                g.began.insert(site_id);
+                let exec = ExecId::Sub(txn);
+                let empty = ops.is_empty();
+                let hist = &mut self.hist;
+                let site = self.sites[site_id.index()].as_mut().unwrap();
+                site.begin(exec, ops, now, hist);
+                if empty {
+                    let coord_site = g.coord_site;
+                    let _ = coord_site;
+                    self.send(
+                        now,
+                        site_id,
+                        self.txns[&txn].coord_site,
+                        Msg::SubtxnAck {
+                            txn,
+                            from: site_id,
+                            ok: true,
+                        },
+                    );
+                } else {
+                    let service = self.cfg.op_service_time;
+                    self.rt.schedule(
+                        now + service,
+                        TimerEvent::OpDone {
+                            site: site_id,
+                            exec,
+                        },
+                    );
+                }
+            }
+            Err(inc) => {
+                self.report.counters.inc("r1.rejections");
+                let retries = g.spawn_retries.entry(site_id).or_insert(0);
+                *retries += 1;
+                if inc.retryable && *retries <= self.cfg.r1_max_retries {
+                    self.report.counters.inc("r1.retries");
+                    let delay = self.cfg.r1_retry_delay;
+                    self.rt
+                        .schedule(now + delay, TimerEvent::R1Retry { txn, site: site_id });
+                } else {
+                    self.report.counters.inc("r1.forced_aborts");
+                    let coord_site = g.coord_site;
+                    self.send(
+                        now,
+                        site_id,
+                        coord_site,
+                        Msg::SubtxnAck {
+                            txn,
+                            from: site_id,
+                            ok: false,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    pub(crate) fn on_op_done(&mut self, now: SimTime, site_id: SiteId, exec: ExecId) {
+        if !self.site_up(site_id) {
+            return;
+        }
+        if self.sites[site_id.index()]
+            .as_ref()
+            .unwrap()
+            .exec_state(exec)
+            .is_none()
+        {
+            return; // aborted while this event was in flight
+        }
+        if self.sites[site_id.index()]
+            .as_ref()
+            .unwrap()
+            .is_blocked(exec)
+        {
+            return; // spurious wake-up; a grant event will reschedule us
+        }
+        let hist = &mut self.hist;
+        let site = self.sites[site_id.index()].as_mut().unwrap();
+        let result = site.execute_next_op(exec, now, hist);
+        match result {
+            OpResult::Done { finished, .. } => {
+                // UDUM observation: this execution's first operation at the
+                // site "executed while the site was undone wrt T_i".
+                // UDUM1 fences: "there is a transaction that has also
+                // executed at that site while that site was undone" —
+                // subtransactions and independent locals both qualify;
+                // compensating subtransactions do not (they are the
+                // *mechanism* of undoing, not evidence that the marking is
+                // stale). The mark-change invalidation rule above is what
+                // keeps fencing safe for in-flight admissions.
+                if self.cfg.enable_udum
+                    && !matches!(exec, ExecId::CompSub(_))
+                    && site.exec_state(exec).map(|s| s.pc) == Some(1)
+                {
+                    let undone = site.marks().undone_set();
+                    for ti in undone {
+                        if self.udum.observe_access(ti, site_id) {
+                            self.fire_udum(ti);
+                        }
+                    }
+                }
+                if !finished {
+                    let service = self.cfg.op_service_time;
+                    self.rt.schedule(
+                        now + service,
+                        TimerEvent::OpDone {
+                            site: site_id,
+                            exec,
+                        },
+                    );
+                    return;
+                }
+                match exec {
+                    ExecId::Local(_) => {
+                        let hist = &mut self.hist;
+                        let site = self.sites[site_id.index()].as_mut().unwrap();
+                        let woken = site.commit_local(exec, now, hist);
+                        self.report.local_committed += 1;
+                        if let Some(start) = self.local_starts.remove(&exec) {
+                            self.report.local_latency.record((now - start).as_micros());
+                        }
+                        self.wake(now, site_id, woken);
+                    }
+                    ExecId::Sub(g) => {
+                        // Late revalidation of R1 (the paper's compromise for
+                        // marking-set deadlock avoidance): re-check as the
+                        // subtransaction's last action.
+                        let marking = self.marking();
+                        let ok = if marking == MarkingProtocol::None {
+                            true
+                        } else {
+                            let gt = &self.txns[&g];
+                            let site = self.sites[site_id.index()].as_ref().unwrap();
+                            gt.tm.check(marking, site.marks()).is_ok()
+                        };
+                        if !ok {
+                            self.report.counters.inc("r1.revalidation_failures");
+                            let hist = &mut self.hist;
+                            let site = self.sites[site_id.index()].as_mut().unwrap();
+                            let woken = site.unilateral_abort(g, now, hist);
+                            self.wake(now, site_id, woken);
+                            self.invalidate_incompatible_subs(now, site_id);
+                        }
+                        let coord_site = self.txns[&g].coord_site;
+                        self.send(
+                            now,
+                            site_id,
+                            coord_site,
+                            Msg::SubtxnAck {
+                                txn: g,
+                                from: site_id,
+                                ok,
+                            },
+                        );
+                    }
+                    ExecId::CompSub(g) => {
+                        let hist = &mut self.hist;
+                        let site = self.sites[site_id.index()].as_mut().unwrap();
+                        let woken = site.finish_compensation(g, now, hist);
+                        self.wake(now, site_id, woken);
+                        self.pending_comp.remove(&(g, site_id));
+                        self.persistence.completed(g, site_id);
+                        // R2 set the undone marking: future accesses count
+                        // toward UDUM1, and running subtransactions admitted
+                        // under the old marks must be re-checked.
+                        self.invalidate_incompatible_subs(now, site_id);
+                    }
+                }
+            }
+            OpResult::Blocked => {
+                self.resolve_deadlocks(now, site_id);
+                self.resolve_global_deadlocks(now);
+            }
+            OpResult::Failed(_) => match exec {
+                ExecId::Local(_) => {
+                    let hist = &mut self.hist;
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.abort_exec(exec, now, hist);
+                    self.report.local_aborted += 1;
+                    self.wake(now, site_id, woken);
+                }
+                ExecId::Sub(g) => {
+                    let hist = &mut self.hist;
+                    let site = self.sites[site_id.index()].as_mut().unwrap();
+                    let woken = site.unilateral_abort(g, now, hist);
+                    self.wake(now, site_id, woken);
+                    let coord_site = self.txns[&g].coord_site;
+                    self.send(
+                        now,
+                        site_id,
+                        coord_site,
+                        Msg::SubtxnAck {
+                            txn: g,
+                            from: site_id,
+                            ok: false,
+                        },
+                    );
+                    self.invalidate_incompatible_subs(now, site_id);
+                }
+                ExecId::CompSub(_) => unreachable!("compensation ops never fail (they skip)"),
+            },
+        }
+    }
+
+    pub(crate) fn fire_udum(&mut self, ti: GlobalTxnId) {
+        self.report.counters.inc("udum.fired");
+        for s in self.sites.iter_mut().flatten() {
+            s.unmark(ti);
+        }
+        self.udum.forget(ti);
+    }
+
+    /// A mark was just added at `site_id` (a roll-back or a completed
+    /// compensation turned it *undone* with respect to some transaction).
+    /// With the marking sets protected by the site's own strict 2PL, any
+    /// still-running subtransaction admitted under the previous marks would
+    /// now deadlock with the marking update — the resolution is to abort it
+    /// before it touches data under the new marks. Without this, a blocked
+    /// subtransaction could execute *after* a compensation it was never
+    /// checked against, recreating exactly the regular cycles P1 exists to
+    /// prevent.
+    pub(crate) fn invalidate_incompatible_subs(&mut self, now: SimTime, site_id: SiteId) {
+        let marking = self.marking();
+        if marking == MarkingProtocol::None {
+            return;
+        }
+        let running = self.sites[site_id.index()].as_ref().unwrap().running_subs();
+        for g in running {
+            let Some(gt) = self.txns.get(&g) else {
+                continue;
+            };
+            if gt.done || gt.coord.decision().is_some() {
+                continue;
+            }
+            let ok = {
+                let site = self.sites[site_id.index()].as_ref().unwrap();
+                gt.tm.check(marking, site.marks()).is_ok()
+            };
+            if !ok {
+                self.report.counters.inc("r1.mark_invalidations");
+                let hist = &mut self.hist;
+                let site = self.sites[site_id.index()].as_mut().unwrap();
+                let woken = site.unilateral_abort(g, now, hist);
+                self.wake(now, site_id, woken);
+                let coord_site = self.txns[&g].coord_site;
+                self.send(
+                    now,
+                    site_id,
+                    coord_site,
+                    Msg::SubtxnAck {
+                        txn: g,
+                        from: site_id,
+                        ok: false,
+                    },
+                );
+            }
+        }
+    }
+
+    pub(crate) fn start_compensation(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        let plan = self.pending_comp[&(txn, site_id)].clone();
+        let hist = &mut self.hist;
+        let site = self.sites[site_id.index()].as_mut().unwrap();
+        site.begin_compensation(txn, &plan, now, hist);
+        if plan.is_empty() {
+            let woken = site.finish_compensation(txn, now, hist);
+            self.wake(now, site_id, woken);
+            self.pending_comp.remove(&(txn, site_id));
+            self.persistence.completed(txn, site_id);
+            self.invalidate_incompatible_subs(now, site_id);
+        } else {
+            let service = self.cfg.op_service_time;
+            self.rt.schedule(
+                now + service,
+                TimerEvent::OpDone {
+                    site: site_id,
+                    exec: ExecId::CompSub(txn),
+                },
+            );
+        }
+    }
+
+    pub(crate) fn resume_compensation(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        if !self.site_up(site_id) || !self.pending_comp.contains_key(&(txn, site_id)) {
+            return;
+        }
+        self.start_compensation(now, txn, site_id);
+    }
+}

@@ -1,10 +1,12 @@
 //! # o2pc-core
 //!
 //! The distributed transaction engine: sites (`o2pc-site`) + commit
-//! protocols (`o2pc-protocol`) + marking (`o2pc-marking`) wired onto the
-//! deterministic simulator (`o2pc-sim`).
+//! protocols (`o2pc-protocol`) + marking (`o2pc-marking`), generic over the
+//! runtime substrate (`o2pc-runtime`). `Engine::new` runs on the
+//! deterministic simulator; `Engine::with_runtime` accepts any other
+//! backend, e.g. the threaded wall-clock runtime.
 //!
-//! The engine is an event loop over one virtual clock. A run is configured
+//! The engine is an event loop over one clock. A run is configured
 //! with a [`config::SystemConfig`] and a workload schedule of
 //! [`config::TxnRequest`]s, and produces a [`report::RunReport`] containing
 //! every quantity the paper's claims are measured by: exclusive-lock hold
@@ -39,6 +41,6 @@ pub mod msg;
 pub mod report;
 
 pub use config::{SystemConfig, TxnRequest};
-pub use engine::Engine;
+pub use engine::{DefaultSimRuntime, Engine, TimerEvent};
 pub use msg::Msg;
 pub use report::RunReport;

@@ -99,7 +99,10 @@ impl Msg {
     pub fn is_2pc(&self) -> bool {
         matches!(
             self,
-            Msg::VoteReq { .. } | Msg::VoteMsg { .. } | Msg::Decision { .. } | Msg::DecisionAck { .. }
+            Msg::VoteReq { .. }
+                | Msg::VoteMsg { .. }
+                | Msg::Decision { .. }
+                | Msg::DecisionAck { .. }
         )
     }
 
@@ -126,17 +129,41 @@ mod tests {
     fn labels_and_classification() {
         let g = GlobalTxnId(1);
         let msgs = [
-            Msg::SpawnSubtxn { txn: g, ops: vec![] },
-            Msg::SubtxnAck { txn: g, from: SiteId(0), ok: true },
+            Msg::SpawnSubtxn {
+                txn: g,
+                ops: vec![],
+            },
+            Msg::SubtxnAck {
+                txn: g,
+                from: SiteId(0),
+                ok: true,
+            },
             Msg::VoteReq { txn: g },
-            Msg::VoteMsg { txn: g, from: SiteId(0), vote: Vote::Yes },
-            Msg::Decision { txn: g, commit: true },
-            Msg::DecisionAck { txn: g, from: SiteId(0) },
+            Msg::VoteMsg {
+                txn: g,
+                from: SiteId(0),
+                vote: Vote::Yes,
+            },
+            Msg::Decision {
+                txn: g,
+                commit: true,
+            },
+            Msg::DecisionAck {
+                txn: g,
+                from: SiteId(0),
+            },
         ];
         let labels: Vec<_> = msgs.iter().map(Msg::label).collect();
         assert_eq!(
             labels,
-            vec!["msg.spawn", "msg.subtxn_ack", "msg.vote_req", "msg.vote", "msg.decision", "msg.decision_ack"]
+            vec![
+                "msg.spawn",
+                "msg.subtxn_ack",
+                "msg.vote_req",
+                "msg.vote",
+                "msg.decision",
+                "msg.decision_ack"
+            ]
         );
         assert_eq!(msgs.iter().filter(|m| m.is_2pc()).count(), 4);
         assert!(msgs.iter().all(|m| m.txn() == g));

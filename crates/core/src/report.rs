@@ -1,8 +1,8 @@
 //! Run reports: every quantity the experiments print.
 
-use o2pc_common::{History, SimTime};
 use o2pc_common::stats::CounterSet;
 use o2pc_common::Histogram;
+use o2pc_common::{History, SimTime};
 use o2pc_locking::LockStats;
 
 /// Everything measured during one engine run.
@@ -85,7 +85,12 @@ mod tests {
 
     #[test]
     fn derived_rates() {
-        let mut r = RunReport { end_time: SimTime(2_000_000), global_committed: 10, global_aborted: 10, ..Default::default() };
+        let mut r = RunReport {
+            end_time: SimTime(2_000_000),
+            global_committed: 10,
+            global_aborted: 10,
+            ..Default::default()
+        };
         assert_eq!(r.throughput(), 5.0);
         assert_eq!(r.abort_rate(), 0.5);
         r.counters.add("msg.vote_req", 40);

@@ -38,7 +38,14 @@ fn single_global_txn_commits() {
     assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(130)));
     assert_eq!(r.global_latency.count(), 1);
     // Message pattern: 2 spawns, 2 acks, 2 vote-reqs, 2 votes, 2 decisions, 2 decision-acks.
-    for label in ["msg.spawn", "msg.subtxn_ack", "msg.vote_req", "msg.vote", "msg.decision", "msg.decision_ack"] {
+    for label in [
+        "msg.spawn",
+        "msg.subtxn_ack",
+        "msg.vote_req",
+        "msg.vote",
+        "msg.decision",
+        "msg.decision_ack",
+    ] {
         assert_eq!(r.counters.get(label), 2, "{label}");
     }
     assert!(!r.history.is_empty());
@@ -61,7 +68,11 @@ fn forced_abort_is_semantically_atomic() {
     assert_eq!(r.global_committed, 0);
     assert_eq!(r.global_aborted, 10);
     assert_eq!(r.compensations_pending, 0, "persistence of compensation");
-    assert_eq!(r.total_value, 3 * 4 * 1000, "money conserved after full compensation");
+    assert_eq!(
+        r.total_value,
+        3 * 4 * 1000,
+        "money conserved after full compensation"
+    );
 }
 
 #[test]
@@ -82,7 +93,11 @@ fn mixed_aborts_conserve_money_with_delta_compensation() {
     assert!(r.global_committed > 0, "some must commit");
     assert!(r.global_aborted > 0, "some must abort (p=0.3)");
     assert_eq!(r.compensations_pending, 0);
-    assert_eq!(r.total_value, 4 * 8 * 500, "conservation under partial compensation");
+    assert_eq!(
+        r.total_value,
+        4 * 8 * 500,
+        "conservation under partial compensation"
+    );
 }
 
 #[test]
@@ -123,7 +138,10 @@ fn waiting_txn_proceeds_after_early_release() {
         e.submit_at(SimTime::ZERO, transfer(SiteId(0), SiteId(1), Key(0), 5));
         // Local writer arrives while the subtransaction holds k0 at site 0
         // (before the vote round completes).
-        e.submit_at(SimTime(15_000), TxnRequest::local(SiteId(0), vec![Op::Add(Key(0), 1)]));
+        e.submit_at(
+            SimTime(15_000),
+            TxnRequest::local(SiteId(0), vec![Op::Add(Key(0), 1)]),
+        );
         e.run(Duration::secs(10))
     };
     let d2pl = run(ProtocolKind::D2pl2pc);
@@ -148,7 +166,12 @@ fn identical_seeds_give_identical_runs() {
         for i in 0..50u64 {
             e.submit_at(
                 SimTime(i * 300),
-                transfer(SiteId((i % 3) as u32), SiteId(((i + 1) % 3) as u32), Key(i % 4), 1),
+                transfer(
+                    SiteId((i % 3) as u32),
+                    SiteId(((i + 1) % 3) as u32),
+                    Key(i % 4),
+                    1,
+                ),
             );
         }
         e.run(Duration::secs(60))
@@ -172,14 +195,22 @@ fn histories_with_no_aborts_are_serializable() {
     for i in 0..40u64 {
         e.submit_at(
             SimTime(i * 150),
-            transfer(SiteId((i % 3) as u32), SiteId(((i + 2) % 3) as u32), Key(i % 3), 1),
+            transfer(
+                SiteId((i % 3) as u32),
+                SiteId(((i + 2) % 3) as u32),
+                Key(i % 3),
+                1,
+            ),
         );
     }
     let r = e.run(Duration::secs(60));
     assert_eq!(r.global_aborted, 0);
     let report = audit(&r.history, 8_000, 8);
     assert!(report.is_correct());
-    assert!(report.serializable, "no aborts ⇒ criterion reduces to serializability");
+    assert!(
+        report.serializable,
+        "no aborts ⇒ criterion reduces to serializability"
+    );
 }
 
 #[test]
@@ -199,7 +230,11 @@ fn p1_keeps_histories_correct_under_aborts() {
     let r = e.run(Duration::secs(120));
     assert!(r.global_aborted > 0);
     let report = audit(&r.history, 8_000, 8);
-    assert!(report.is_correct(), "P1 must prevent regular cycles: {:?}", report.regular_cycle);
+    assert!(
+        report.is_correct(),
+        "P1 must prevent regular cycles: {:?}",
+        report.regular_cycle
+    );
     assert!(
         report.compensation_atomicity_violations.is_empty(),
         "Theorem 2: no mixed reads of T_i and CT_i"
@@ -228,7 +263,10 @@ fn coordinator_crash_blocks_2pc_until_recovery() {
             SimTime::ZERO,
             TxnRequest::global_with_coordinator(
                 SiteId(0),
-                vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+                vec![
+                    (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                    (SiteId(2), vec![Op::Add(Key(0), 5)]),
+                ],
             ),
         );
         e.run(Duration::secs(10))
@@ -265,13 +303,22 @@ fn real_action_sites_hold_locks_under_o2pc() {
         SimTime::ZERO,
         TxnRequest::global_with_coordinator(
             SiteId(2),
-            vec![(SiteId(0), vec![Op::Add(Key(0), -5)]), (SiteId(1), vec![Op::Add(Key(0), 5)])],
+            vec![
+                (SiteId(0), vec![Op::Add(Key(0), -5)]),
+                (SiteId(1), vec![Op::Add(Key(0), 5)]),
+            ],
         ),
     );
     let r = e.run(Duration::secs(10));
     assert_eq!(r.global_committed, 1);
-    assert!(r.locks.exclusive_hold.max() > 70_000, "real-action site blocked until decision");
-    assert!(r.locks.exclusive_hold.quantile(0.01) < 50_000, "compensatable site released at vote");
+    assert!(
+        r.locks.exclusive_hold.max() > 70_000,
+        "real-action site blocked until decision"
+    );
+    assert!(
+        r.locks.exclusive_hold.quantile(0.01) < 50_000,
+        "compensatable site released at vote"
+    );
 }
 
 #[test]
@@ -290,7 +337,11 @@ fn reserve_failure_aborts_globally_and_restores_stock() {
     );
     let r = e.run(Duration::secs(5));
     assert_eq!(r.global_aborted, 1);
-    assert_eq!(e.value(SiteId(0), Key(0)), Some(Value(10)), "seat released by compensation");
+    assert_eq!(
+        e.value(SiteId(0), Key(0)),
+        Some(Value(10)),
+        "seat released by compensation"
+    );
     assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(0)));
 }
 
@@ -332,11 +383,18 @@ fn vote_timeout_aborts_when_participant_site_is_down() {
         SimTime(1),
         TxnRequest::global_with_coordinator(
             SiteId(0),
-            vec![(SiteId(1), vec![Op::Add(Key(0), 5)]), (SiteId(2), vec![Op::Add(Key(0), -5)])],
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), 5)]),
+                (SiteId(2), vec![Op::Add(Key(0), -5)]),
+            ],
         ),
     );
     let r = e.run(Duration::secs(10));
     assert_eq!(r.global_committed, 0);
     assert_eq!(r.global_aborted, 1, "timeout presumes abort");
-    assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(100)), "site 1 compensated");
+    assert_eq!(
+        e.value(SiteId(1), Key(0)),
+        Some(Value(100)),
+        "site 1 compensated"
+    );
 }

@@ -31,7 +31,10 @@ fn run_with_participant_crash(
         SimTime::ZERO,
         TxnRequest::global_with_coordinator(
             SiteId(0),
-            vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                (SiteId(2), vec![Op::Add(Key(0), 5)]),
+            ],
         ),
     );
     let r = e.run(Duration::secs(30));
@@ -52,14 +55,22 @@ fn o2pc_participant_crash_after_local_commit_compensates_after_recovery() {
     // coordinator commits. After recovery the termination protocol lets
     // site 2 learn COMMIT from its peer.
     let (e, r) = run_with_participant_crash(ProtocolKind::O2pc, (4, 1000), Some(50));
-    assert_eq!(r.global_committed, 1, "{:?}", r.counters.iter().collect::<Vec<_>>());
+    assert_eq!(
+        r.global_committed,
+        1,
+        "{:?}",
+        r.counters.iter().collect::<Vec<_>>()
+    );
     assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(95)));
     assert_eq!(
         e.value(SiteId(2), Key(0)),
         Some(Value(105)),
         "locally-committed update survived the crash and was finalized"
     );
-    assert!(r.counters.get("term.resolved_commit") > 0, "resolved via peers after recovery");
+    assert!(
+        r.counters.get("term.resolved_commit") > 0,
+        "resolved via peers after recovery"
+    );
 }
 
 #[test]
@@ -70,11 +81,11 @@ fn o2pc_participant_crash_with_abort_decision_compensates_after_recovery() {
     cfg.seed = 0xC4A6;
     cfg.termination_timeout = Some(Duration::millis(50));
     cfg.vote_abort_probability = 1.0; // site 1 votes no; site 2 is crashed at its VoteReq? No:
-    // with p = 1.0 both sites would vote no — but site 2 votes at 3.05 ms,
-    // before the crash at 4 ms, so it also votes no and rolls back
-    // immediately. To exercise the compensation-after-recovery path we need
-    // site 2 to vote YES and site 1 NO — use a site-1-only failure: give
-    // site 1 an impossible Reserve instead.
+                                      // with p = 1.0 both sites would vote no — but site 2 votes at 3.05 ms,
+                                      // before the crash at 4 ms, so it also votes no and rolls back
+                                      // immediately. To exercise the compensation-after-recovery path we need
+                                      // site 2 to vote YES and site 1 NO — use a site-1-only failure: give
+                                      // site 1 an impossible Reserve instead.
     cfg.vote_abort_probability = 0.0;
     let mut failures = FailurePlan::new();
     failures.site_crash(
@@ -115,7 +126,11 @@ fn d2pl_participant_crash_while_prepared_recovers_locks_and_resolves() {
     let (e, r) = run_with_participant_crash(ProtocolKind::D2pl2pc, (4, 1000), Some(50));
     assert_eq!(r.global_committed, 1);
     assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(95)));
-    assert_eq!(e.value(SiteId(2), Key(0)), Some(Value(105)), "prepared update finalized");
+    assert_eq!(
+        e.value(SiteId(2), Key(0)),
+        Some(Value(105)),
+        "prepared update finalized"
+    );
     assert!(r.counters.get("term.resolved_commit") > 0);
 }
 
@@ -130,7 +145,11 @@ fn prepared_participant_without_termination_stays_in_doubt() {
     // The coordinator logged COMMIT; site 1 applied it; site 2 is in doubt.
     assert_eq!(r.global_committed, 1);
     assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(95)));
-    assert_eq!(e.value(SiteId(2), Key(0)), Some(Value(105)), "update durable but unresolved");
+    assert_eq!(
+        e.value(SiteId(2), Key(0)),
+        Some(Value(105)),
+        "update durable but unresolved"
+    );
     assert_eq!(r.counters.get("term.rounds"), 0);
     // The write lock is still held at site 2: a probing local transaction
     // would block (verified via the lock manager's view at end of run).

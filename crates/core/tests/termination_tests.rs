@@ -28,7 +28,10 @@ fn crash_coordinator_setup(
         SimTime::ZERO,
         TxnRequest::global_with_coordinator(
             SiteId(0),
-            vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                (SiteId(2), vec![Op::Add(Key(0), 5)]),
+            ],
         ),
     );
     e
@@ -39,14 +42,17 @@ fn all_uncertain_participants_stay_blocked() {
     // Both participants are prepared when the coordinator dies: the
     // termination protocol runs but cannot unblock them (the fundamental
     // 2PC blocking case). They stay blocked until the coordinator recovers.
-    let mut e = crash_coordinator_setup(
-        ProtocolKind::D2pl2pc,
-        Some(Duration::millis(20)),
-        (3, 500),
-    );
+    let mut e =
+        crash_coordinator_setup(ProtocolKind::D2pl2pc, Some(Duration::millis(20)), (3, 500));
     let r = e.run(Duration::secs(10));
-    assert!(r.counters.get("term.rounds") > 0, "termination rounds must run");
-    assert!(r.counters.get("term.still_blocked") > 0, "all-uncertain ⇒ still blocked");
+    assert!(
+        r.counters.get("term.rounds") > 0,
+        "termination rounds must run"
+    );
+    assert!(
+        r.counters.get("term.still_blocked") > 0,
+        "all-uncertain ⇒ still blocked"
+    );
     assert!(
         r.locks.exclusive_hold.mean() > 400_000.0,
         "blocked through the outage despite the termination protocol: {}",
@@ -67,9 +73,10 @@ fn unprepared_peer_lets_blocked_participant_abort() {
     // Only the coordinator→site2 direction is slow: the spawn reaches site 2
     // slowly too, but its ack comes back fast; the VOTE-REQ then takes
     // another 400 ms during which the coordinator dies.
-    cfg.network
-        .link_latency
-        .insert((SiteId(0), SiteId(2)), o2pc_sim::LatencyModel::Fixed(Duration::millis(400)));
+    cfg.network.link_latency.insert(
+        (SiteId(0), SiteId(2)),
+        o2pc_sim::LatencyModel::Fixed(Duration::millis(400)),
+    );
     let mut failures = FailurePlan::new();
     failures.site_crash(
         SiteId(0),
@@ -84,15 +91,30 @@ fn unprepared_peer_lets_blocked_participant_abort() {
         SimTime::ZERO,
         TxnRequest::global_with_coordinator(
             SiteId(0),
-            vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                (SiteId(2), vec![Op::Add(Key(0), 5)]),
+            ],
         ),
     );
     let r = e.run(Duration::secs(10));
-    assert!(r.counters.get("term.resolved_abort") > 0, "{:?}", r.counters.iter().collect::<Vec<_>>());
-    assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(100)), "site 1 rolled back via termination");
+    assert!(
+        r.counters.get("term.resolved_abort") > 0,
+        "{:?}",
+        r.counters.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        e.value(SiteId(1), Key(0)),
+        Some(Value(100)),
+        "site 1 rolled back via termination"
+    );
     assert_eq!(e.value(SiteId(2), Key(0)), Some(Value(100)));
     // Site 1 unblocked long before the coordinator's 30s recovery.
-    assert!(r.locks.exclusive_hold.max() < 5_000_000, "{}", r.locks.exclusive_hold.max());
+    assert!(
+        r.locks.exclusive_hold.max() < 5_000_000,
+        "{}",
+        r.locks.exclusive_hold.max()
+    );
 }
 
 #[test]
@@ -106,9 +128,10 @@ fn peer_that_knows_the_decision_shares_it() {
     let mut cfg = SystemConfig::new(3, ProtocolKind::D2pl2pc);
     cfg.seed = 0x7E03;
     cfg.termination_timeout = Some(Duration::millis(300));
-    cfg.network
-        .link_latency
-        .insert((SiteId(0), SiteId(1)), o2pc_sim::LatencyModel::Fixed(Duration::millis(300)));
+    cfg.network.link_latency.insert(
+        (SiteId(0), SiteId(1)),
+        o2pc_sim::LatencyModel::Fixed(Duration::millis(300)),
+    );
     let mut e = Engine::new(cfg);
     e.load(SiteId(1), Key(0), Value(100));
     e.load(SiteId(2), Key(0), Value(100));
@@ -116,14 +139,20 @@ fn peer_that_knows_the_decision_shares_it() {
         SimTime::ZERO,
         TxnRequest::global_with_coordinator(
             SiteId(0),
-            vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                (SiteId(2), vec![Op::Add(Key(0), 5)]),
+            ],
         ),
     );
     let r = e.run(Duration::secs(10));
     assert_eq!(r.global_committed, 1);
     assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(95)));
     assert_eq!(e.value(SiteId(2), Key(0)), Some(Value(105)));
-    assert!(r.counters.get("term.rounds") > 0, "site 1 must have started termination rounds");
+    assert!(
+        r.counters.get("term.rounds") > 0,
+        "site 1 must have started termination rounds"
+    );
     assert!(
         r.counters.get("term.resolved_commit") > 0,
         "the round must learn COMMIT from the peer: {:?}",
@@ -146,6 +175,10 @@ fn o2pc_needs_no_termination_protocol() {
     // so no termination round ever fires even when enabled.
     let mut e = crash_coordinator_setup(ProtocolKind::O2pc, Some(Duration::millis(20)), (3, 500));
     let r = e.run(Duration::secs(10));
-    assert_eq!(r.counters.get("term.rounds"), 0, "no prepared-blocked participants under O2PC");
+    assert_eq!(
+        r.counters.get("term.rounds"),
+        0,
+        "no prepared-blocked participants under O2PC"
+    );
     assert!(r.locks.exclusive_hold.mean() < 50_000.0);
 }

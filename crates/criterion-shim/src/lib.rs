@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of criterion's API that `benches/micro.rs` uses — `Criterion`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! calibrated timing loop. No statistics, plots, or baselines: each
+//! benchmark prints its mean wall-clock time per iteration.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How per-iteration setup output is batched (accepted, ignored: the shim
+/// always times setup separately from the routine).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each registered function.
+pub struct Criterion {
+    /// Target measuring time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Times closures for one named benchmark.
+pub struct Bencher {
+    measure_for: Duration,
+    /// (total routine time, iterations) accumulated by the last `iter*` call.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it takes a visible amount of time.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let took = start.elapsed();
+            if took > Duration::from_millis(5) || batch >= 1 << 20 {
+                let iters =
+                    (self.measure_for.as_nanos() / took.as_nanos().max(1)).max(1) as u64 * batch;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(routine());
+                }
+                self.measured = Some((start.elapsed(), iters));
+                return;
+            }
+            batch *= 4;
+        }
+    }
+
+    /// Time `routine` over fresh state from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while wall.elapsed() < self.measure_for || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measure_for: self.measure_for,
+            measured: None,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((total, iters)) => {
+                let per = total.as_nanos() as f64 / iters as f64;
+                println!("{name:<45} {:>12} / iter  ({iters} iters)", format_ns(per));
+            }
+            None => println!("{name:<45} (no measurement)"),
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => { $crate::criterion_group!($group, $($rest)*); };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(10),
+        };
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            measure_for: Duration::from_millis(5),
+            measured: None,
+        };
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        let (_, iters) = b.measured.unwrap();
+        assert!(iters > 0);
+    }
+}

@@ -96,7 +96,13 @@ impl LockManager {
     }
 
     /// Request `mode` on `key` for `exec` at virtual time `now`.
-    pub fn request(&mut self, exec: ExecId, key: Key, mode: AccessMode, now: SimTime) -> RequestOutcome {
+    pub fn request(
+        &mut self,
+        exec: ExecId,
+        key: Key,
+        mode: AccessMode,
+        now: SimTime,
+    ) -> RequestOutcome {
         debug_assert!(
             !self.waiting.contains_key(&exec),
             "{exec} requested a lock while already waiting"
@@ -124,7 +130,12 @@ impl LockManager {
                     return RequestOutcome::Granted;
                 }
                 // Queue the upgrade at the front so it beats fresh requests.
-                entry.queue.push_front(WaitReq { exec, mode, enqueued: now, upgrade: true });
+                entry.queue.push_front(WaitReq {
+                    exec,
+                    mode,
+                    enqueued: now,
+                    upgrade: true,
+                });
                 self.waiting.insert(exec, key);
                 self.stats.queued_requests.inc();
                 return RequestOutcome::Waiting;
@@ -135,12 +146,21 @@ impl LockManager {
         // Fresh request: grant only if compatible AND no one queued ahead
         // (prevents starvation of waiting writers).
         if entry.queue.is_empty() && entry.compatible(exec, mode) {
-            entry.granted.push(Grant { exec, mode, acquired: now });
+            entry.granted.push(Grant {
+                exec,
+                mode,
+                acquired: now,
+            });
             self.held.entry(exec).or_default().push(key);
             self.stats.immediate_grants.inc();
             RequestOutcome::Granted
         } else {
-            entry.queue.push_back(WaitReq { exec, mode, enqueued: now, upgrade: false });
+            entry.queue.push_back(WaitReq {
+                exec,
+                mode,
+                enqueued: now,
+                upgrade: false,
+            });
             self.waiting.insert(exec, key);
             self.stats.queued_requests.inc();
             RequestOutcome::Waiting
@@ -163,7 +183,11 @@ impl LockManager {
                 } else if entry.granted.is_empty() {
                     // Holder list emptied (upgrader itself was released/aborted
                     // elsewhere): treat as a fresh exclusive grant.
-                    entry.granted.push(Grant { exec: head.exec, mode: AccessMode::Write, acquired: now });
+                    entry.granted.push(Grant {
+                        exec: head.exec,
+                        mode: AccessMode::Write,
+                        acquired: now,
+                    });
                     self.held.entry(head.exec).or_default().push(key);
                 } else if entry.granted.iter().any(|g| g.exec != head.exec) {
                     break;
@@ -172,7 +196,11 @@ impl LockManager {
                 if !entry.compatible(head.exec, head.mode) {
                     break;
                 }
-                entry.granted.push(Grant { exec: head.exec, mode: head.mode, acquired: now });
+                entry.granted.push(Grant {
+                    exec: head.exec,
+                    mode: head.mode,
+                    acquired: now,
+                });
                 self.held.entry(head.exec).or_default().push(key);
             }
             entry.queue.pop_front();
@@ -190,7 +218,8 @@ impl LockManager {
         if let Some(entry) = self.table.get_mut(&key) {
             if let Some(pos) = entry.granted.iter().position(|g| g.exec == exec) {
                 let g = entry.granted.swap_remove(pos);
-                self.stats.record_hold(g.mode == AccessMode::Write, now - g.acquired);
+                self.stats
+                    .record_hold(g.mode == AccessMode::Write, now - g.acquired);
             }
         }
         if let Some(keys) = self.held.get_mut(&exec) {
@@ -371,7 +400,11 @@ impl LockManager {
             }
             // waiting map consistent with queues.
             for w in &entry.queue {
-                assert_eq!(self.waiting.get(&w.exec), Some(key), "waiting map out of sync");
+                assert_eq!(
+                    self.waiting.get(&w.exec),
+                    Some(key),
+                    "waiting map out of sync"
+                );
             }
         }
     }
@@ -391,8 +424,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Read, T0), RequestOutcome::Granted);
-        assert_eq!(lm.request(e(2), Key(1), AccessMode::Read, T0), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Read, T0),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(e(2), Key(1), AccessMode::Read, T0),
+            RequestOutcome::Granted
+        );
         assert_eq!(lm.grant_count(), 2);
         lm.check_invariants();
     }
@@ -400,12 +439,25 @@ mod tests {
     #[test]
     fn exclusive_blocks_and_fifo_wakeup() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Write, T0), RequestOutcome::Granted);
-        assert_eq!(lm.request(e(2), Key(1), AccessMode::Write, SimTime(5)), RequestOutcome::Waiting);
-        assert_eq!(lm.request(e(3), Key(1), AccessMode::Read, SimTime(6)), RequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Write, T0),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(e(2), Key(1), AccessMode::Write, SimTime(5)),
+            RequestOutcome::Waiting
+        );
+        assert_eq!(
+            lm.request(e(3), Key(1), AccessMode::Read, SimTime(6)),
+            RequestOutcome::Waiting
+        );
         lm.check_invariants();
         let woken = lm.release_all(e(1), SimTime(10));
-        assert_eq!(woken, vec![e(2)], "writer first (FIFO), reader still blocked");
+        assert_eq!(
+            woken,
+            vec![e(2)],
+            "writer first (FIFO), reader still blocked"
+        );
         let woken = lm.release_all(e(2), SimTime(20));
         assert_eq!(woken, vec![e(3)]);
         lm.check_invariants();
@@ -415,9 +467,15 @@ mod tests {
     fn waiting_writer_blocks_later_readers() {
         let mut lm = LockManager::new();
         lm.request(e(1), Key(1), AccessMode::Read, T0);
-        assert_eq!(lm.request(e(2), Key(1), AccessMode::Write, T0), RequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(e(2), Key(1), AccessMode::Write, T0),
+            RequestOutcome::Waiting
+        );
         // A later reader must NOT skip the queued writer.
-        assert_eq!(lm.request(e(3), Key(1), AccessMode::Read, T0), RequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(e(3), Key(1), AccessMode::Read, T0),
+            RequestOutcome::Waiting
+        );
         let woken = lm.release_all(e(1), SimTime(1));
         assert_eq!(woken, vec![e(2)]);
         let woken = lm.release_all(e(2), SimTime(2));
@@ -427,9 +485,18 @@ mod tests {
     #[test]
     fn reentrant_requests() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Write, T0), RequestOutcome::Granted);
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Write, T0), RequestOutcome::Granted);
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Read, T0), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Write, T0),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Write, T0),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Read, T0),
+            RequestOutcome::Granted
+        );
         assert_eq!(lm.grant_count(), 1, "re-entry must not duplicate grants");
     }
 
@@ -437,7 +504,10 @@ mod tests {
     fn sole_holder_upgrade_is_instant() {
         let mut lm = LockManager::new();
         lm.request(e(1), Key(1), AccessMode::Read, T0);
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Write, SimTime(2)), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Write, SimTime(2)),
+            RequestOutcome::Granted
+        );
         assert_eq!(lm.mode_of(e(1), Key(1)), Some(AccessMode::Write));
         assert_eq!(lm.stats().instant_upgrades.get(), 1);
     }
@@ -448,9 +518,15 @@ mod tests {
         lm.request(e(1), Key(1), AccessMode::Read, T0);
         lm.request(e(2), Key(1), AccessMode::Read, T0);
         // e2 wants to upgrade: must wait for e1.
-        assert_eq!(lm.request(e(2), Key(1), AccessMode::Write, SimTime(1)), RequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(e(2), Key(1), AccessMode::Write, SimTime(1)),
+            RequestOutcome::Waiting
+        );
         // A later fresh writer queues behind the upgrade.
-        assert_eq!(lm.request(e(3), Key(1), AccessMode::Write, SimTime(2)), RequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(e(3), Key(1), AccessMode::Write, SimTime(2)),
+            RequestOutcome::Waiting
+        );
         let woken = lm.release_all(e(1), SimTime(3));
         assert_eq!(woken, vec![e(2)], "upgrade granted first");
         assert_eq!(lm.mode_of(e(2), Key(1)), Some(AccessMode::Write));
@@ -468,7 +544,11 @@ mod tests {
         lm.request(e(3), Key(2), AccessMode::Read, T0);
         let woken = lm.release_read_locks(e(1), SimTime(5));
         assert_eq!(woken, vec![e(2)], "reader on k1 released, writer unblocked");
-        assert_eq!(lm.mode_of(e(1), Key(2)), Some(AccessMode::Write), "write lock retained");
+        assert_eq!(
+            lm.mode_of(e(1), Key(2)),
+            Some(AccessMode::Write),
+            "write lock retained"
+        );
         assert!(lm.waiting_on(e(3)).is_some(), "k2 reader still blocked");
         lm.check_invariants();
     }
@@ -505,8 +585,14 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(e(1), Key(1), AccessMode::Read, T0);
         lm.request(e(2), Key(1), AccessMode::Read, T0);
-        assert_eq!(lm.request(e(1), Key(1), AccessMode::Write, T0), RequestOutcome::Waiting);
-        assert_eq!(lm.request(e(2), Key(1), AccessMode::Write, T0), RequestOutcome::Waiting);
+        assert_eq!(
+            lm.request(e(1), Key(1), AccessMode::Write, T0),
+            RequestOutcome::Waiting
+        );
+        assert_eq!(
+            lm.request(e(2), Key(1), AccessMode::Write, T0),
+            RequestOutcome::Waiting
+        );
         let cycle = lm.find_deadlock().expect("conversion deadlock");
         assert!(cycle.contains(&e(1)) || cycle.contains(&e(2)));
     }

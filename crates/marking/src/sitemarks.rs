@@ -155,7 +155,10 @@ mod tests {
         let marks: Vec<_> = sm.iter().collect();
         assert_eq!(
             marks,
-            vec![(g(1), MarkState::LocallyCommitted), (g(2), MarkState::Undone)]
+            vec![
+                (g(1), MarkState::LocallyCommitted),
+                (g(2), MarkState::Undone)
+            ]
         );
     }
 }

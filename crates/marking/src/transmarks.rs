@@ -159,7 +159,10 @@ impl TransMarks {
     /// of `T_j`'s sites or at none.
     fn check_p2(&self, site: &SiteMarks) -> Result<(), Incompatibility> {
         for (&txn, &cnt) in &self.lc {
-            if cnt == self.visits && self.visits > 0 && site.mark_of(txn) != MarkState::LocallyCommitted {
+            if cnt == self.visits
+                && self.visits > 0
+                && site.mark_of(txn) != MarkState::LocallyCommitted
+            {
                 return Err(Incompatibility {
                     with: txn,
                     site_mark: site.mark_of(txn),
@@ -224,7 +227,8 @@ mod tests {
     fn p1_accepts_uniform_unmarked() {
         let mut tm = TransMarks::new();
         for _ in 0..3 {
-            tm.check_and_absorb(MarkingProtocol::P1, &SiteMarks::new()).unwrap();
+            tm.check_and_absorb(MarkingProtocol::P1, &SiteMarks::new())
+                .unwrap();
         }
         assert_eq!(tm.visits(), 3);
     }
@@ -232,16 +236,21 @@ mod tests {
     #[test]
     fn p1_accepts_uniform_undone() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P1, &undone_site(&[5])).unwrap();
-        tm.check_and_absorb(MarkingProtocol::P1, &undone_site(&[5])).unwrap();
+        tm.check_and_absorb(MarkingProtocol::P1, &undone_site(&[5]))
+            .unwrap();
+        tm.check_and_absorb(MarkingProtocol::P1, &undone_site(&[5]))
+            .unwrap();
         assert_eq!(tm.undone_seen(), vec![g(5)]);
     }
 
     #[test]
     fn p1_rejects_undone_then_unmarked() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P1, &undone_site(&[5])).unwrap();
-        let err = tm.check(MarkingProtocol::P1, &SiteMarks::new()).unwrap_err();
+        tm.check_and_absorb(MarkingProtocol::P1, &undone_site(&[5]))
+            .unwrap();
+        let err = tm
+            .check(MarkingProtocol::P1, &SiteMarks::new())
+            .unwrap_err();
         assert_eq!(err.with, g(5));
         assert_eq!(err.site_mark, MarkState::Unmarked);
     }
@@ -249,8 +258,11 @@ mod tests {
     #[test]
     fn p1_rejects_unmarked_then_undone() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P1, &SiteMarks::new()).unwrap();
-        let err = tm.check(MarkingProtocol::P1, &undone_site(&[5])).unwrap_err();
+        tm.check_and_absorb(MarkingProtocol::P1, &SiteMarks::new())
+            .unwrap();
+        let err = tm
+            .check(MarkingProtocol::P1, &undone_site(&[5]))
+            .unwrap_err();
         assert_eq!(err.with, g(5));
         assert_eq!(err.site_mark, MarkState::Undone);
     }
@@ -259,36 +271,46 @@ mod tests {
     fn p1_allows_locally_committed_and_unmarked_mix() {
         // The P1 simplification: LC and unmarked are interchangeable.
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P1, &lc_site(&[5])).unwrap();
-        tm.check_and_absorb(MarkingProtocol::P1, &SiteMarks::new()).unwrap();
-        tm.check_and_absorb(MarkingProtocol::P1, &lc_site(&[5, 7])).unwrap();
+        tm.check_and_absorb(MarkingProtocol::P1, &lc_site(&[5]))
+            .unwrap();
+        tm.check_and_absorb(MarkingProtocol::P1, &SiteMarks::new())
+            .unwrap();
+        tm.check_and_absorb(MarkingProtocol::P1, &lc_site(&[5, 7]))
+            .unwrap();
     }
 
     #[test]
     fn p1_rejects_lc_then_undone_for_same_txn() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P1, &lc_site(&[5])).unwrap();
-        let err = tm.check(MarkingProtocol::P1, &undone_site(&[5])).unwrap_err();
+        tm.check_and_absorb(MarkingProtocol::P1, &lc_site(&[5]))
+            .unwrap();
+        let err = tm
+            .check(MarkingProtocol::P1, &undone_site(&[5]))
+            .unwrap_err();
         assert_eq!(err.with, g(5));
     }
 
     #[test]
     fn p2_duality() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P2, &lc_site(&[5])).unwrap();
+        tm.check_and_absorb(MarkingProtocol::P2, &lc_site(&[5]))
+            .unwrap();
         // All sites must be LC wrt 5 now.
         assert!(tm.check(MarkingProtocol::P2, &SiteMarks::new()).is_err());
         assert!(tm.check(MarkingProtocol::P2, &lc_site(&[5])).is_ok());
         // Undone and unmarked mix freely under P2.
         let mut tm2 = TransMarks::new();
-        tm2.check_and_absorb(MarkingProtocol::P2, &undone_site(&[5])).unwrap();
-        tm2.check_and_absorb(MarkingProtocol::P2, &SiteMarks::new()).unwrap();
+        tm2.check_and_absorb(MarkingProtocol::P2, &undone_site(&[5]))
+            .unwrap();
+        tm2.check_and_absorb(MarkingProtocol::P2, &SiteMarks::new())
+            .unwrap();
     }
 
     #[test]
     fn p2_rejects_fresh_lc_after_non_lc_visit() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::P2, &SiteMarks::new()).unwrap();
+        tm.check_and_absorb(MarkingProtocol::P2, &SiteMarks::new())
+            .unwrap();
         let err = tm.check(MarkingProtocol::P2, &lc_site(&[5])).unwrap_err();
         assert_eq!(err.with, g(5));
         assert_eq!(err.site_mark, MarkState::LocallyCommitted);
@@ -297,20 +319,30 @@ mod tests {
     #[test]
     fn simple_protocol_rejects_any_lc() {
         let mut tm = TransMarks::new();
-        let err = tm.check(MarkingProtocol::Simple, &lc_site(&[5])).unwrap_err();
+        let err = tm
+            .check(MarkingProtocol::Simple, &lc_site(&[5]))
+            .unwrap_err();
         assert_eq!(err.with, g(5));
         // Undone uniformity still required.
-        tm.check_and_absorb(MarkingProtocol::Simple, &undone_site(&[3])).unwrap();
-        assert!(tm.check(MarkingProtocol::Simple, &undone_site(&[3])).is_ok());
-        assert!(tm.check(MarkingProtocol::Simple, &SiteMarks::new()).is_err());
+        tm.check_and_absorb(MarkingProtocol::Simple, &undone_site(&[3]))
+            .unwrap();
+        assert!(tm
+            .check(MarkingProtocol::Simple, &undone_site(&[3]))
+            .is_ok());
+        assert!(tm
+            .check(MarkingProtocol::Simple, &SiteMarks::new())
+            .is_err());
     }
 
     #[test]
     fn no_protocol_accepts_everything() {
         let mut tm = TransMarks::new();
-        tm.check_and_absorb(MarkingProtocol::None, &undone_site(&[1])).unwrap();
-        tm.check_and_absorb(MarkingProtocol::None, &lc_site(&[1])).unwrap();
-        tm.check_and_absorb(MarkingProtocol::None, &SiteMarks::new()).unwrap();
+        tm.check_and_absorb(MarkingProtocol::None, &undone_site(&[1]))
+            .unwrap();
+        tm.check_and_absorb(MarkingProtocol::None, &lc_site(&[1]))
+            .unwrap();
+        tm.check_and_absorb(MarkingProtocol::None, &SiteMarks::new())
+            .unwrap();
     }
 
     #[test]

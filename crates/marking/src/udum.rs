@@ -136,7 +136,10 @@ mod tests {
     fn observations_at_foreign_sites_ignored() {
         let mut u = UdumTracker::new();
         u.register_aborted(g(1), [s(0)]);
-        assert!(!u.observe_access(g(1), s(9)), "s9 is not an execution site of T1");
+        assert!(
+            !u.observe_access(g(1), s(9)),
+            "s9 is not an execution site of T1"
+        );
         assert!(u.observe_access(g(1), s(0)));
     }
 

@@ -35,7 +35,10 @@ fn site_strategy() -> impl Strategy<Value = SiteMarks> {
 fn spec_accepts_p1(visits: &[SiteMarks]) -> bool {
     for txn in 0..3u64 {
         let g = GlobalTxnId(txn);
-        let undone: Vec<bool> = visits.iter().map(|s| s.mark_of(g) == MarkState::Undone).collect();
+        let undone: Vec<bool> = visits
+            .iter()
+            .map(|s| s.mark_of(g) == MarkState::Undone)
+            .collect();
         let any = undone.iter().any(|&b| b);
         let all = undone.iter().all(|&b| b);
         if any && !all {
@@ -49,8 +52,10 @@ fn spec_accepts_p1(visits: &[SiteMarks]) -> bool {
 fn spec_accepts_p2(visits: &[SiteMarks]) -> bool {
     for txn in 0..3u64 {
         let g = GlobalTxnId(txn);
-        let lc: Vec<bool> =
-            visits.iter().map(|s| s.mark_of(g) == MarkState::LocallyCommitted).collect();
+        let lc: Vec<bool> = visits
+            .iter()
+            .map(|s| s.mark_of(g) == MarkState::LocallyCommitted)
+            .collect();
         let any = lc.iter().any(|&b| b);
         let all = lc.iter().all(|&b| b);
         if any && !all {

@@ -1,0 +1,437 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the real `proptest` cannot be fetched. This crate implements
+//! the (small) API subset the workspace's property tests use — strategies
+//! built from integer ranges, tuples, `prop_map`, weighted `prop_oneof!`,
+//! `prop::collection::vec`, `any::<T>()`, and the `proptest!` runner macro —
+//! with deterministic sampling and **no shrinking**: a failing case prints
+//! the offending input and the case number instead of a minimized
+//! counterexample.
+//!
+//! Sampling is seeded per test name (override with `PROPTEST_SEED=<u64>`),
+//! so failures reproduce across runs.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! The deterministic RNG driving strategy sampling.
+
+    /// SplitMix64: tiny, fast, and plenty for test-case generation.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed a generator for the named test. The `PROPTEST_SEED`
+        /// environment variable perturbs every test's stream at once.
+        pub fn for_test(name: &str) -> TestRng {
+            let base: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x9E37_79B9_7F4A_7C15);
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(base ^ h)
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration (the subset the workspace sets).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs. Unlike real proptest there is no shrinking;
+/// `sample` is the whole contract.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A boxed strategy (the element type of `prop_oneof!` unions).
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Box a strategy (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies over one value type (see `prop_oneof!`).
+pub struct OneOf<V> {
+    choices: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V: std::fmt::Debug> OneOf<V> {
+    /// Build from `(weight, strategy)` pairs; weights must not all be zero.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total: u64 = choices.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { choices, total }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.choices {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight walk exhausted")
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Any value of `T` (uniform over the whole domain).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (lo as i128 + off) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*}
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Collection sizes: an exact count or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// The property-test runner macro. Mirrors real proptest's surface: an
+/// optional `#![proptest_config(..)]` inner attribute followed by test
+/// functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let strat = ($($strat,)+);
+            for case in 0..config.cases {
+                let value = $crate::Strategy::sample(&strat, &mut rng);
+                let repr = format!("{:?}", value);
+                let ($($pat,)+) = value;
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body }),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: case {}/{} of `{}` failed (no shrinking) for input:\n  {}",
+                        case + 1, config.cases, stringify!($name), repr,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a property (panics; no rejection bookkeeping).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Weighted or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::sample(&(-20i8..20), &mut rng);
+            assert!((-20..20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size() {
+        let mut rng = crate::test_runner::TestRng::for_test("lens");
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0u8..3, 1..6), &mut rng);
+            assert!((1..6).contains(&v.len()));
+            let exact = Strategy::sample(&prop::collection::vec(0u8..3, 3usize), &mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn oneof_weights_cover_all_choices() {
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let strat = prop_oneof![3 => (0u8..1).prop_map(|_| "a"), 1 => (0u8..1).prop_map(|_| "b")];
+        let mut seen_a = 0;
+        let mut seen_b = 0;
+        for _ in 0..400 {
+            match Strategy::sample(&strat, &mut rng) {
+                "a" => seen_a += 1,
+                _ => seen_b += 1,
+            }
+        }
+        assert!(
+            seen_a > seen_b,
+            "weight 3 should dominate: {seen_a} vs {seen_b}"
+        );
+        assert!(seen_b > 0, "weight 1 must still be sampled");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn runner_draws_every_case(xs in prop::collection::vec(any::<bool>(), 0..8), n in 1u32..5) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+}

@@ -54,7 +54,10 @@ pub struct TwoPhaseCoordinator {
 impl TwoPhaseCoordinator {
     /// New coordinator for `txn` over the given participant sites.
     pub fn new(txn: GlobalTxnId, participants: Vec<SiteId>) -> Self {
-        assert!(!participants.is_empty(), "a global transaction needs participants");
+        assert!(
+            !participants.is_empty(),
+            "a global transaction needs participants"
+        );
         TwoPhaseCoordinator {
             txn,
             participants,
@@ -227,7 +230,10 @@ mod tests {
         assert_eq!(c.decision(), Some(true));
         assert_eq!(c.on_decision_ack(SiteId(0)), None);
         assert_eq!(c.on_decision_ack(SiteId(1)), None);
-        assert_eq!(c.on_decision_ack(SiteId(2)), Some(CoordAction::Complete(true)));
+        assert_eq!(
+            c.on_decision_ack(SiteId(2)),
+            Some(CoordAction::Complete(true))
+        );
         assert_eq!(c.state(), CoordState::Done(true));
     }
 
@@ -280,9 +286,15 @@ mod tests {
         c.on_decision_ack(SiteId(0));
         // Crash here; recovery resends to 1 and 2 only.
         let a = c.recover().unwrap();
-        assert_eq!(a, CoordAction::SendDecision(true, vec![SiteId(1), SiteId(2)]));
+        assert_eq!(
+            a,
+            CoordAction::SendDecision(true, vec![SiteId(1), SiteId(2)])
+        );
         c.on_decision_ack(SiteId(1));
-        assert_eq!(c.on_decision_ack(SiteId(2)), Some(CoordAction::Complete(true)));
+        assert_eq!(
+            c.on_decision_ack(SiteId(2)),
+            Some(CoordAction::Complete(true))
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl TerminationRound {
     /// Start a round: `peers` are the other participants (from the VOTE-REQ
     /// payload — participant lists piggy-back on standard 2PC messages).
     pub fn new(txn: GlobalTxnId, peers: Vec<SiteId>) -> Self {
-        TerminationRound { txn, peers, answers: BTreeMap::new() }
+        TerminationRound {
+            txn,
+            peers,
+            answers: BTreeMap::new(),
+        }
     }
 
     /// The transaction being terminated.
@@ -81,7 +85,11 @@ impl TerminationRound {
 
     /// Peers that have not answered yet.
     pub fn outstanding(&self) -> Vec<SiteId> {
-        self.peers.iter().copied().filter(|p| !self.answers.contains_key(p)).collect()
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| !self.answers.contains_key(p))
+            .collect()
     }
 }
 
@@ -97,19 +105,28 @@ mod tests {
     fn commit_knowledge_resolves_immediately() {
         let mut r = round(3);
         assert_eq!(r.on_answer(SiteId(0), PeerState::PreparedUncertain), None);
-        assert_eq!(r.on_answer(SiteId(1), PeerState::KnowsCommit), Some(TerminationOutcome::Commit));
+        assert_eq!(
+            r.on_answer(SiteId(1), PeerState::KnowsCommit),
+            Some(TerminationOutcome::Commit)
+        );
     }
 
     #[test]
     fn abort_knowledge_resolves_immediately() {
         let mut r = round(2);
-        assert_eq!(r.on_answer(SiteId(0), PeerState::KnowsAbort), Some(TerminationOutcome::Abort));
+        assert_eq!(
+            r.on_answer(SiteId(0), PeerState::KnowsAbort),
+            Some(TerminationOutcome::Abort)
+        );
     }
 
     #[test]
     fn unprepared_peer_proves_abort() {
         let mut r = round(3);
-        assert_eq!(r.on_answer(SiteId(2), PeerState::NotPrepared), Some(TerminationOutcome::Abort));
+        assert_eq!(
+            r.on_answer(SiteId(2), PeerState::NotPrepared),
+            Some(TerminationOutcome::Abort)
+        );
     }
 
     #[test]

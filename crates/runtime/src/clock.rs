@@ -1,0 +1,79 @@
+//! Clock abstraction: where `SimTime` comes from.
+
+use o2pc_common::SimTime;
+use std::time::{Duration as StdDuration, Instant};
+
+/// A monotonic source of [`SimTime`].
+///
+/// The deterministic simulator's clock advances only when events are
+/// consumed; the wall clock advances on its own. Everything the engine
+/// timestamps (latencies, lock-hold windows, report end time) is expressed
+/// in `SimTime` microseconds regardless of which clock produced them — that
+/// is what lets one metrics pipeline serve both substrates.
+pub trait Clock {
+    /// The current time.
+    fn now(&self) -> SimTime;
+}
+
+/// Real elapsed time, mapped onto `SimTime` as microseconds since an epoch
+/// fixed at construction.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// Start a wall clock; `now()` is zero at this instant.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The `Instant` corresponding to a virtual timestamp.
+    pub fn instant_of(&self, t: SimTime) -> Instant {
+        self.epoch + StdDuration::from_micros(t.micros())
+    }
+
+    /// Wall-clock wait from now until virtual time `t` (zero if past).
+    pub fn until(&self, t: SimTime) -> StdDuration {
+        self.instant_of(t).saturating_duration_since(Instant::now())
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_advances_monotonically() {
+        let c = WallClock::new();
+        let a = c.now();
+        std::thread::sleep(StdDuration::from_millis(2));
+        let b = c.now();
+        assert!(b > a, "{a:?} !< {b:?}");
+        assert!(b.micros() >= 2_000, "slept 2ms but clock read {b:?}");
+    }
+
+    #[test]
+    fn instant_mapping_round_trips() {
+        let c = WallClock::new();
+        let t = SimTime(5_000);
+        // `until` a future timestamp is positive, and collapses to zero once
+        // that timestamp is in the past.
+        assert!(c.until(t) <= StdDuration::from_micros(5_000));
+        assert_eq!(c.until(SimTime::ZERO), StdDuration::ZERO);
+    }
+}

@@ -1,0 +1,450 @@
+//! The engine-facing runtime: timers + messages in one time-ordered stream.
+
+use crate::clock::{Clock, WallClock};
+use crate::transport::{Envelope, ThreadedTransport, Transport};
+use o2pc_common::{SimTime, SiteId};
+use o2pc_sim::{EventQueue, Network};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration as StdDuration;
+
+/// One unit of work handed to the engine: a timer it scheduled earlier, or a
+/// message the substrate delivered.
+#[derive(Clone, Debug)]
+pub enum Step<T, M> {
+    /// A timer scheduled via [`Runtime::schedule`] has fired.
+    Timer(T),
+    /// A message has arrived at site `to`.
+    Deliver {
+        /// Destination site.
+        to: SiteId,
+        /// The message.
+        msg: M,
+    },
+}
+
+/// What the engine needs from a substrate: a clock, timers, a message
+/// transport, and a single stream of [`Step`]s in time order.
+///
+/// `T` is the engine's timer payload, `M` its message type. The engine never
+/// sees queues, channels, or threads — it schedules, sends, and pulls the
+/// next step until `next` returns `None` (past `deadline`, or quiescent).
+pub trait Runtime<T, M>: Clock {
+    /// Called once per site while the engine is constructed; transports that
+    /// need explicit endpoints register a mailbox here.
+    fn register_endpoint(&mut self, _id: SiteId) {}
+
+    /// Arrange for `timer` to fire at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, timer: T);
+
+    /// Send `msg` from `from` to `to`; `now` is the sender's current time.
+    /// Returns `false` if the substrate dropped the message at send time.
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool;
+
+    /// Pull the next step at or before `deadline`. `None` means the run is
+    /// over: the next step (if any) lies beyond the deadline, or the
+    /// substrate has quiesced with nothing in flight.
+    fn next(&mut self, deadline: SimTime) -> Option<(SimTime, Step<T, M>)>;
+
+    /// Messages lost in transit so far.
+    fn messages_dropped(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic simulator backend
+// ---------------------------------------------------------------------------
+
+/// The deterministic discrete-event backend.
+///
+/// Timers and deliveries share **one** [`EventQueue`] — one sequence counter
+/// totally orders simultaneous entries, so a seeded run replays bit-for-bit.
+/// Splitting them into separate queues (one per trait) would look cleaner
+/// and silently break that guarantee, which is why the sim implements
+/// [`Runtime`] as a fused whole rather than composing a sim-`Clock` with a
+/// sim-`Transport`.
+#[derive(Debug)]
+pub struct SimRuntime<T, M> {
+    queue: EventQueue<Step<T, M>>,
+    network: Network,
+}
+
+impl<T, M> SimRuntime<T, M> {
+    /// Build on a configured [`Network`] (latency models, loss, failures).
+    pub fn new(network: Network) -> Self {
+        SimRuntime {
+            queue: EventQueue::new(),
+            network,
+        }
+    }
+
+    /// The simulated network (link state, send/drop counts).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Pending steps (timers + in-flight messages).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<T, M> Clock for SimRuntime<T, M> {
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+}
+
+impl<T, M> Runtime<T, M> for SimRuntime<T, M> {
+    fn schedule(&mut self, at: SimTime, timer: T) {
+        self.queue.schedule(at, Step::Timer(timer));
+    }
+
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool {
+        if from == to {
+            // Same-site messages skip the network (no latency, no loss).
+            self.queue.schedule(now, Step::Deliver { to, msg });
+            return true;
+        }
+        match self.network.transmit(from, to, now) {
+            Some(delay) => {
+                self.queue.schedule(now + delay, Step::Deliver { to, msg });
+                true
+            }
+            None => false, // lost: link down or random drop (network counts it)
+        }
+    }
+
+    fn next(&mut self, deadline: SimTime) -> Option<(SimTime, Step<T, M>)> {
+        let t = self.queue.peek_time()?;
+        if t > deadline {
+            return None; // left in the queue: a later run() call may resume
+        }
+        self.queue.pop()
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.network.dropped_count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded wall-clock backend
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`ThreadedRuntime`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedRuntimeConfig {
+    /// How long `next` waits with no due timer and nothing in flight before
+    /// declaring the run quiescent. Pure slack for OS scheduling jitter —
+    /// in-flight messages are tracked exactly, so this does not need to
+    /// cover transport latency.
+    pub idle_grace: StdDuration,
+}
+
+impl Default for ThreadedRuntimeConfig {
+    fn default() -> Self {
+        ThreadedRuntimeConfig {
+            idle_grace: StdDuration::from_millis(50),
+        }
+    }
+}
+
+/// Timer heap entry: due time + insertion sequence (FIFO among equal times,
+/// mirroring the simulator's queue discipline).
+struct TimerEntry<T> {
+    at: SimTime,
+    seq: u64,
+    timer: T,
+}
+
+impl<T> PartialEq for TimerEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for TimerEntry<T> {}
+impl<T> PartialOrd for TimerEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for TimerEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (at, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Wall-clock execution over a [`ThreadedTransport`].
+///
+/// Timers fire on real elapsed time (via [`WallClock`]); messages travel
+/// through the transport's router thread with real latency. All registered
+/// endpoints funnel into one inbox, so a single engine loop drives every
+/// site while delivery timing stays genuinely concurrent. Outcomes are
+/// schedule-dependent — the wall-clock twin of a simulated run checks
+/// invariants, not byte equality.
+///
+/// Quiescence: `next` returns `None` once the deadline passes, or when no
+/// timer is pending, the transport reports nothing in flight, and no message
+/// arrives within `idle_grace`.
+pub struct ThreadedRuntime<T, M> {
+    clock: WallClock,
+    transport: ThreadedTransport<M>,
+    inbox_tx: Sender<Envelope<M>>,
+    inbox: Receiver<Envelope<M>>,
+    timers: BinaryHeap<TimerEntry<T>>,
+    seq: u64,
+    cfg: ThreadedRuntimeConfig,
+}
+
+impl<T, M: Send + 'static> Default for ThreadedRuntime<T, M> {
+    fn default() -> Self {
+        Self::new(
+            ThreadedTransport::default(),
+            ThreadedRuntimeConfig::default(),
+        )
+    }
+}
+
+impl<T, M: Send + 'static> ThreadedRuntime<T, M> {
+    /// Build on a transport; the clock's epoch (time zero) is *now*.
+    pub fn new(transport: ThreadedTransport<M>, cfg: ThreadedRuntimeConfig) -> Self {
+        let (inbox_tx, inbox) = channel();
+        ThreadedRuntime {
+            clock: WallClock::new(),
+            transport,
+            inbox_tx,
+            inbox,
+            timers: BinaryHeap::new(),
+            seq: 0,
+            cfg,
+        }
+    }
+
+    /// The underlying transport (link policies, traffic counters).
+    pub fn transport(&self) -> &ThreadedTransport<M> {
+        &self.transport
+    }
+
+    /// Due time of the earliest pending timer.
+    fn next_timer_due(&self) -> Option<SimTime> {
+        self.timers.peek().map(|e| e.at)
+    }
+}
+
+impl<T, M: Send + 'static> Clock for ThreadedRuntime<T, M> {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+}
+
+impl<T, M: Send + 'static> Runtime<T, M> for ThreadedRuntime<T, M> {
+    fn register_endpoint(&mut self, id: SiteId) {
+        self.transport.attach(id, self.inbox_tx.clone());
+    }
+
+    fn schedule(&mut self, at: SimTime, timer: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.push(TimerEntry { at, seq, timer });
+    }
+
+    fn send(&mut self, _now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool {
+        // Unlike the simulator, same-site messages take the transport path
+        // too: a zero-latency link gives the same effect.
+        self.transport.send(from, to, msg)
+    }
+
+    fn next(&mut self, deadline: SimTime) -> Option<(SimTime, Step<T, M>)> {
+        loop {
+            let now = self.clock.now();
+            if now > deadline {
+                return None;
+            }
+            // Fire a due timer before waiting on the inbox.
+            if self.next_timer_due().is_some_and(|due| due <= now) {
+                let e = self.timers.pop().expect("peeked");
+                return Some((now, Step::Timer(e.timer)));
+            }
+            let until_deadline = self.clock.until(deadline);
+            let wait = match self.next_timer_due() {
+                Some(due) => self.clock.until(due).min(until_deadline),
+                None => self.cfg.idle_grace.min(until_deadline),
+            };
+            match self.inbox.recv_timeout(wait) {
+                Ok(env) => {
+                    return Some((
+                        self.clock.now(),
+                        Step::Deliver {
+                            to: env.to,
+                            msg: env.msg,
+                        },
+                    ))
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.timers.is_empty() {
+                        // Quiescence check. The engine (our only sender) is
+                        // blocked right here, so if the transport has nothing
+                        // in flight and the inbox is empty, no step can ever
+                        // arrive again.
+                        if self.transport.in_flight() > 0 {
+                            continue; // router still owes us a delivery
+                        }
+                        match self.inbox.try_recv() {
+                            Ok(env) => {
+                                return Some((
+                                    self.clock.now(),
+                                    Step::Deliver {
+                                        to: env.to,
+                                        msg: env.msg,
+                                    },
+                                ))
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
+                                return None
+                            }
+                        }
+                    }
+                    // A timer is (about to be) due: loop and fire it.
+                }
+            }
+        }
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.transport.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::{DetRng, Duration};
+    use o2pc_sim::NetworkConfig;
+
+    fn sim() -> SimRuntime<&'static str, u32> {
+        SimRuntime::new(Network::new(
+            NetworkConfig::fixed(Duration::millis(1)),
+            DetRng::new(1),
+        ))
+    }
+
+    #[test]
+    fn sim_orders_timers_and_deliveries_together() {
+        let mut rt = sim();
+        rt.schedule(SimTime(5_000), "late");
+        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 7)); // arrives at 1ms
+        rt.schedule(SimTime(500), "early");
+        let (t1, s1) = rt.next(SimTime(10_000)).unwrap();
+        assert_eq!(t1, SimTime(500));
+        assert!(matches!(s1, Step::Timer("early")));
+        let (t2, s2) = rt.next(SimTime(10_000)).unwrap();
+        assert_eq!(t2, SimTime(1_000));
+        assert!(matches!(
+            s2,
+            Step::Deliver {
+                to: SiteId(1),
+                msg: 7
+            }
+        ));
+        assert_eq!(rt.now(), SimTime(1_000));
+        // Deadline fences the late timer without consuming it.
+        assert!(rt.next(SimTime(2_000)).is_none());
+        assert!(rt.next(SimTime(10_000)).is_some());
+    }
+
+    #[test]
+    fn sim_same_site_send_bypasses_network() {
+        let mut rt = sim();
+        assert!(rt.send(SimTime(100), SiteId(2), SiteId(2), 9));
+        let (t, s) = rt.next(SimTime(10_000)).unwrap();
+        assert_eq!(t, SimTime(100), "no latency on self-sends");
+        assert!(matches!(
+            s,
+            Step::Deliver {
+                to: SiteId(2),
+                msg: 9
+            }
+        ));
+        assert_eq!(
+            rt.network().sent_count(),
+            0,
+            "self-send never hit the network"
+        );
+    }
+
+    fn threaded(grace_ms: u64) -> ThreadedRuntime<&'static str, u32> {
+        let mut rt = ThreadedRuntime::new(
+            ThreadedTransport::default(),
+            ThreadedRuntimeConfig {
+                idle_grace: StdDuration::from_millis(grace_ms),
+            },
+        );
+        for id in 0..3 {
+            rt.register_endpoint(SiteId(id));
+        }
+        rt
+    }
+
+    #[test]
+    fn threaded_delivers_messages_and_fires_timers() {
+        let mut rt = threaded(20);
+        let far = SimTime(60_000_000);
+        rt.schedule(SimTime(2_000), "timer");
+        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 42));
+        // The message is immediate, the timer is 2ms out: message first.
+        let (_, s1) = rt.next(far).unwrap();
+        assert!(matches!(
+            s1,
+            Step::Deliver {
+                to: SiteId(1),
+                msg: 42
+            }
+        ));
+        let (t2, s2) = rt.next(far).unwrap();
+        assert!(matches!(s2, Step::Timer("timer")));
+        assert!(t2 >= SimTime(2_000), "timer fired early: {t2:?}");
+        // Nothing left: quiesce within the grace period.
+        assert!(rt.next(far).is_none());
+    }
+
+    #[test]
+    fn threaded_respects_deadline() {
+        let mut rt = threaded(20);
+        rt.schedule(SimTime(50_000_000), "beyond"); // 50s out
+        let start = std::time::Instant::now();
+        assert!(
+            rt.next(SimTime(10_000)).is_none(),
+            "deadline precedes the timer"
+        );
+        assert!(start.elapsed() < StdDuration::from_secs(1));
+    }
+
+    #[test]
+    fn threaded_does_not_quiesce_with_message_in_flight() {
+        let transport = ThreadedTransport::new(StdDuration::from_millis(40));
+        let mut rt: ThreadedRuntime<&'static str, u32> = ThreadedRuntime::new(
+            transport,
+            ThreadedRuntimeConfig {
+                idle_grace: StdDuration::from_millis(5),
+            },
+        );
+        rt.register_endpoint(SiteId(0));
+        rt.register_endpoint(SiteId(1));
+        // Latency (40ms) far exceeds idle_grace (5ms); in-flight tracking
+        // must keep the runtime alive until the delivery lands.
+        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 1));
+        let got = rt.next(SimTime(60_000_000));
+        assert!(matches!(
+            got,
+            Some((
+                _,
+                Step::Deliver {
+                    to: SiteId(1),
+                    msg: 1
+                }
+            ))
+        ));
+    }
+}

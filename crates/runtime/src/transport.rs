@@ -1,0 +1,490 @@
+//! A threaded, wall-clock transport over std channels.
+//!
+//! Every endpoint gets a mailbox. Sends consult a per-link [`LinkPolicy`]
+//! (latency + loss probability); delayed deliveries are sequenced by one
+//! router thread that owns a time-ordered heap, so the transport spawns a
+//! bounded number of threads regardless of traffic and can be shut down
+//! deterministically (`shutdown()` joins the router; `Drop` does the same).
+
+use o2pc_common::SiteId;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+/// One addressed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender endpoint.
+    pub from: SiteId,
+    /// Destination endpoint.
+    pub to: SiteId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// An asynchronous message substrate between site endpoints.
+///
+/// Implementations decide delivery latency, loss, and threading; the
+/// contract is only that an accepted message *may* eventually reach the
+/// mailbox registered for `to`. Loss is allowed (and counted) — the commit
+/// protocol must tolerate it.
+pub trait Transport<M> {
+    /// Send `msg` from `from` to `to`. Returns `false` if the transport
+    /// dropped the message immediately (unknown destination or loss hook).
+    fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool;
+
+    /// Messages lost so far (unknown destination, loss hook, or shutdown).
+    fn dropped(&self) -> u64;
+}
+
+/// Latency/loss behaviour of one link (or the default for all links).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkPolicy {
+    /// Delivery delay applied on the router thread.
+    pub latency: StdDuration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for LinkPolicy {
+    fn default() -> Self {
+        LinkPolicy {
+            latency: StdDuration::ZERO,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl LinkPolicy {
+    /// A reliable link with fixed latency.
+    pub fn fixed(latency: StdDuration) -> Self {
+        LinkPolicy {
+            latency,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// State shared between the handle, its clones, and the router thread.
+struct Shared<M> {
+    mailboxes: Mutex<HashMap<SiteId, Sender<Envelope<M>>>>,
+    dropped: AtomicU64,
+    delivered: AtomicU64,
+    sent: AtomicU64,
+}
+
+impl<M> Shared<M> {
+    /// Deliver to the destination mailbox, counting a drop on any failure.
+    fn deliver(&self, env: Envelope<M>) {
+        let tx = self.mailboxes.lock().unwrap().get(&env.to).cloned();
+        match tx {
+            Some(tx) if tx.send(env).is_ok() => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+enum RouterCmd<M> {
+    Deliver { due: Instant, env: Envelope<M> },
+    Shutdown,
+}
+
+/// Heap entry ordered by due time then arrival sequence (stable FIFO for
+/// equal instants, mirroring the simulator's event queue).
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// A threaded in-process network: endpoints register mailboxes; sends are
+/// routed with per-link latency and loss on one dedicated router thread.
+///
+/// Lifecycle: [`ThreadedTransport::shutdown`] stops and joins the router
+/// (undelivered in-flight messages are counted as dropped); dropping the
+/// transport does the same. Endpoints can leave at any time via
+/// [`ThreadedTransport::deregister`] — their mailbox sender is removed so
+/// the channel closes as soon as the receiver side is gone too.
+pub struct ThreadedTransport<M> {
+    shared: Arc<Shared<M>>,
+    router_tx: Sender<RouterCmd<M>>,
+    router: Mutex<Option<JoinHandle<()>>>,
+    default_link: LinkPolicy,
+    links: Mutex<HashMap<(SiteId, SiteId), LinkPolicy>>,
+    /// SplitMix64 state for the loss hook (interior mutability keeps
+    /// `Transport::send` usable through a shared reference).
+    loss_rng: Mutex<u64>,
+}
+
+impl<M: Send + 'static> Default for ThreadedTransport<M> {
+    fn default() -> Self {
+        Self::new(StdDuration::ZERO)
+    }
+}
+
+impl<M: Send + 'static> ThreadedTransport<M> {
+    /// Create a transport applying `latency` to every delivery.
+    pub fn new(latency: StdDuration) -> Self {
+        Self::with_policy(LinkPolicy::fixed(latency))
+    }
+
+    /// Create a transport with an explicit default link policy.
+    pub fn with_policy(default_link: LinkPolicy) -> Self {
+        let shared = Arc::new(Shared {
+            mailboxes: Mutex::new(HashMap::new()),
+            dropped: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+        });
+        let (router_tx, router_rx) = channel();
+        let router_shared = Arc::clone(&shared);
+        let router = std::thread::Builder::new()
+            .name("o2pc-transport-router".into())
+            .spawn(move || route(router_rx, router_shared))
+            .expect("spawn router thread");
+        ThreadedTransport {
+            shared,
+            router_tx,
+            router: Mutex::new(Some(router)),
+            default_link,
+            links: Mutex::new(HashMap::new()),
+            loss_rng: Mutex::new(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Override the policy of one directed link.
+    pub fn set_link(&self, from: SiteId, to: SiteId, policy: LinkPolicy) {
+        self.links.lock().unwrap().insert((from, to), policy);
+    }
+
+    /// Register an endpoint, returning its receiving side.
+    pub fn register(&self, id: SiteId) -> Receiver<Envelope<M>> {
+        let (tx, rx) = channel();
+        self.attach(id, tx);
+        rx
+    }
+
+    /// Bind an endpoint to an existing sender (lets one consumer — e.g. an
+    /// engine driving every site — funnel all mailboxes into one inbox).
+    pub fn attach(&self, id: SiteId, tx: Sender<Envelope<M>>) {
+        let previous = self.mailboxes_insert(id, tx);
+        assert!(previous.is_none(), "endpoint {id} registered twice");
+    }
+
+    fn mailboxes_insert(&self, id: SiteId, tx: Sender<Envelope<M>>) -> Option<Sender<Envelope<M>>> {
+        self.shared.mailboxes.lock().unwrap().insert(id, tx)
+    }
+
+    /// Remove an endpoint; subsequent (and in-flight) messages to it are
+    /// counted as dropped, like sends to a crashed site.
+    pub fn deregister(&self, id: SiteId) {
+        self.shared.mailboxes.lock().unwrap().remove(&id);
+    }
+
+    /// Messages handed to the transport so far.
+    pub fn sent_count(&self) -> u64 {
+        self.shared.sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages accepted but neither delivered to a mailbox nor dropped yet
+    /// (sitting in the router's delay heap or its command channel). A sender
+    /// that observes `in_flight() == 0` *and* an empty mailbox knows the
+    /// transport owes it nothing — the basis for quiescence detection.
+    pub fn in_flight(&self) -> u64 {
+        let sent = self.shared.sent.load(Ordering::Relaxed);
+        let done = self
+            .shared
+            .delivered
+            .load(Ordering::Relaxed)
+            .saturating_add(self.shared.dropped.load(Ordering::Relaxed));
+        sent.saturating_sub(done)
+    }
+
+    /// Stop the router thread and join it. Idempotent; called by `Drop`.
+    /// Messages still queued for future delivery are counted as dropped.
+    pub fn shutdown(&self) {
+        let handle = self.router.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = self.router_tx.send(RouterCmd::Shutdown);
+            let _ = handle.join();
+        }
+    }
+
+    fn policy(&self, from: SiteId, to: SiteId) -> LinkPolicy {
+        self.links
+            .lock()
+            .unwrap()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    fn lose(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let mut state = self.loss_rng.lock().unwrap();
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<M: Send + 'static> Transport<M> for ThreadedTransport<M> {
+    fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool {
+        self.shared.sent.fetch_add(1, Ordering::Relaxed);
+        let policy = self.policy(from, to);
+        if self.lose(policy.drop_probability) {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let env = Envelope { from, to, msg };
+        if policy.latency.is_zero() {
+            // Fast path: preserve per-link FIFO without a router hop.
+            let before = self.shared.dropped.load(Ordering::Relaxed);
+            self.shared.deliver(env);
+            return self.shared.dropped.load(Ordering::Relaxed) == before;
+        }
+        let due = Instant::now() + policy.latency;
+        if self
+            .router_tx
+            .send(RouterCmd::Deliver { due, env })
+            .is_err()
+        {
+            // Router already shut down.
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<M> Drop for ThreadedTransport<M> {
+    fn drop(&mut self) {
+        let handle = self.router.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = self.router_tx.send(RouterCmd::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The router loop: sequence delayed deliveries in due order.
+fn route<M>(rx: Receiver<RouterCmd<M>>, shared: Arc<Shared<M>>) {
+    let mut heap: BinaryHeap<Pending<M>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Deliver everything already due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|p| p.due <= now) {
+            let p = heap.pop().expect("peeked");
+            shared.deliver(p.env);
+        }
+        let wait = match heap.peek() {
+            Some(p) => p.due.saturating_duration_since(Instant::now()),
+            None => StdDuration::from_secs(3600), // park until traffic
+        };
+        match rx.recv_timeout(wait) {
+            Ok(RouterCmd::Deliver { due, env }) => {
+                heap.push(Pending { due, seq, env });
+                seq += 1;
+            }
+            Ok(RouterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    // Anything still queued at shutdown is lost.
+    shared
+        .dropped
+        .fetch_add(heap.len() as u64, Ordering::Relaxed);
+}
+
+/// Receive with a timeout, mapping the channel error space onto an Option.
+pub fn recv_timeout<M>(rx: &Receiver<Envelope<M>>, timeout: StdDuration) -> Option<Envelope<M>> {
+    match rx.recv_timeout(timeout) {
+        Ok(env) => Some(env),
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let t: ThreadedTransport<&'static str> = ThreadedTransport::default();
+        let rx0 = t.register(SiteId(0));
+        let _rx1 = t.register(SiteId(1));
+        assert!(t.send(SiteId(1), SiteId(0), "hello"));
+        let env = recv_timeout(&rx0, StdDuration::from_secs(1)).unwrap();
+        assert_eq!(env.from, SiteId(1));
+        assert_eq!(env.msg, "hello");
+    }
+
+    #[test]
+    fn send_to_unregistered_is_dropped() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let _rx = t.register(SiteId(0));
+        assert!(!t.send(SiteId(0), SiteId(9), 1));
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn deregister_simulates_crash() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let _rx0 = t.register(SiteId(0));
+        let rx1 = t.register(SiteId(1));
+        t.deregister(SiteId(1));
+        assert!(!t.send(SiteId(0), SiteId(1), 7));
+        assert!(recv_timeout(&rx1, StdDuration::from_millis(20)).is_none());
+        // The slot is free again after deregistration.
+        let rx1b = t.register(SiteId(1));
+        assert!(t.send(SiteId(0), SiteId(1), 8));
+        assert_eq!(
+            recv_timeout(&rx1b, StdDuration::from_secs(1)).unwrap().msg,
+            8
+        );
+    }
+
+    #[test]
+    fn latency_delays_but_delivers() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(20));
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        let start = Instant::now();
+        assert!(t.send(SiteId(1), SiteId(0), 42));
+        let env = recv_timeout(&rx, StdDuration::from_secs(2)).unwrap();
+        assert_eq!(env.msg, 42);
+        assert!(start.elapsed() >= StdDuration::from_millis(15));
+    }
+
+    #[test]
+    fn latency_preserves_send_order_on_a_link() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(5));
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        for i in 0..50 {
+            assert!(t.send(SiteId(1), SiteId(0), i));
+        }
+        for i in 0..50 {
+            assert_eq!(recv_timeout(&rx, StdDuration::from_secs(1)).unwrap().msg, i);
+        }
+    }
+
+    #[test]
+    fn per_link_policy_overrides_default() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        t.set_link(
+            SiteId(0),
+            SiteId(1),
+            LinkPolicy::fixed(StdDuration::from_millis(25)),
+        );
+        let rx1 = t.register(SiteId(1));
+        let rx2 = t.register(SiteId(2));
+        let _ = t.register(SiteId(0));
+        let start = Instant::now();
+        assert!(t.send(SiteId(0), SiteId(1), 1)); // slow link
+        assert!(t.send(SiteId(0), SiteId(2), 2)); // default: immediate
+        assert_eq!(
+            recv_timeout(&rx2, StdDuration::from_secs(1)).unwrap().msg,
+            2
+        );
+        assert!(
+            start.elapsed() < StdDuration::from_millis(20),
+            "fast link must not wait"
+        );
+        assert_eq!(
+            recv_timeout(&rx1, StdDuration::from_secs(1)).unwrap().msg,
+            1
+        );
+        assert!(start.elapsed() >= StdDuration::from_millis(20));
+    }
+
+    #[test]
+    fn loss_hook_drops_roughly_at_rate() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::with_policy(LinkPolicy {
+            latency: StdDuration::ZERO,
+            drop_probability: 0.5,
+        });
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        let mut accepted = 0;
+        for i in 0..2000 {
+            if t.send(SiteId(1), SiteId(0), i) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted + t.dropped() as usize, 2000);
+        let rate = accepted as f64 / 2000.0;
+        assert!((rate - 0.5).abs() < 0.08, "acceptance rate {rate}");
+        // Accepted messages all arrive.
+        for _ in 0..accepted {
+            assert!(recv_timeout(&rx, StdDuration::from_secs(1)).is_some());
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_router_and_counts_inflight_as_dropped() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_secs(30));
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        assert!(t.send(SiteId(1), SiteId(0), 9)); // due far in the future
+        t.shutdown();
+        t.shutdown(); // idempotent
+        assert_eq!(t.dropped(), 1, "in-flight message lost at shutdown");
+        assert!(recv_timeout(&rx, StdDuration::from_millis(10)).is_none());
+        // Post-shutdown latency sends are refused and counted.
+        assert!(!t.send(SiteId(1), SiteId(0), 10));
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn drop_joins_router_without_hanging() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(1));
+        let _rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        t.send(SiteId(1), SiteId(0), 1);
+        drop(t); // must not deadlock or leak the router thread
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let _a = t.register(SiteId(0));
+        let _b = t.register(SiteId(0));
+    }
+}

@@ -83,7 +83,10 @@ fn build_with(history: &History, exposure_filter: bool) -> GlobalSg {
                 continue;
             }
             gsg.site_mut(e.site).add_node(e.txn);
-            per_site_key.entry((e.site, key)).or_default().push((e.txn, kind));
+            per_site_key
+                .entry((e.site, key))
+                .or_default()
+                .push((e.txn, kind));
         }
     }
 
@@ -113,14 +116,24 @@ mod tests {
     }
 
     fn l(site: u32, seq: u64) -> TxnId {
-        TxnId::Local(LocalTxnId { site: SiteId(site), seq })
+        TxnId::Local(LocalTxnId {
+            site: SiteId(site),
+            seq,
+        })
     }
 
     #[test]
     fn write_read_conflict_creates_edge() {
         let mut h = History::new();
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
-        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(t(1)), SimTime(2));
+        h.access(
+            SiteId(0),
+            t(2),
+            OpKind::Read,
+            Key(1),
+            Some(t(1)),
+            SimTime(2),
+        );
         let gsg = build_sgs(&h);
         let sg = gsg.site(SiteId(0)).unwrap();
         assert_eq!(sg.successors(t(1)), &[t(2)]);
@@ -152,7 +165,10 @@ mod tests {
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
         h.access(SiteId(1), t(2), OpKind::Write, Key(1), None, SimTime(2));
         let gsg = build_sgs(&h);
-        assert!(gsg.edges().is_empty(), "same key id at different sites is a different item");
+        assert!(
+            gsg.edges().is_empty(),
+            "same key id at different sites is a different item"
+        );
     }
 
     #[test]
@@ -197,7 +213,11 @@ mod tests {
         h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
         let gsg = build_sgs(&h);
         let sg = gsg.site(SiteId(0)).unwrap();
-        assert_eq!(sg.successors(t(1)), &[ct1], "T1 → CT1: compensation serialized after");
+        assert_eq!(
+            sg.successors(t(1)),
+            &[ct1],
+            "T1 → CT1: compensation serialized after"
+        );
     }
 
     #[test]
@@ -222,7 +242,12 @@ mod tests {
         let mut h = History::new();
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
         h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
-        h.push(HistEvent { site: SiteId(0), txn: t(1), kind: HistEventKind::RolledBack, time: SimTime(2) });
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::RolledBack,
+            time: SimTime(2),
+        });
         h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(3));
         let gsg = build_exposed_sgs(&h);
         let sg = gsg.site(SiteId(0)).unwrap();
@@ -237,13 +262,28 @@ mod tests {
         let ct1 = TxnId::Compensation(GlobalTxnId(1));
         let mut h = History::new();
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
-        h.push(HistEvent { site: SiteId(0), txn: t(1), kind: HistEventKind::LocallyCommitted, time: SimTime(2) });
-        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(t(1)), SimTime(3));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::LocallyCommitted,
+            time: SimTime(2),
+        });
+        h.access(
+            SiteId(0),
+            t(2),
+            OpKind::Read,
+            Key(1),
+            Some(t(1)),
+            SimTime(3),
+        );
         h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(4));
         let gsg = build_exposed_sgs(&h);
         let sg = gsg.site(SiteId(0)).unwrap();
         assert!(sg.has_path(t(1), t(2)));
-        assert!(sg.has_path(t(2), ct1), "the exposed-window reader precedes the compensation");
+        assert!(
+            sg.has_path(t(2), ct1),
+            "the exposed-window reader precedes the compensation"
+        );
     }
 
     #[test]
@@ -252,9 +292,19 @@ mod tests {
         // site 1: included there only via CT.
         let mut h = History::new();
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
-        h.push(HistEvent { site: SiteId(0), txn: t(1), kind: HistEventKind::LocallyCommitted, time: SimTime(2) });
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::LocallyCommitted,
+            time: SimTime(2),
+        });
         h.access(SiteId(1), t(1), OpKind::Write, Key(1), None, SimTime(1));
-        h.push(HistEvent { site: SiteId(1), txn: t(1), kind: HistEventKind::RolledBack, time: SimTime(3) });
+        h.push(HistEvent {
+            site: SiteId(1),
+            txn: t(1),
+            kind: HistEventKind::RolledBack,
+            time: SimTime(3),
+        });
         let gsg = build_exposed_sgs(&h);
         assert!(gsg.site(SiteId(0)).unwrap().contains(t(1)));
         assert!(

@@ -75,7 +75,11 @@ pub fn audit_graph(
     let cycles = enumerate_cycles(gsg, max_cycles, max_len);
     report.cycles_examined = cycles.len();
     report.serializable = cycles.is_empty() && report.local_cycles.is_empty();
-    let oracle = if cycles.is_empty() { None } else { Some(SegmentOracle::new(gsg)) };
+    let oracle = if cycles.is_empty() {
+        None
+    } else {
+        Some(SegmentOracle::new(gsg))
+    };
     for cycle in &cycles {
         match classify_cycle_with(oracle.as_ref().expect("cycles imply oracle"), cycle) {
             CycleClass::Regular(rc) => {
@@ -98,7 +102,11 @@ pub fn compensation_atomicity_violations(history: &History) -> Vec<(TxnId, Globa
     // reader → set of sources read from.
     let mut reads_from: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
     for e in history.events() {
-        if let HistEventKind::Access { read_from: Some(src), .. } = e.kind {
+        if let HistEventKind::Access {
+            read_from: Some(src),
+            ..
+        } = e.kind
+        {
             if src != e.txn {
                 reads_from.entry(e.txn).or_default().insert(src);
             }
@@ -134,9 +142,23 @@ mod tests {
     fn serializable_history_is_correct() {
         let mut h = History::new();
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
-        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(t(1)), SimTime(2));
+        h.access(
+            SiteId(0),
+            t(2),
+            OpKind::Read,
+            Key(1),
+            Some(t(1)),
+            SimTime(2),
+        );
         h.access(SiteId(1), t(1), OpKind::Write, Key(2), None, SimTime(1));
-        h.access(SiteId(1), t(2), OpKind::Read, Key(2), Some(t(1)), SimTime(3));
+        h.access(
+            SiteId(1),
+            t(2),
+            OpKind::Read,
+            Key(2),
+            Some(t(1)),
+            SimTime(3),
+        );
         let report = audit(&h, 1000, 16);
         assert!(report.is_correct());
         assert!(report.serializable);
@@ -151,7 +173,14 @@ mod tests {
         let mut h = History::new();
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
         h.access(SiteId(0), ct(1), OpKind::Write, Key(1), None, SimTime(2));
-        h.access(SiteId(0), t(2), OpKind::Read, Key(1), Some(ct(1)), SimTime(3));
+        h.access(
+            SiteId(0),
+            t(2),
+            OpKind::Read,
+            Key(1),
+            Some(ct(1)),
+            SimTime(3),
+        );
         h.access(SiteId(1), t(2), OpKind::Write, Key(2), None, SimTime(1));
         h.access(SiteId(1), t(1), OpKind::Write, Key(2), None, SimTime(4));
         let report = audit(&h, 1000, 16);
@@ -181,12 +210,29 @@ mod tests {
         let mut h = History::new();
         // T3 reads k1 from T1, and k2 from CT1: forbidden mixed view.
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
-        h.access(SiteId(0), t(3), OpKind::Read, Key(1), Some(t(1)), SimTime(2));
+        h.access(
+            SiteId(0),
+            t(3),
+            OpKind::Read,
+            Key(1),
+            Some(t(1)),
+            SimTime(2),
+        );
         h.access(SiteId(1), t(1), OpKind::Write, Key(2), None, SimTime(1));
         h.access(SiteId(1), ct(1), OpKind::Write, Key(2), None, SimTime(2));
-        h.access(SiteId(1), t(3), OpKind::Read, Key(2), Some(ct(1)), SimTime(3));
+        h.access(
+            SiteId(1),
+            t(3),
+            OpKind::Read,
+            Key(2),
+            Some(ct(1)),
+            SimTime(3),
+        );
         let report = audit(&h, 1000, 16);
-        assert_eq!(report.compensation_atomicity_violations, vec![(t(3), GlobalTxnId(1))]);
+        assert_eq!(
+            report.compensation_atomicity_violations,
+            vec![(t(3), GlobalTxnId(1))]
+        );
     }
 
     #[test]
@@ -195,7 +241,14 @@ mod tests {
         // T3 reads only post-compensation state: fine.
         h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
         h.access(SiteId(0), ct(1), OpKind::Write, Key(1), None, SimTime(2));
-        h.access(SiteId(0), t(3), OpKind::Read, Key(1), Some(ct(1)), SimTime(3));
+        h.access(
+            SiteId(0),
+            t(3),
+            OpKind::Read,
+            Key(1),
+            Some(ct(1)),
+            SimTime(3),
+        );
         let report = audit(&h, 1000, 16);
         assert!(report.compensation_atomicity_violations.is_empty());
     }

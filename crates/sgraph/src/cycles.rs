@@ -24,8 +24,11 @@ struct Indexed {
 impl Indexed {
     fn new(gsg: &GlobalSg) -> Self {
         let nodes = gsg.nodes();
-        let index_of: HashMap<TxnId, u32> =
-            nodes.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+        let index_of: HashMap<TxnId, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
         let mut succ = vec![Vec::new(); nodes.len()];
         let mut pred = vec![Vec::new(); nodes.len()];
         for (a, b) in gsg.edges() {
@@ -358,6 +361,10 @@ mod tests {
         let start = std::time::Instant::now();
         let cycles = enumerate_cycles(&g, 1000, 8);
         assert_eq!(cycles.len(), 1000);
-        assert!(start.elapsed().as_secs() < 5, "enumeration too slow: {:?}", start.elapsed());
+        assert!(
+            start.elapsed().as_secs() < 5,
+            "enumeration too slow: {:?}",
+            start.elapsed()
+        );
     }
 }

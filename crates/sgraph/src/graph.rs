@@ -60,7 +60,9 @@ impl LocalSg {
 
     /// All edges.
     pub fn edges(&self) -> impl Iterator<Item = (TxnId, TxnId)> + '_ {
-        self.adj.iter().flat_map(|(&a, succs)| succs.iter().map(move |&b| (a, b)))
+        self.adj
+            .iter()
+            .flat_map(|(&a, succs)| succs.iter().map(move |&b| (a, b)))
     }
 
     /// Is there a (directed) path `from →+ to` of length ≥ 1?
@@ -107,8 +109,11 @@ impl LocalSg {
         for (_, b) in self.edges() {
             *indeg.get_mut(&b).unwrap() += 1;
         }
-        let mut queue: VecDeque<TxnId> =
-            indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+        let mut queue: VecDeque<TxnId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
         let mut drained = 0;
         while let Some(n) = queue.pop_front() {
             drained += 1;
@@ -250,7 +255,10 @@ mod tests {
         g.add_edge(t(1), t(2));
         g.add_edge(t(2), t(1));
         assert!(g.has_cycle());
-        assert!(g.has_path(t(1), t(1)), "cycle gives a self-path of length 2");
+        assert!(
+            g.has_path(t(1), t(1)),
+            "cycle gives a self-path of length 2"
+        );
     }
 
     #[test]

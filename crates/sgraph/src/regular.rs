@@ -91,7 +91,11 @@ pub enum CycleClass {
 /// segment endpoint). Also returns the endpoint positions of one optimal
 /// cover. Returns `None` if no cover exists (cannot happen for a genuine
 /// cycle, where every unit arc is admissible).
-fn anchored_cover(oracle: &SegmentOracle, nodes: &[TxnId], f: usize) -> Option<(usize, Vec<usize>)> {
+fn anchored_cover(
+    oracle: &SegmentOracle,
+    nodes: &[TxnId],
+    f: usize,
+) -> Option<(usize, Vec<usize>)> {
     let k = nodes.len();
     // d[j] = min segments to advance j steps forward from f (0 ≤ j ≤ k).
     let mut d = vec![usize::MAX; k + 1];
@@ -161,13 +165,19 @@ pub fn classify_cycle_with(oracle: &SegmentOracle, nodes: &[TxnId]) -> CycleClas
             }
         }
     }
-    CycleClass::NonRegular { min_segments: overall }
+    CycleClass::NonRegular {
+        min_segments: overall,
+    }
 }
 
 /// Search the union SG for a regular cycle. `max_cycles` / `max_len` bound
 /// the enumeration (a history audit passes generous caps; see
 /// [`crate::correctness::audit`]).
-pub fn find_regular_cycle(gsg: &GlobalSg, max_cycles: usize, max_len: usize) -> Option<RegularCycle> {
+pub fn find_regular_cycle(
+    gsg: &GlobalSg,
+    max_cycles: usize,
+    max_len: usize,
+) -> Option<RegularCycle> {
     let mut oracle: Option<SegmentOracle> = None;
     let mut found: Option<RegularCycle> = None;
     let mut examined = 0usize;
@@ -258,7 +268,11 @@ mod tests {
         let rc = find_regular_cycle(&g, 100, 10).expect("regular cycle expected");
         assert_eq!(rc.min_segments, 3);
         assert!(rc.witness_endpoints.contains(&t(2)));
-        assert_eq!(rc.witness_endpoints[0], t(2), "witness anchored at the regular txn");
+        assert_eq!(
+            rc.witness_endpoints[0],
+            t(2),
+            "witness anchored at the regular txn"
+        );
     }
 
     /// Figure 1(a)-style scenario: T2 reads CT1's effects at one site but

@@ -140,7 +140,11 @@ pub fn minimal_representation(gsg: &GlobalSg, from: TxnId, to: TxnId) -> Option<
 pub fn to_dot(gsg: &GlobalSg) -> String {
     let mut out = String::from("digraph sg {\n  rankdir=LR;\n");
     for (site, sg) in gsg.sites() {
-        let _ = writeln!(out, "  subgraph cluster_{} {{\n    label=\"{site}\";", site.0);
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_{} {{\n    label=\"{site}\";",
+            site.0
+        );
         for n in sg.nodes() {
             let shape = match n {
                 TxnId::Global(_) => "box",
@@ -187,14 +191,24 @@ mod tests {
         assert_eq!(segment_distance(&g, ct(1), t(2)), Some(1));
         assert_eq!(segment_distance(&g, t(2), ct(1)), Some(2), "T2 → CT3 → CT1");
         assert_eq!(segment_distance(&g, ct(3), t(2)), Some(2));
-        assert_eq!(segment_distance(&g, t(2), t(2)), Some(3), "around the cycle");
+        assert_eq!(
+            segment_distance(&g, t(2), t(2)),
+            Some(3),
+            "around the cycle"
+        );
     }
 
     #[test]
     fn example1_inclusion() {
         let g = example1();
-        assert!(!includes(&g, ct(1), ct(3), t(2)), "minimal representation skips T2");
-        assert!(includes(&g, ct(1), ct(1), ct(3)), "CT3 lies on the minimal cyclic walk");
+        assert!(
+            !includes(&g, ct(1), ct(3), t(2)),
+            "minimal representation skips T2"
+        );
+        assert!(
+            includes(&g, ct(1), ct(1), ct(3)),
+            "CT3 lies on the minimal cyclic walk"
+        );
         assert!(includes(&g, t(2), ct(1), ct(3)), "T2→CT3→CT1 needs CT3");
         // Endpoints are always included when the path exists.
         assert!(includes(&g, ct(1), ct(3), ct(1)));
@@ -206,8 +220,14 @@ mod tests {
     #[test]
     fn minimal_representation_endpoints() {
         let g = example1();
-        assert_eq!(minimal_representation(&g, ct(1), ct(3)), Some(vec![ct(1), ct(3)]));
-        assert_eq!(minimal_representation(&g, t(2), ct(1)), Some(vec![t(2), ct(3), ct(1)]));
+        assert_eq!(
+            minimal_representation(&g, ct(1), ct(3)),
+            Some(vec![ct(1), ct(3)])
+        );
+        assert_eq!(
+            minimal_representation(&g, t(2), ct(1)),
+            Some(vec![t(2), ct(3), ct(1)])
+        );
         assert_eq!(minimal_representation(&g, t(2), t(9)), None);
     }
 

@@ -28,9 +28,9 @@ pub fn active_wrt(gsg: &GlobalSg, i: GlobalTxnId, j: GlobalTxnId) -> bool {
 /// A1: at any local SG where `T_j` appears, the path `T_i → CT_i → T_j` is
 /// present.
 pub fn a1(gsg: &GlobalSg, i: GlobalTxnId, j: GlobalTxnId) -> bool {
-    gsg.sites().filter(|(_, sg)| sg.contains(t(j))).all(|(_, sg)| {
-        sg.has_path(t(i), ct(i)) && sg.has_path(ct(i), t(j))
-    })
+    gsg.sites()
+        .filter(|(_, sg)| sg.contains(t(j)))
+        .all(|(_, sg)| sg.has_path(t(i), ct(i)) && sg.has_path(ct(i), t(j)))
 }
 
 /// A2: at any local SG where `T_j` appears, `T_j → CT_i` without `T_i` on
@@ -116,8 +116,7 @@ pub fn holds_c1(gsg: &GlobalSg) -> bool {
                 && gsg.sites().any(|(b, sg_b)| {
                     b != a
                         && sg_b.contains(t(j))
-                        && (sg_b.has_path(t(j), ct(i))
-                            || !sg_b.connected_either_way(t(i), t(j)))
+                        && (sg_b.has_path(t(j), ct(i)) || !sg_b.connected_either_way(t(i), t(j)))
                 })
         })
     })
@@ -134,8 +133,7 @@ pub fn holds_c2(gsg: &GlobalSg) -> bool {
                 && gsg.sites().any(|(b, sg_b)| {
                     b != a
                         && sg_b.contains(t(j))
-                        && (sg_b.has_path(ct(i), t(j))
-                            || !sg_b.connected_either_way(t(i), t(j)))
+                        && (sg_b.has_path(ct(i), t(j)) || !sg_b.connected_either_way(t(i), t(j)))
                 })
         })
     })
@@ -224,7 +222,10 @@ mod tests {
         let mut sg = GlobalSg::new();
         sg.site_mut(SiteId(0)).add_node(t(g(1)));
         sg.site_mut(SiteId(0)).add_node(t(g(2)));
-        assert!(a3(&sg, g(1), g(2)), "no path between them: A3 vacuously true");
+        assert!(
+            a3(&sg, g(1), g(2)),
+            "no path between them: A3 vacuously true"
+        );
         assert!(a4(&sg, g(1), g(2)));
     }
 

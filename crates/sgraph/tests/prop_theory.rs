@@ -41,8 +41,16 @@ struct SgSpec {
 }
 
 fn sg_spec() -> impl Strategy<Value = SgSpec> {
-    (2u64..5, prop::collection::vec(any::<bool>(), 5), prop::collection::vec((prop::collection::vec(0u8..15, 2..8), any::<u64>()), 1..4))
-        .prop_map(|(globals, aborted, sites)| SgSpec { globals, aborted, sites })
+    (
+        2u64..5,
+        prop::collection::vec(any::<bool>(), 5),
+        prop::collection::vec((prop::collection::vec(0u8..15, 2..8), any::<u64>()), 1..4),
+    )
+        .prop_map(|(globals, aborted, sites)| SgSpec {
+            globals,
+            aborted,
+            sites,
+        })
 }
 
 /// Materialize a history-like SG. Constraints reflect what real O2PC
@@ -65,7 +73,9 @@ fn build(spec: &SgSpec) -> GlobalSg {
         let site = SiteId(s_idx as u32);
         let mut x = *seed | 1;
         let mut next = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x
         };
         // Pick nodes. Sort keys: committed global i → i * 1000 (fixed global
@@ -78,7 +88,10 @@ fn build(spec: &SgSpec) -> GlobalSg {
             let node = match p % 3 {
                 0 => t(g),
                 1 if aborted => t(g), // CT added below if T_i is present
-                _ => TxnId::Local(LocalTxnId { site, seq: p as u64 }),
+                _ => TxnId::Local(LocalTxnId {
+                    site,
+                    seq: p as u64,
+                }),
             };
             if order.iter().any(|(_, n)| *n == node) {
                 continue;
@@ -127,10 +140,15 @@ fn build(spec: &SgSpec) -> GlobalSg {
         // transaction with a read-only footprint escapes the CT entirely
         // and the stratification machinery loses track of it.
         let pos = |n: &TxnId| nodes.iter().position(|m| m == n).unwrap();
-        let ct_nodes: Vec<TxnId> =
-            nodes.iter().copied().filter(|n| matches!(n, TxnId::Compensation(_))).collect();
+        let ct_nodes: Vec<TxnId> = nodes
+            .iter()
+            .copied()
+            .filter(|n| matches!(n, TxnId::Compensation(_)))
+            .collect();
         for ct_n in ct_nodes {
-            let TxnId::Compensation(gid) = ct_n else { unreachable!() };
+            let TxnId::Compensation(gid) = ct_n else {
+                unreachable!()
+            };
             let ti = t(gid.0);
             sg.add_edge(ti, ct_n);
             let ct_pos = pos(&ct_n);
@@ -246,4 +264,3 @@ proptest! {
         }
     }
 }
-

@@ -50,7 +50,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// New empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The virtual time of the most recently popped event.
@@ -61,10 +65,18 @@ impl<E> EventQueue<E> {
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error (events would appear to travel back in time).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at:?} < {:?}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time: at.max(self.now), seq, event }));
+        self.heap.push(Reverse(Entry {
+            time: at.max(self.now),
+            seq,
+            event,
+        }));
     }
 
     /// Pop the next event, advancing the clock to its time.

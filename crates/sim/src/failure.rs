@@ -50,7 +50,10 @@ impl FailurePlan {
 
     /// Is `site` up at time `t`?
     pub fn site_up(&self, site: SiteId, t: SimTime) -> bool {
-        !self.site_down.iter().any(|&(s, w)| s == site && w.contains(t))
+        !self
+            .site_down
+            .iter()
+            .any(|&(s, w)| s == site && w.contains(t))
     }
 
     /// Is the link `a ↔ b` usable at time `t`? (Requires both endpoints up
@@ -60,7 +63,10 @@ impl FailurePlan {
             return false;
         }
         let key = if a <= b { (a, b) } else { (b, a) };
-        !self.link_down.iter().any(|&(k, w)| k == key && w.contains(t))
+        !self
+            .link_down
+            .iter()
+            .any(|&(k, w)| k == key && w.contains(t))
     }
 
     /// The time `site` next recovers at or after `t`, if it is down at `t`.
@@ -89,7 +95,10 @@ mod tests {
         assert!(p.site_up(SiteId(1), SimTime(99)));
         assert!(!p.site_up(SiteId(1), SimTime(100)));
         assert!(!p.site_up(SiteId(1), SimTime(199)));
-        assert!(p.site_up(SiteId(1), SimTime(200)), "recovered at window end");
+        assert!(
+            p.site_up(SiteId(1), SimTime(200)),
+            "recovered at window end"
+        );
         assert!(p.site_up(SiteId(0), SimTime(150)), "other sites unaffected");
         assert_eq!(p.recovery_time(SiteId(1), SimTime(150)), Some(SimTime(200)));
         assert_eq!(p.recovery_time(SiteId(1), SimTime(250)), None);

@@ -14,9 +14,10 @@
 //! * [`network`] — per-link latency models (fixed / uniform / exponential),
 //!   message loss, and partitions.
 //! * [`failure`] — scripted site-crash and link-outage plans.
-//! * [`transport`] — a second, wall-clock backend: a threaded in-process
-//!   transport over `crossbeam` channels, demonstrating that the protocol
-//!   state machines are substrate-agnostic.
+//!
+//! The wall-clock (threaded) substrate lives in `o2pc-runtime`, which wraps
+//! this crate's event queue and network behind the same `Runtime` trait the
+//! engine is generic over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +25,6 @@
 pub mod events;
 pub mod failure;
 pub mod network;
-pub mod transport;
 
 pub use events::EventQueue;
 pub use failure::FailurePlan;

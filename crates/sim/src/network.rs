@@ -38,7 +38,9 @@ impl LatencyModel {
     pub fn mean(&self) -> Duration {
         match *self {
             LatencyModel::Fixed(d) => d,
-            LatencyModel::Uniform(lo, hi) => Duration::micros((lo.as_micros() + hi.as_micros()) / 2),
+            LatencyModel::Uniform(lo, hi) => {
+                Duration::micros((lo.as_micros() + hi.as_micros()) / 2)
+            }
             LatencyModel::Exponential(mean) => mean,
         }
     }
@@ -68,7 +70,10 @@ impl Default for NetworkConfig {
 impl NetworkConfig {
     /// Reliable network with a fixed latency everywhere.
     pub fn fixed(latency: Duration) -> Self {
-        NetworkConfig { default_latency: LatencyModel::Fixed(latency), ..Default::default() }
+        NetworkConfig {
+            default_latency: LatencyModel::Fixed(latency),
+            ..Default::default()
+        }
     }
 }
 
@@ -85,7 +90,13 @@ pub struct Network {
 impl Network {
     /// Build a network from configuration and a dedicated RNG stream.
     pub fn new(config: NetworkConfig, rng: DetRng) -> Self {
-        Network { config, rng, failures: FailurePlan::new(), sent: 0, dropped: 0 }
+        Network {
+            config,
+            rng,
+            failures: FailurePlan::new(),
+            sent: 0,
+            dropped: 0,
+        }
     }
 
     /// Attach a failure plan (site crashes / link outages).
@@ -183,18 +194,32 @@ mod tests {
     #[test]
     fn per_link_override() {
         let mut cfg = NetworkConfig::fixed(Duration::millis(1));
-        cfg.link_latency
-            .insert((SiteId(0), SiteId(2)), LatencyModel::Fixed(Duration::millis(50)));
+        cfg.link_latency.insert(
+            (SiteId(0), SiteId(2)),
+            LatencyModel::Fixed(Duration::millis(50)),
+        );
         let mut n = Network::new(cfg, rng());
-        assert_eq!(n.transmit(SiteId(0), SiteId(1), SimTime::ZERO), Some(Duration::millis(1)));
-        assert_eq!(n.transmit(SiteId(0), SiteId(2), SimTime::ZERO), Some(Duration::millis(50)));
+        assert_eq!(
+            n.transmit(SiteId(0), SiteId(1), SimTime::ZERO),
+            Some(Duration::millis(1))
+        );
+        assert_eq!(
+            n.transmit(SiteId(0), SiteId(2), SimTime::ZERO),
+            Some(Duration::millis(50))
+        );
         // Overrides are directional.
-        assert_eq!(n.transmit(SiteId(2), SiteId(0), SimTime::ZERO), Some(Duration::millis(1)));
+        assert_eq!(
+            n.transmit(SiteId(2), SiteId(0), SimTime::ZERO),
+            Some(Duration::millis(1))
+        );
     }
 
     #[test]
     fn random_drops_counted() {
-        let cfg = NetworkConfig { drop_probability: 0.5, ..NetworkConfig::fixed(Duration::millis(1)) };
+        let cfg = NetworkConfig {
+            drop_probability: 0.5,
+            ..NetworkConfig::fixed(Duration::millis(1))
+        };
         let mut n = Network::new(cfg, rng());
         let mut delivered = 0;
         for _ in 0..10_000 {
@@ -216,7 +241,10 @@ mod tests {
             Network::new(NetworkConfig::fixed(Duration::millis(1)), rng()).with_failures(plan);
         assert!(n.transmit(SiteId(0), SiteId(1), SimTime(50)).is_some());
         assert!(n.transmit(SiteId(0), SiteId(1), SimTime(150)).is_none());
-        assert!(n.transmit(SiteId(1), SiteId(0), SimTime(150)).is_none(), "outage is symmetric");
+        assert!(
+            n.transmit(SiteId(1), SiteId(0), SimTime(150)).is_none(),
+            "outage is symmetric"
+        );
         assert!(n.transmit(SiteId(0), SiteId(1), SimTime(250)).is_some());
     }
 

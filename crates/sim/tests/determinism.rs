@@ -15,7 +15,10 @@ fn network_streams_are_seed_deterministic() {
     for i in 0..5_000u64 {
         let from = SiteId((i % 4) as u32);
         let to = SiteId(((i + 1) % 4) as u32);
-        assert_eq!(a.transmit(from, to, SimTime(i)), b.transmit(from, to, SimTime(i)));
+        assert_eq!(
+            a.transmit(from, to, SimTime(i)),
+            b.transmit(from, to, SimTime(i))
+        );
     }
     assert_eq!(a.dropped_count(), b.dropped_count());
 }

@@ -56,8 +56,18 @@ pub struct ExecState {
 impl ExecState {
     /// Fresh execution over a program.
     pub fn new(exec: ExecId, ops: Vec<Op>) -> Self {
-        let phase = if ops.is_empty() { ExecPhase::Completed } else { ExecPhase::Running };
-        ExecState { exec, ops, pc: 0, phase, error: None }
+        let phase = if ops.is_empty() {
+            ExecPhase::Completed
+        } else {
+            ExecPhase::Running
+        };
+        ExecState {
+            exec,
+            ops,
+            pc: 0,
+            phase,
+            error: None,
+        }
     }
 
     /// The operation the execution is currently at, if any.
@@ -78,7 +88,10 @@ mod tests {
 
     #[test]
     fn lifecycle_fields() {
-        let e = ExecState::new(ExecId::Sub(GlobalTxnId(1)), vec![Op::Read(Key(1)), Op::Add(Key(1), 2)]);
+        let e = ExecState::new(
+            ExecId::Sub(GlobalTxnId(1)),
+            vec![Op::Read(Key(1)), Op::Add(Key(1), 2)],
+        );
         assert_eq!(e.phase, ExecPhase::Running);
         assert_eq!(e.current_op(), Some(Op::Read(Key(1))));
         assert_eq!(e.remaining(), 2);

@@ -145,7 +145,10 @@ impl Site {
 
     /// Allocate an id for a new independent local transaction.
     pub fn next_local_id(&mut self) -> LocalTxnId {
-        let id = LocalTxnId { site: self.id, seq: self.local_seq };
+        let id = LocalTxnId {
+            site: self.id,
+            seq: self.local_seq,
+        };
         self.local_seq += 1;
         id
     }
@@ -239,7 +242,12 @@ impl Site {
     pub fn begin(&mut self, exec: ExecId, ops: Vec<Op>, now: SimTime, hist: &mut History) {
         debug_assert!(!self.execs.contains_key(&exec), "{exec} already active");
         self.wal.append(LogRecord::Begin(exec));
-        hist.push(HistEvent { site: self.id, txn: exec.txn_id(), kind: HistEventKind::Begin, time: now });
+        hist.push(HistEvent {
+            site: self.id,
+            txn: exec.txn_id(),
+            kind: HistEventKind::Begin,
+            time: now,
+        });
         self.execs.insert(exec, ExecState::new(exec, ops));
     }
 
@@ -247,10 +255,16 @@ impl Site {
     /// wait for the exec to appear in a `woken` list and then call again
     /// (the lock is granted re-entrantly at that point).
     pub fn execute_next_op(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> OpResult {
-        let state = self.execs.get(&exec).unwrap_or_else(|| panic!("{exec} not active"));
+        let state = self
+            .execs
+            .get(&exec)
+            .unwrap_or_else(|| panic!("{exec} not active"));
         debug_assert_eq!(state.phase, ExecPhase::Running, "{exec} not running");
         let Some(op) = state.current_op() else {
-            return OpResult::Done { value: None, finished: true };
+            return OpResult::Done {
+                value: None,
+                finished: true,
+            };
         };
 
         if self.locks.request(exec, op.key(), op.access_mode(), now) == RequestOutcome::Waiting {
@@ -261,7 +275,10 @@ impl Site {
             Ok(value) => {
                 let txn = exec.txn_id();
                 let read_from = if op.kind() == OpKind::Read {
-                    self.last_writer.get(&op.key()).copied().filter(|w| *w != txn)
+                    self.last_writer
+                        .get(&op.key())
+                        .copied()
+                        .filter(|w| *w != txn)
                 } else {
                     None
                 };
@@ -294,7 +311,10 @@ impl Site {
                     if finished {
                         state.phase = ExecPhase::Completed;
                     }
-                    OpResult::Done { value: None, finished }
+                    OpResult::Done {
+                        value: None,
+                        finished,
+                    }
                 } else {
                     let state = self.execs.get_mut(&exec).unwrap();
                     state.phase = ExecPhase::Failed;
@@ -313,7 +333,12 @@ impl Site {
         debug_assert_eq!(state.phase, ExecPhase::Completed);
         self.store.commit(exec);
         self.wal.append(LogRecord::Commit(exec));
-        hist.push(HistEvent { site: self.id, txn: exec.txn_id(), kind: HistEventKind::Committed, time: now });
+        hist.push(HistEvent {
+            site: self.id,
+            txn: exec.txn_id(),
+            kind: HistEventKind::Committed,
+            time: now,
+        });
         self.locks.release_all(exec, now)
     }
 
@@ -342,9 +367,19 @@ impl Site {
                 hist.access(self.id, ct, OpKind::Write, rec.key, None, now);
                 self.last_writer.insert(rec.key, ct);
             }
-            hist.push(HistEvent { site: self.id, txn: TxnId::Global(g), kind: HistEventKind::RolledBack, time: now });
+            hist.push(HistEvent {
+                site: self.id,
+                txn: TxnId::Global(g),
+                kind: HistEventKind::RolledBack,
+                time: now,
+            });
         } else {
-            hist.push(HistEvent { site: self.id, txn: exec.txn_id(), kind: HistEventKind::RolledBack, time: now });
+            hist.push(HistEvent {
+                site: self.id,
+                txn: exec.txn_id(),
+                kind: HistEventKind::RolledBack,
+                time: now,
+            });
         }
         self.execs.remove(&exec);
         self.locks.release_all(exec, now)
@@ -355,9 +390,17 @@ impl Site {
     /// action). The roll-back is recorded as `CT_i` activity and the site
     /// becomes undone with respect to `g`; the eventual VOTE-REQ will be
     /// answered *no* (the execution is gone).
-    pub fn unilateral_abort(&mut self, g: GlobalTxnId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+    pub fn unilateral_abort(
+        &mut self,
+        g: GlobalTxnId,
+        now: SimTime,
+        hist: &mut History,
+    ) -> Vec<ExecId> {
         let exec = ExecId::Sub(g);
-        debug_assert!(self.execs.contains_key(&exec), "no subtransaction of {g} to abort");
+        debug_assert!(
+            self.execs.contains_key(&exec),
+            "no subtransaction of {g} to abort"
+        );
         let woken = self.abort_exec(exec, now, hist);
         let _ = self.marks.apply(g, MarkEvent::VoteAbort);
         woken
@@ -376,19 +419,28 @@ impl Site {
         let exec = ExecId::Sub(g);
         let Some(state) = self.execs.get(&exec) else {
             // Already rolled back unilaterally: the marking is in place.
-            return VoteOutcome { vote: Vote::No, woken: Vec::new() };
+            return VoteOutcome {
+                vote: Vote::No,
+                woken: Vec::new(),
+            };
         };
         if force_abort || state.phase == ExecPhase::Failed || state.phase == ExecPhase::Running {
             let woken = self.abort_exec(exec, now, hist);
             // Roll-back is this site's compensation: undone immediately.
             let _ = self.marks.apply(g, MarkEvent::VoteAbort);
-            return VoteOutcome { vote: Vote::No, woken };
+            return VoteOutcome {
+                vote: Vote::No,
+                woken,
+            };
         }
         debug_assert_eq!(state.phase, ExecPhase::Completed);
         match policy {
             LockPolicy::ReleaseAll => {
                 let rec = self.store.commit(exec);
-                self.wal.append(LogRecord::LocalCommit { exec, record: rec.clone() });
+                self.wal.append(LogRecord::LocalCommit {
+                    exec,
+                    record: rec.clone(),
+                });
                 self.commit_records.insert(g, rec);
                 hist.push(HistEvent {
                     site: self.id,
@@ -399,14 +451,20 @@ impl Site {
                 let _ = self.marks.apply(g, MarkEvent::VoteCommit);
                 self.execs.remove(&exec);
                 let woken = self.locks.release_all(exec, now);
-                VoteOutcome { vote: Vote::Yes, woken }
+                VoteOutcome {
+                    vote: Vote::Yes,
+                    woken,
+                }
             }
             LockPolicy::HoldWrites => {
                 self.wal.append(LogRecord::Prepared(exec));
                 let _ = self.marks.apply(g, MarkEvent::VoteCommit);
                 self.execs.get_mut(&exec).unwrap().phase = ExecPhase::Prepared;
                 let woken = self.locks.release_read_locks(exec, now);
-                VoteOutcome { vote: Vote::Yes, woken }
+                VoteOutcome {
+                    vote: Vote::Yes,
+                    woken,
+                }
             }
         }
     }
@@ -430,13 +488,25 @@ impl Site {
         // participant).
         if let Some(state) = self.execs.get(&exec) {
             if commit {
-                debug_assert_eq!(state.phase, ExecPhase::Prepared, "commit for unprepared exec");
+                debug_assert_eq!(
+                    state.phase,
+                    ExecPhase::Prepared,
+                    "commit for unprepared exec"
+                );
                 self.store.commit(exec);
                 self.wal.append(LogRecord::Commit(exec));
-                hist.push(HistEvent { site: self.id, txn: TxnId::Global(g), kind: HistEventKind::Committed, time: now });
+                hist.push(HistEvent {
+                    site: self.id,
+                    txn: TxnId::Global(g),
+                    kind: HistEventKind::Committed,
+                    time: now,
+                });
                 let _ = self.marks.apply(g, MarkEvent::DecisionCommit);
                 self.execs.remove(&exec);
-                return DecideOutcome { woken: self.locks.release_all(exec, now), compensation: None };
+                return DecideOutcome {
+                    woken: self.locks.release_all(exec, now),
+                    compensation: None,
+                };
             }
             let woken = self.abort_exec(exec, now, hist);
             // LocallyCommitted → Undone; a site that never voted jumps
@@ -444,19 +514,30 @@ impl Site {
             if self.marks.apply(g, MarkEvent::DecisionAbort).is_err() {
                 self.marks.mark_undone(g);
             }
-            return DecideOutcome { woken, compensation: None };
+            return DecideOutcome {
+                woken,
+                compensation: None,
+            };
         }
         // Case 2: locally committed under O2PC.
         if let Some(rec) = self.commit_records.remove(&g) {
             if commit {
-                hist.push(HistEvent { site: self.id, txn: TxnId::Global(g), kind: HistEventKind::Committed, time: now });
+                hist.push(HistEvent {
+                    site: self.id,
+                    txn: TxnId::Global(g),
+                    kind: HistEventKind::Committed,
+                    time: now,
+                });
                 let _ = self.marks.apply(g, MarkEvent::DecisionCommit);
                 return DecideOutcome::default();
             }
             let plan = plan_compensation(self.config.compensation_model, &rec);
             // The marking transition to Undone happens when CT_ij completes
             // (rule R2); until then the site remains locally-committed.
-            return DecideOutcome { woken: Vec::new(), compensation: Some(plan) };
+            return DecideOutcome {
+                woken: Vec::new(),
+                compensation: Some(plan),
+            };
         }
         // Case 3: a repeated decision (e.g. the coordinator resends after
         // the termination protocol already resolved us) is a no-op; a fresh
@@ -484,7 +565,11 @@ impl Site {
         hist: &mut History,
     ) -> (PeerState, Vec<ExecId>) {
         if let Some(&commit) = self.decided.get(&g) {
-            let state = if commit { PeerState::KnowsCommit } else { PeerState::KnowsAbort };
+            let state = if commit {
+                PeerState::KnowsCommit
+            } else {
+                PeerState::KnowsAbort
+            };
             return (state, Vec::new());
         }
         let exec = ExecId::Sub(g);
@@ -524,13 +609,23 @@ impl Site {
 
     /// Complete `CT_ij`: commit its writes, set the undone marking (rule R2
     /// — "the last operation of `CT_ik`"), release its locks.
-    pub fn finish_compensation(&mut self, g: GlobalTxnId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+    pub fn finish_compensation(
+        &mut self,
+        g: GlobalTxnId,
+        now: SimTime,
+        hist: &mut History,
+    ) -> Vec<ExecId> {
         let exec = ExecId::CompSub(g);
         let state = self.execs.remove(&exec).expect("compensation active");
         debug_assert_eq!(state.phase, ExecPhase::Completed);
         self.store.commit(exec);
         self.wal.append(LogRecord::Commit(exec));
-        hist.push(HistEvent { site: self.id, txn: TxnId::Compensation(g), kind: HistEventKind::Compensated, time: now });
+        hist.push(HistEvent {
+            site: self.id,
+            txn: TxnId::Compensation(g),
+            kind: HistEventKind::Compensated,
+            time: now,
+        });
         // Figure 2: locally-committed --decision:abort--> undone, realized at
         // compensation completion.
         if self.marks.mark_of(g) == MarkState::LocallyCommitted {
@@ -549,7 +644,12 @@ impl Site {
         let exec = ExecId::CompSub(g);
         let undo = self.store.rollback(exec);
         for rec in undo.iter().rev() {
-            self.wal.append(LogRecord::Update { exec, key: rec.key, before: rec.after, after: rec.before });
+            self.wal.append(LogRecord::Update {
+                exec,
+                key: rec.key,
+                before: rec.after,
+                after: rec.before,
+            });
         }
         self.wal.append(LogRecord::Abort(exec));
         self.execs.remove(&exec);
@@ -577,7 +677,8 @@ impl Site {
         // in-doubt execution (its program is exhausted — it was prepared).
         for (exec, undo) in recovered.prepared {
             for rec in &undo {
-                site.locks.request(exec, rec.key, o2pc_common::AccessMode::Write, SimTime::ZERO);
+                site.locks
+                    .request(exec, rec.key, o2pc_common::AccessMode::Write, SimTime::ZERO);
             }
             site.store.restore_pending(exec, undo);
             let mut st = ExecState::new(exec, Vec::new());
@@ -628,7 +729,12 @@ mod tests {
     fn local_txn_lifecycle() {
         let (mut s, mut h) = setup();
         let l = ExecId::Local(s.next_local_id());
-        s.begin(l, vec![Op::Read(Key(1)), Op::Add(Key(1), 10)], SimTime(1), &mut h);
+        s.begin(
+            l,
+            vec![Op::Read(Key(1)), Op::Add(Key(1), 10)],
+            SimTime(1),
+            &mut h,
+        );
         run_all(&mut s, l, SimTime(2), &mut h);
         s.commit_local(l, SimTime(3), &mut h);
         assert_eq!(s.get(Key(1)), Some(Value(110)));
@@ -640,7 +746,12 @@ mod tests {
     fn o2pc_vote_yes_releases_all_locks() {
         let (mut s, mut h) = setup();
         let sub = ExecId::Sub(g(1));
-        s.begin(sub, vec![Op::Add(Key(1), -30), Op::Read(Key(2))], SimTime(1), &mut h);
+        s.begin(
+            sub,
+            vec![Op::Add(Key(1), -30), Op::Read(Key(2))],
+            SimTime(1),
+            &mut h,
+        );
         run_all(&mut s, sub, SimTime(2), &mut h);
         let out = s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
         assert_eq!(out.vote, Vote::Yes);
@@ -648,14 +759,22 @@ mod tests {
         // Another execution can immediately lock the same keys.
         let l = ExecId::Local(s.next_local_id());
         s.begin(l, vec![Op::Add(Key(1), 1)], SimTime(4), &mut h);
-        assert!(matches!(s.execute_next_op(l, SimTime(4), &mut h), OpResult::Done { .. }));
+        assert!(matches!(
+            s.execute_next_op(l, SimTime(4), &mut h),
+            OpResult::Done { .. }
+        ));
     }
 
     #[test]
     fn d2pl_vote_yes_holds_write_locks() {
         let (mut s, mut h) = setup();
         let sub = ExecId::Sub(g(1));
-        s.begin(sub, vec![Op::Add(Key(1), -30), Op::Read(Key(2))], SimTime(1), &mut h);
+        s.begin(
+            sub,
+            vec![Op::Add(Key(1), -30), Op::Read(Key(2))],
+            SimTime(1),
+            &mut h,
+        );
         run_all(&mut s, sub, SimTime(2), &mut h);
         let out = s.vote(g(1), LockPolicy::HoldWrites, false, SimTime(3), &mut h);
         assert_eq!(out.vote, Vote::Yes);
@@ -666,7 +785,10 @@ mod tests {
         // Read lock on k2 released: a writer of k2 proceeds.
         let l2 = ExecId::Local(s.next_local_id());
         s.begin(l2, vec![Op::Add(Key(2), 1)], SimTime(5), &mut h);
-        assert!(matches!(s.execute_next_op(l2, SimTime(5), &mut h), OpResult::Done { .. }));
+        assert!(matches!(
+            s.execute_next_op(l2, SimTime(5), &mut h),
+            OpResult::Done { .. }
+        ));
         // Decision commit unblocks the writer.
         let out = s.decide(g(1), true, SimTime(6), &mut h);
         assert_eq!(out.woken, vec![l]);
@@ -687,7 +809,9 @@ mod tests {
         let ct_writes: Vec<_> = h
             .events()
             .iter()
-            .filter(|e| e.txn == TxnId::Compensation(g(1)) && matches!(e.kind, HistEventKind::Access { .. }))
+            .filter(|e| {
+                e.txn == TxnId::Compensation(g(1)) && matches!(e.kind, HistEventKind::Access { .. })
+            })
             .collect();
         assert_eq!(ct_writes.len(), 1);
     }
@@ -737,7 +861,11 @@ mod tests {
         s.begin_compensation(g(1), &plan, SimTime(7), &mut h);
         run_all(&mut s, ExecId::CompSub(g(1)), SimTime(8), &mut h);
         s.finish_compensation(g(1), SimTime(9), &mut h);
-        assert_eq!(s.get(Key(1)), Some(Value(107)), "local +7 preserved, +5 undone");
+        assert_eq!(
+            s.get(Key(1)),
+            Some(Value(107)),
+            "local +7 preserved, +5 undone"
+        );
         assert_eq!(s.mark_of(g(1)), MarkState::Undone);
     }
 
@@ -767,7 +895,10 @@ mod tests {
         run_all(&mut s, l, SimTime(4), &mut h);
         s.commit_local(l, SimTime(5), &mut h);
 
-        let plan = s.decide(g(1), false, SimTime(6), &mut h).compensation.unwrap();
+        let plan = s
+            .decide(g(1), false, SimTime(6), &mut h)
+            .compensation
+            .unwrap();
         assert_eq!(plan.ops, vec![Op::Delete(Key(9))]);
         s.begin_compensation(g(1), &plan, SimTime(7), &mut h);
         run_all(&mut s, ExecId::CompSub(g(1)), SimTime(8), &mut h);
@@ -790,8 +921,16 @@ mod tests {
         // Crash.
         let wal = s.crash();
         let s2 = Site::recover(SiteId(0), SiteConfig::default(), wal);
-        assert_eq!(s2.get(Key(1)), Some(Value(111)), "locally-committed update durable");
-        assert_eq!(s2.get(Key(2)), Some(Value(50)), "in-flight update rolled back");
+        assert_eq!(
+            s2.get(Key(1)),
+            Some(Value(111)),
+            "locally-committed update durable"
+        );
+        assert_eq!(
+            s2.get(Key(2)),
+            Some(Value(50)),
+            "in-flight update rolled back"
+        );
     }
 
     #[test]
@@ -808,30 +947,48 @@ mod tests {
             .events()
             .iter()
             .find_map(|e| match e.kind {
-                HistEventKind::Access { kind: OpKind::Read, read_from, .. } if e.txn == l.txn_id() => {
-                    Some(read_from)
-                }
+                HistEventKind::Access {
+                    kind: OpKind::Read,
+                    read_from,
+                    ..
+                } if e.txn == l.txn_id() => Some(read_from),
                 _ => None,
             })
             .unwrap();
-        assert_eq!(read, Some(TxnId::Global(g(1))), "read the locally-committed write");
+        assert_eq!(
+            read,
+            Some(TxnId::Global(g(1))),
+            "read the locally-committed write"
+        );
     }
 
     #[test]
     fn own_reads_do_not_count_as_reads_from() {
         let (mut s, mut h) = setup();
         let l = ExecId::Local(s.next_local_id());
-        s.begin(l, vec![Op::Add(Key(1), 1), Op::Read(Key(1))], SimTime(1), &mut h);
+        s.begin(
+            l,
+            vec![Op::Add(Key(1), 1), Op::Read(Key(1))],
+            SimTime(1),
+            &mut h,
+        );
         run_all(&mut s, l, SimTime(1), &mut h);
         let read = h
             .events()
             .iter()
             .find_map(|e| match e.kind {
-                HistEventKind::Access { kind: OpKind::Read, read_from, .. } => Some(read_from),
+                HistEventKind::Access {
+                    kind: OpKind::Read,
+                    read_from,
+                    ..
+                } => Some(read_from),
                 _ => None,
             })
             .unwrap();
-        assert_eq!(read, None, "reading your own write is not a reads-from edge");
+        assert_eq!(
+            read, None,
+            "reading your own write is not a reads-from edge"
+        );
     }
 
     #[test]

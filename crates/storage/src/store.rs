@@ -116,13 +116,25 @@ impl Store {
     pub fn apply(&mut self, exec: ExecId, op: Op) -> Result<Option<Value>> {
         match op {
             Op::Read(k) => {
-                let v = self.items.get(&k).copied().ok_or(CommonError::KeyNotFound(k))?;
+                let v = self
+                    .items
+                    .get(&k)
+                    .copied()
+                    .ok_or(CommonError::KeyNotFound(k))?;
                 self.ops.entry(exec).or_default().push(op);
                 Ok(Some(v))
             }
             Op::Write(k, v) => {
                 let before = self.items.insert(k, v);
-                self.log_mutation(exec, UndoRecord { key: k, before, after: Some(v) }, op);
+                self.log_mutation(
+                    exec,
+                    UndoRecord {
+                        key: k,
+                        before,
+                        after: Some(v),
+                    },
+                    op,
+                );
                 Ok(None)
             }
             Op::Add(k, d) => {
@@ -133,20 +145,44 @@ impl Store {
                 })?;
                 let before = Some(*cur);
                 *cur = next;
-                self.log_mutation(exec, UndoRecord { key: k, before, after: Some(next) }, op);
+                self.log_mutation(
+                    exec,
+                    UndoRecord {
+                        key: k,
+                        before,
+                        after: Some(next),
+                    },
+                    op,
+                );
                 Ok(None)
             }
             Op::Insert(k, v) => match self.items.entry(k) {
                 Entry::Occupied(_) => Err(CommonError::KeyExists(k)),
                 Entry::Vacant(e) => {
                     e.insert(v);
-                    self.log_mutation(exec, UndoRecord { key: k, before: None, after: Some(v) }, op);
+                    self.log_mutation(
+                        exec,
+                        UndoRecord {
+                            key: k,
+                            before: None,
+                            after: Some(v),
+                        },
+                        op,
+                    );
                     Ok(None)
                 }
             },
             Op::Delete(k) => {
                 let before = self.items.remove(&k).ok_or(CommonError::KeyNotFound(k))?;
-                self.log_mutation(exec, UndoRecord { key: k, before: Some(before), after: None }, op);
+                self.log_mutation(
+                    exec,
+                    UndoRecord {
+                        key: k,
+                        before: Some(before),
+                        after: None,
+                    },
+                    op,
+                );
                 Ok(None)
             }
             Op::Reserve(k, n) => {
@@ -160,7 +196,15 @@ impl Store {
                 let before = Some(*cur);
                 cur.0 -= n as i64;
                 let after = Some(*cur);
-                self.log_mutation(exec, UndoRecord { key: k, before, after }, op);
+                self.log_mutation(
+                    exec,
+                    UndoRecord {
+                        key: k,
+                        before,
+                        after,
+                    },
+                    op,
+                );
                 Ok(None)
             }
             Op::Release(k, n) => {
@@ -168,7 +212,15 @@ impl Store {
                 let before = Some(*cur);
                 cur.0 += n as i64;
                 let after = Some(*cur);
-                self.log_mutation(exec, UndoRecord { key: k, before, after }, op);
+                self.log_mutation(
+                    exec,
+                    UndoRecord {
+                        key: k,
+                        before,
+                        after,
+                    },
+                    op,
+                );
                 Ok(None)
             }
         }
@@ -252,7 +304,10 @@ mod tests {
     #[test]
     fn read_missing_key_fails_without_logging() {
         let mut s = Store::new();
-        assert_eq!(s.apply(exec(0), Op::Read(Key(9))), Err(CommonError::KeyNotFound(Key(9))));
+        assert_eq!(
+            s.apply(exec(0), Op::Read(Key(9))),
+            Err(CommonError::KeyNotFound(Key(9)))
+        );
         assert!(!s.has_pending(exec(0)));
     }
 
@@ -298,7 +353,10 @@ mod tests {
     #[test]
     fn add_on_missing_key_fails() {
         let mut s = Store::new();
-        assert_eq!(s.apply(exec(0), Op::Add(Key(1), 1)), Err(CommonError::KeyNotFound(Key(1))));
+        assert_eq!(
+            s.apply(exec(0), Op::Add(Key(1), 1)),
+            Err(CommonError::KeyNotFound(Key(1)))
+        );
     }
 
     #[test]
@@ -307,7 +365,11 @@ mod tests {
         s.load(Key(1), Value(i64::MAX));
         let r = s.apply(exec(0), Op::Add(Key(1), 1));
         assert!(matches!(r, Err(CommonError::ConstraintViolated { .. })));
-        assert_eq!(s.get(Key(1)), Some(Value(i64::MAX)), "failed op must not mutate");
+        assert_eq!(
+            s.get(Key(1)),
+            Some(Value(i64::MAX)),
+            "failed op must not mutate"
+        );
     }
 
     #[test]

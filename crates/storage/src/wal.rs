@@ -124,7 +124,12 @@ impl Wal {
 
     /// Convenience: append an `Update` from an [`UndoRecord`].
     pub fn append_update(&mut self, exec: ExecId, rec: &UndoRecord) {
-        self.append(LogRecord::Update { exec, key: rec.key, before: rec.before, after: rec.after });
+        self.append(LogRecord::Update {
+            exec,
+            key: rec.key,
+            before: rec.before,
+            after: rec.after,
+        });
     }
 
     /// Number of records.
@@ -185,7 +190,12 @@ impl Wal {
                         order.push(*e);
                     }
                 }
-                LogRecord::Update { exec, key, before, after } => {
+                LogRecord::Update {
+                    exec,
+                    key,
+                    before,
+                    after,
+                } => {
                     items.insert(*key, *after);
                     pending.entry(*exec).or_insert_with(|| {
                         order.push(*exec);
@@ -251,7 +261,11 @@ impl Wal {
                     .get(e)
                     .map(|u| {
                         u.iter()
-                            .map(|&(key, before)| UndoRecord { key, before, after: items.get(&key).copied().flatten() })
+                            .map(|&(key, before)| UndoRecord {
+                                key,
+                                before,
+                                after: items.get(&key).copied().flatten(),
+                            })
                             .collect()
                     })
                     .unwrap_or_default();
@@ -267,10 +281,18 @@ impl Wal {
             .collect();
         unresolved.sort_unstable_by_key(|&(g, _)| g);
 
-        let mut out: Vec<(Key, Value)> =
-            items.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
+        let mut out: Vec<(Key, Value)> = items
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
         out.sort_unstable_by_key(|&(k, _)| k);
-        RecoveredState { items: out, rolled_back, committed, prepared, unresolved_local_commits: unresolved }
+        RecoveredState {
+            items: out,
+            rolled_back,
+            committed,
+            prepared,
+            unresolved_local_commits: unresolved,
+        }
     }
 }
 
@@ -284,7 +306,10 @@ mod tests {
     }
 
     fn local(seq: u64) -> ExecId {
-        ExecId::Local(LocalTxnId { site: SiteId(0), seq })
+        ExecId::Local(LocalTxnId {
+            site: SiteId(0),
+            seq,
+        })
     }
 
     /// A little harness that mirrors what a site does: apply to store + log.
@@ -295,7 +320,10 @@ mod tests {
 
     impl Logged {
         fn new() -> Self {
-            Logged { store: Store::new(), wal: Wal::new() }
+            Logged {
+                store: Store::new(),
+                wal: Wal::new(),
+            }
         }
 
         fn load(&mut self, k: Key, v: Value) {
@@ -308,7 +336,10 @@ mod tests {
 
         fn apply(&mut self, e: ExecId, op: Op) {
             self.store.apply(e, op).unwrap();
-            let rec = *self.store.last_undo(e).expect("mutation must log an undo record");
+            let rec = *self
+                .store
+                .last_undo(e)
+                .expect("mutation must log an undo record");
             self.wal.append_update(e, &rec);
         }
 
@@ -379,7 +410,10 @@ mod tests {
         h.abort(local(0));
         let st = h.wal.recover();
         assert_eq!(st.items, vec![(Key(1), Value(10))]);
-        assert!(st.rolled_back.is_empty(), "aborted exec is terminated, not in-flight");
+        assert!(
+            st.rolled_back.is_empty(),
+            "aborted exec is terminated, not in-flight"
+        );
     }
 
     #[test]
@@ -467,12 +501,28 @@ mod tests {
         // Two in-flight execs touching the same key: undo must restore the
         // oldest before-image.
         let mut w = Wal::new();
-        w.append(LogRecord::Checkpoint { items: vec![(Key(1), Value(0))] });
-        w.append(LogRecord::Update { exec: sub(0), key: Key(1), before: Some(Value(0)), after: Some(Value(1)) });
-        w.append(LogRecord::Update { exec: sub(1), key: Key(1), before: Some(Value(1)), after: Some(Value(2)) });
+        w.append(LogRecord::Checkpoint {
+            items: vec![(Key(1), Value(0))],
+        });
+        w.append(LogRecord::Update {
+            exec: sub(0),
+            key: Key(1),
+            before: Some(Value(0)),
+            after: Some(Value(1)),
+        });
+        w.append(LogRecord::Update {
+            exec: sub(1),
+            key: Key(1),
+            before: Some(Value(1)),
+            after: Some(Value(2)),
+        });
         let st = w.recover();
         assert_eq!(st.items, vec![(Key(1), Value(0))]);
-        assert_eq!(st.rolled_back, vec![sub(1), sub(0)], "newest rolled back first");
+        assert_eq!(
+            st.rolled_back,
+            vec![sub(1), sub(0)],
+            "newest rolled back first"
+        );
     }
 
     #[test]
@@ -491,7 +541,11 @@ mod tests {
         let (e, undo) = &st.prepared[0];
         assert_eq!(*e, sub(0));
         assert_eq!(undo.len(), 1);
-        assert_eq!(undo[0].before, Some(Value(10)), "undo records survive for a late abort");
+        assert_eq!(
+            undo[0].before,
+            Some(Value(10)),
+            "undo records survive for a late abort"
+        );
     }
 
     #[test]
@@ -517,13 +571,22 @@ mod tests {
         h.begin(sub(3));
         h.apply(sub(3), Op::Add(Key(1), 5));
         let record = h.store.commit(sub(3));
-        h.wal.append(LogRecord::LocalCommit { exec: sub(3), record: record.clone() });
+        h.wal.append(LogRecord::LocalCommit {
+            exec: sub(3),
+            record: record.clone(),
+        });
         // Crash before the decision: the commit record must be recoverable.
         let st = h.wal.recover();
         assert_eq!(st.items, vec![(Key(1), Value(15))]);
-        assert_eq!(st.unresolved_local_commits, vec![(GlobalTxnId(3), record.clone())]);
+        assert_eq!(
+            st.unresolved_local_commits,
+            vec![(GlobalTxnId(3), record.clone())]
+        );
         // A commit outcome resolves it.
-        h.wal.append(LogRecord::Outcome { txn: GlobalTxnId(3), commit: true });
+        h.wal.append(LogRecord::Outcome {
+            txn: GlobalTxnId(3),
+            commit: true,
+        });
         assert!(h.wal.recover().unresolved_local_commits.is_empty());
     }
 
@@ -535,8 +598,14 @@ mod tests {
         h.begin(sub(3));
         h.apply(sub(3), Op::Add(Key(1), 5));
         let record = h.store.commit(sub(3));
-        h.wal.append(LogRecord::LocalCommit { exec: sub(3), record });
-        h.wal.append(LogRecord::Outcome { txn: GlobalTxnId(3), commit: false });
+        h.wal.append(LogRecord::LocalCommit {
+            exec: sub(3),
+            record,
+        });
+        h.wal.append(LogRecord::Outcome {
+            txn: GlobalTxnId(3),
+            commit: false,
+        });
         // Abort outcome alone keeps the record (the CT may still need to run)…
         assert_eq!(h.wal.recover().unresolved_local_commits.len(), 1);
         // …until the compensating subtransaction commits.

@@ -66,7 +66,10 @@ impl BankingWorkload {
                 // Audit-and-adjust: read then a net-zero pair of updates.
                 arrivals.push((
                     t,
-                    TxnRequest::local(site, vec![Op::Read(acct), Op::Add(acct, 1), Op::Add(acct, -1)]),
+                    TxnRequest::local(
+                        site,
+                        vec![Op::Read(acct), Op::Add(acct, 1), Op::Add(acct, -1)],
+                    ),
                 ));
                 continue;
             }
@@ -81,7 +84,11 @@ impl BankingWorkload {
                 let ops = if i == 0 {
                     vec![Op::Read(acct), Op::Add(acct, -amount)]
                 } else {
-                    let d = if i == chosen.len() - 1 { amount - distributed } else { share };
+                    let d = if i == chosen.len() - 1 {
+                        amount - distributed
+                    } else {
+                        share
+                    };
                     distributed += d;
                     vec![Op::Add(acct, d)]
                 };
@@ -104,9 +111,15 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let w = BankingWorkload { transfers: 50, ..Default::default() };
+        let w = BankingWorkload {
+            transfers: 50,
+            ..Default::default()
+        };
         let s = w.generate();
-        assert_eq!(s.loads.len(), (w.sites as u64 * w.accounts_per_site) as usize);
+        assert_eq!(
+            s.loads.len(),
+            (w.sites as u64 * w.accounts_per_site) as usize
+        );
         assert_eq!(s.arrivals.len(), 50);
         assert_eq!(s.total_loaded(), w.expected_total());
         // Arrivals are time-ordered.
@@ -117,7 +130,12 @@ mod tests {
 
     #[test]
     fn transfers_are_zero_sum() {
-        let w = BankingWorkload { transfers: 100, sites_per_transfer: 3, seed: 9, ..Default::default() };
+        let w = BankingWorkload {
+            transfers: 100,
+            sites_per_transfer: 3,
+            seed: 9,
+            ..Default::default()
+        };
         for (_, req) in w.generate().arrivals {
             if let TxnRequest::Global { subs, .. } = req {
                 let net: i64 = subs
@@ -139,7 +157,10 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let w = BankingWorkload { transfers: 30, ..Default::default() };
+        let w = BankingWorkload {
+            transfers: 30,
+            ..Default::default()
+        };
         let a = w.generate();
         let b = w.generate();
         assert_eq!(a.arrivals.len(), b.arrivals.len());
@@ -150,7 +171,11 @@ mod tests {
 
     #[test]
     fn local_fraction_generates_locals() {
-        let w = BankingWorkload { transfers: 200, local_fraction: 0.5, ..Default::default() };
+        let w = BankingWorkload {
+            transfers: 200,
+            local_fraction: 0.5,
+            ..Default::default()
+        };
         let locals = w
             .generate()
             .arrivals

@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn shape() {
-        let w = GenericWorkload { txns: 25, ..Default::default() };
+        let w = GenericWorkload {
+            txns: 25,
+            ..Default::default()
+        };
         let s = w.generate();
         assert_eq!(s.arrivals.len(), 25);
         assert_eq!(s.loads.len(), (w.sites as u64 * w.keys_per_site) as usize);
@@ -114,7 +117,11 @@ mod tests {
 
     #[test]
     fn write_fraction_respected() {
-        let w = GenericWorkload { txns: 200, write_fraction: 0.25, ..Default::default() };
+        let w = GenericWorkload {
+            txns: 200,
+            write_fraction: 0.25,
+            ..Default::default()
+        };
         let mut writes = 0usize;
         let mut total = 0usize;
         for (_, req) in w.generate().arrivals {
@@ -137,7 +144,11 @@ mod tests {
 
     #[test]
     fn hotspot_skew_concentrates_keys() {
-        let hot = GenericWorkload { txns: 300, zipf_theta: 0.99, ..Default::default() };
+        let hot = GenericWorkload {
+            txns: 300,
+            zipf_theta: 0.99,
+            ..Default::default()
+        };
         let mut count_key0 = 0usize;
         let mut total = 0usize;
         for (_, req) in hot.generate().arrivals {
@@ -158,7 +169,11 @@ mod tests {
 
     #[test]
     fn single_site_global_allowed() {
-        let w = GenericWorkload { sites_per_txn: 1, txns: 5, ..Default::default() };
+        let w = GenericWorkload {
+            sites_per_txn: 1,
+            txns: 5,
+            ..Default::default()
+        };
         assert_eq!(w.generate().arrivals.len(), 5);
     }
 }

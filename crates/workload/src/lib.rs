@@ -43,8 +43,12 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Install the loads and submit every arrival into an engine.
-    pub fn install(&self, engine: &mut o2pc_core::Engine) {
+    /// Install the loads and submit every arrival into an engine (on any
+    /// runtime substrate).
+    pub fn install<R>(&self, engine: &mut o2pc_core::Engine<R>)
+    where
+        R: o2pc_runtime::Runtime<o2pc_core::TimerEvent, o2pc_core::Msg>,
+    {
         for &(s, k, v) in &self.loads {
             engine.load(s, k, v);
         }

@@ -106,7 +106,12 @@ impl MultidbWorkload {
             let chosen = rng.sample_indices(self.sites as usize, 2);
             let subs = chosen
                 .into_iter()
-                .map(|s| (SiteId(s as u32), self.ops(self.ops_per_sub, &mut rng, &zipf)))
+                .map(|s| {
+                    (
+                        SiteId(s as u32),
+                        self.ops(self.ops_per_sub, &mut rng, &zipf),
+                    )
+                })
                 .collect();
             arrivals.push((t, TxnRequest::global(subs)));
         }
@@ -121,19 +126,31 @@ mod tests {
 
     #[test]
     fn shape_and_order() {
-        let w = MultidbWorkload { locals_per_site: 20, globals: 10, ..Default::default() };
+        let w = MultidbWorkload {
+            locals_per_site: 20,
+            globals: 10,
+            ..Default::default()
+        };
         let s = w.generate();
         assert_eq!(s.arrivals.len(), 4 * 20 + 10);
         for pair in s.arrivals.windows(2) {
             assert!(pair[0].0 <= pair[1].0, "arrivals must be time-sorted");
         }
-        let locals = s.arrivals.iter().filter(|(_, r)| matches!(r, TxnRequest::Local { .. })).count();
+        let locals = s
+            .arrivals
+            .iter()
+            .filter(|(_, r)| matches!(r, TxnRequest::Local { .. }))
+            .count();
         assert_eq!(locals, 80);
     }
 
     #[test]
     fn locals_are_spread_over_all_sites() {
-        let w = MultidbWorkload { locals_per_site: 30, globals: 0, ..Default::default() };
+        let w = MultidbWorkload {
+            locals_per_site: 30,
+            globals: 0,
+            ..Default::default()
+        };
         let mut per_site = vec![0usize; w.sites as usize];
         for (_, r) in w.generate().arrivals {
             if let TxnRequest::Local { site, .. } = r {

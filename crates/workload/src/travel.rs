@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn shape_and_determinism() {
-        let w = TravelWorkload { bookings: 40, ..Default::default() };
+        let w = TravelWorkload {
+            bookings: 40,
+            ..Default::default()
+        };
         let s = w.generate();
         assert_eq!(s.arrivals.len(), 40);
         assert_eq!(s.total_loaded(), w.total_units());
@@ -93,9 +96,15 @@ mod tests {
 
     #[test]
     fn each_booking_reserves_on_distinct_sites() {
-        let w = TravelWorkload { legs: 3, bookings: 50, ..Default::default() };
+        let w = TravelWorkload {
+            legs: 3,
+            bookings: 50,
+            ..Default::default()
+        };
         for (_, req) in w.generate().arrivals {
-            let TxnRequest::Global { subs, .. } = req else { panic!("all global") };
+            let TxnRequest::Global { subs, .. } = req else {
+                panic!("all global")
+            };
             assert_eq!(subs.len(), 3);
             let mut sites: Vec<_> = subs.iter().map(|(s, _)| *s).collect();
             sites.sort();

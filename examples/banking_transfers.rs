@@ -43,14 +43,32 @@ fn main() {
         let r = engine.run(Duration::secs(600));
 
         println!("--- {protocol} ---");
-        println!("  committed {} / aborted {} globals, {} locals", r.global_committed, r.global_aborted, r.local_committed);
+        println!(
+            "  committed {} / aborted {} globals, {} locals",
+            r.global_committed, r.global_aborted, r.local_committed
+        );
         println!("  throughput:            {:>8.1} txn/s", r.throughput());
-        println!("  mean txn latency:      {:>8.2} ms", r.global_latency.mean() / 1000.0);
-        println!("  mean X-lock hold:      {:>8.2} ms", r.locks.exclusive_hold.mean() / 1000.0);
-        println!("  mean lock wait:        {:>8.2} ms  ({} waits)", r.locks.wait_time.mean() / 1000.0, r.locks.wait_time.count());
+        println!(
+            "  mean txn latency:      {:>8.2} ms",
+            r.global_latency.mean() / 1000.0
+        );
+        println!(
+            "  mean X-lock hold:      {:>8.2} ms",
+            r.locks.exclusive_hold.mean() / 1000.0
+        );
+        println!(
+            "  mean lock wait:        {:>8.2} ms  ({} waits)",
+            r.locks.wait_time.mean() / 1000.0,
+            r.locks.wait_time.count()
+        );
         println!("  compensations:         {:>8}", r.compensations_completed);
         let conserved = r.total_value == workload.expected_total();
-        println!("  money conserved:       {:>8}  ({} == {})", conserved, r.total_value, workload.expected_total());
+        println!(
+            "  money conserved:       {:>8}  ({} == {})",
+            conserved,
+            r.total_value,
+            workload.expected_total()
+        );
         assert!(conserved, "semantic atomicity must conserve money");
         println!();
     }

@@ -13,8 +13,8 @@
 use o2pc_repro::common::Duration;
 use o2pc_repro::core::{Engine, SystemConfig};
 use o2pc_repro::protocol::ProtocolKind;
-use o2pc_repro::sgraph::{audit, holds_s1};
 use o2pc_repro::sgraph::build_exposed_sgs;
+use o2pc_repro::sgraph::{audit, holds_s1};
 use o2pc_repro::workload::BankingWorkload;
 
 fn main() {

@@ -29,16 +29,26 @@ fn run(protocol: ProtocolKind, downtime: Duration) -> (f64, u64, u64) {
         SimTime::ZERO,
         TxnRequest::global_with_coordinator(
             SiteId(0),
-            vec![(SiteId(1), vec![Op::Add(Key(0), -5)]), (SiteId(2), vec![Op::Add(Key(0), 5)])],
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                (SiteId(2), vec![Op::Add(Key(0), 5)]),
+            ],
         ),
     );
     let r = engine.run(Duration::secs(120));
-    (r.locks.exclusive_hold.max() as f64 / 1000.0, r.global_committed, r.global_aborted)
+    (
+        r.locks.exclusive_hold.max() as f64 / 1000.0,
+        r.global_committed,
+        r.global_aborted,
+    )
 }
 
 fn main() {
     println!("== coordinator crash between VOTE-REQ and DECISION ==\n");
-    println!("{:>14} | {:>22} | {:>22}", "downtime", "2PL-2PC max hold (ms)", "O2PC max hold (ms)");
+    println!(
+        "{:>14} | {:>22} | {:>22}",
+        "downtime", "2PL-2PC max hold (ms)", "O2PC max hold (ms)"
+    );
     println!("{:-<66}", "");
     for down_ms in [10u64, 100, 1000, 10_000, 60_000] {
         let (h2pc, _, _) = run(ProtocolKind::D2pl2pc, Duration::millis(down_ms));

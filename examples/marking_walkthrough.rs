@@ -8,7 +8,9 @@
 //! ```
 
 use o2pc_repro::common::{GlobalTxnId, SiteId};
-use o2pc_repro::marking::{MarkEvent, MarkState, MarkingProtocol, SiteMarks, TransMarks, UdumTracker};
+use o2pc_repro::marking::{
+    MarkEvent, MarkState, MarkingProtocol, SiteMarks, TransMarks, UdumTracker,
+};
 
 fn main() {
     let t5 = GlobalTxnId(5);
@@ -19,7 +21,10 @@ fn main() {
     site_a.apply(t5, MarkEvent::VoteCommit).unwrap();
     println!("  after vote-commit:      {}", site_a.mark_of(t5));
     site_a.apply(t5, MarkEvent::DecisionAbort).unwrap();
-    println!("  after decision-abort:   {} (CT_5 ran here — rule R2)", site_a.mark_of(t5));
+    println!(
+        "  after decision-abort:   {} (CT_5 ran here — rule R2)",
+        site_a.mark_of(t5)
+    );
     assert_eq!(site_a.mark_of(t5), MarkState::Undone);
 
     println!("\n== 2. Rule R1: T9 tries to execute at sites with mixed markings ==");
@@ -27,17 +32,31 @@ fn main() {
     let site_b = SiteMarks::new();
     let mut transmarks_t9 = TransMarks::new();
     // First subtransaction at site A: fine (nothing seen yet).
-    transmarks_t9.check_and_absorb(MarkingProtocol::P1, &site_a).unwrap();
-    println!("  T9 admitted at site A (undone wrt T5) — transmarks now {:?}", transmarks_t9.undone_seen());
+    transmarks_t9
+        .check_and_absorb(MarkingProtocol::P1, &site_a)
+        .unwrap();
+    println!(
+        "  T9 admitted at site A (undone wrt T5) — transmarks now {:?}",
+        transmarks_t9.undone_seen()
+    );
     // Second subtransaction at site B: REJECTED — T9 would mix an
     // undone-wrt-T5 site with an unmarked one, the regular-cycle recipe.
-    let err = transmarks_t9.check(MarkingProtocol::P1, &site_b).unwrap_err();
-    println!("  T9 rejected at site B: incompatible with T{} (site is {})", err.with.0, err.site_mark);
+    let err = transmarks_t9
+        .check(MarkingProtocol::P1, &site_b)
+        .unwrap_err();
+    println!(
+        "  T9 rejected at site B: incompatible with T{} (site is {})",
+        err.with.0, err.site_mark
+    );
 
     println!("\n== 3. The other direction: unmarked first, undone second ==");
     let mut transmarks_t10 = TransMarks::new();
-    transmarks_t10.check_and_absorb(MarkingProtocol::P1, &site_b).unwrap();
-    let err = transmarks_t10.check(MarkingProtocol::P1, &site_a).unwrap_err();
+    transmarks_t10
+        .check_and_absorb(MarkingProtocol::P1, &site_b)
+        .unwrap();
+    let err = transmarks_t10
+        .check(MarkingProtocol::P1, &site_a)
+        .unwrap_err();
     println!("  T10 (ran at unmarked B) rejected at undone A: {:?}", err);
     println!("  → the paper: \"only aborting the corresponding global transaction");
     println!("    can resolve the situation\" — unless the mark is forgotten first.");
@@ -46,7 +65,10 @@ fn main() {
     let mut udum = UdumTracker::new();
     // T5 executed at sites A(0) and C(2); both must see a post-undo access.
     udum.register_aborted(t5, [SiteId(0), SiteId(2)]);
-    println!("  T5's execution sites registered: missing fences at {:?}", udum.missing_sites(t5));
+    println!(
+        "  T5's execution sites registered: missing fences at {:?}",
+        udum.missing_sites(t5)
+    );
     assert!(!udum.observe_access(t5, SiteId(0)));
     println!("  some transaction executed at A while undone wrt T5 → still waiting on C");
     let fired = udum.observe_access(t5, SiteId(2));
@@ -56,6 +78,8 @@ fn main() {
     println!("\n== 5. Rule R3: forget the marking; T10 can now retry ==");
     site_a.unmark(t5);
     println!("  site A wrt T5: {}", site_a.mark_of(t5));
-    transmarks_t10.check_and_absorb(MarkingProtocol::P1, &site_a).unwrap();
+    transmarks_t10
+        .check_and_absorb(MarkingProtocol::P1, &site_a)
+        .unwrap();
     println!("  T10 admitted at A after the retry — no messages were ever added.");
 }

@@ -30,8 +30,15 @@ fn main() {
     let report = engine.run(Duration::secs(5));
     println!("transfer #1 (both sites vote yes):");
     println!("  committed: {}", report.global_committed);
-    println!("  Alice: {:?}  Bob: {:?}", engine.value(SiteId(0), Key(1)), engine.value(SiteId(1), Key(1)));
-    println!("  mean exclusive-lock hold: {:.2} ms", report.locks.exclusive_hold.mean() / 1000.0);
+    println!(
+        "  Alice: {:?}  Bob: {:?}",
+        engine.value(SiteId(0), Key(1)),
+        engine.value(SiteId(1), Key(1))
+    );
+    println!(
+        "  mean exclusive-lock hold: {:.2} ms",
+        report.locks.exclusive_hold.mean() / 1000.0
+    );
     println!("  2PC messages per txn: {:.0}", report.msgs_2pc_per_txn());
 
     // --- An aborting transfer: semantic atomicity via compensation --------
@@ -51,8 +58,15 @@ fn main() {
     let report = engine.run(Duration::secs(5));
     println!("\ntransfer #2 (sites vote no → rolled back / compensated):");
     println!("  aborted: {}", report.global_aborted);
-    println!("  Alice: {:?}  Bob: {:?}", engine.value(SiteId(0), Key(1)), engine.value(SiteId(1), Key(1)));
-    println!("  outstanding compensations: {}", report.compensations_pending);
+    println!(
+        "  Alice: {:?}  Bob: {:?}",
+        engine.value(SiteId(0), Key(1)),
+        engine.value(SiteId(1), Key(1))
+    );
+    println!(
+        "  outstanding compensations: {}",
+        report.compensations_pending
+    );
     assert_eq!(engine.value(SiteId(0), Key(1)), Some(Value(100)));
     assert_eq!(engine.value(SiteId(1), Key(1)), Some(Value(100)));
     println!("\nSemantic atomicity held: balances restored without blocking anyone.");

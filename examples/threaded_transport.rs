@@ -1,141 +1,67 @@
-//! The protocol state machines are substrate-agnostic: this example runs a
-//! complete O2PC commit round on *real threads* over the crossbeam-channel
-//! transport (instead of the deterministic simulator) — one thread per
-//! participant site, one for the coordinator.
+//! The engine is substrate-agnostic: this example runs the *real*
+//! `o2pc_core::Engine` — the same coordinator/site/marking/compensation
+//! logic every simulated experiment uses — on the threaded wall-clock
+//! runtime. Messages travel through a router thread with genuine 2 ms link
+//! latency; timers fire on real elapsed time; the run ends when the
+//! transport quiesces. No protocol code is duplicated here: only the
+//! runtime differs from `quickstart`.
 //!
 //! ```sh
 //! cargo run --example threaded_transport
 //! ```
 
-use o2pc_repro::common::{ExecId, GlobalTxnId, History, Key, Op, SimTime, SiteId, Value};
-use o2pc_repro::protocol::{CoordAction, TwoPhaseCoordinator};
-use o2pc_repro::sim::transport::{recv_timeout, ThreadedTransport};
-use o2pc_repro::site::{LockPolicy, OpResult, Site, SiteConfig};
-use std::sync::Arc;
-use std::thread;
+use o2pc_repro::common::{Duration, Key, Op, SimTime, SiteId, Value};
+use o2pc_repro::core::{Engine, Msg, SystemConfig, TimerEvent, TxnRequest};
+use o2pc_repro::protocol::ProtocolKind;
+use o2pc_repro::runtime::{LinkPolicy, ThreadedRuntime, ThreadedRuntimeConfig, ThreadedTransport};
 use std::time::Duration as StdDuration;
 
-/// Wire messages (mirrors the engine's `Msg`).
-#[derive(Clone, Debug)]
-#[allow(dead_code)] // txn fields document the wire format even where one txn makes them redundant
-enum Wire {
-    Spawn { txn: GlobalTxnId, ops: Vec<Op> },
-    Ack { txn: GlobalTxnId, from: SiteId, ok: bool },
-    VoteReq { txn: GlobalTxnId },
-    Vote { txn: GlobalTxnId, from: SiteId, yes: bool },
-    Decision { txn: GlobalTxnId, commit: bool },
-    DecisionAck { txn: GlobalTxnId, from: SiteId },
-    Shutdown,
-}
-
 fn main() {
-    let transport: Arc<ThreadedTransport<Wire>> =
-        Arc::new(ThreadedTransport::new(StdDuration::from_millis(5)));
-    let coord_id = SiteId(0);
-    let participants = [SiteId(1), SiteId(2)];
-    let coord_rx = transport.register(coord_id);
+    // A transport with real per-link latency: every message crosses a
+    // router thread and arrives ~2 ms later on the wall clock.
+    let transport: ThreadedTransport<Msg> =
+        ThreadedTransport::with_policy(LinkPolicy::fixed(StdDuration::from_millis(2)));
+    let rt: ThreadedRuntime<TimerEvent, Msg> =
+        ThreadedRuntime::new(transport, ThreadedRuntimeConfig::default());
 
-    // Participant threads: a real Site kernel each.
-    let mut handles = Vec::new();
-    for &sid in &participants {
-        let rx = transport.register(sid);
-        let t = Arc::clone(&transport);
-        handles.push(thread::spawn(move || {
-            let mut site = Site::new(sid, SiteConfig::default());
-            site.load(Key(1), Value(100));
-            let mut hist = History::new();
-            let mut clock = 0u64;
-            loop {
-                let Some(env) = recv_timeout(&rx, StdDuration::from_secs(5)) else { break };
-                clock += 1;
-                let now = SimTime(clock);
-                match env.msg {
-                    Wire::Spawn { txn, ops } => {
-                        let exec = ExecId::Sub(txn);
-                        site.begin(exec, ops, now, &mut hist);
-                        let mut ok = true;
-                        loop {
-                            match site.execute_next_op(exec, now, &mut hist) {
-                                OpResult::Done { finished: true, .. } => break,
-                                OpResult::Done { .. } => {}
-                                OpResult::Blocked => unreachable!("single txn per site here"),
-                                OpResult::Failed(_) => {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                        }
-                        t.send(sid, coord_id, Wire::Ack { txn, from: sid, ok });
-                    }
-                    Wire::VoteReq { txn } => {
-                        let out = site.vote(txn, LockPolicy::ReleaseAll, false, now, &mut hist);
-                        let yes = matches!(out.vote, o2pc_repro::site::Vote::Yes);
-                        println!("[{sid}] voted {} and released all locks", if yes { "YES" } else { "NO" });
-                        t.send(sid, coord_id, Wire::Vote { txn, from: sid, yes });
-                    }
-                    Wire::Decision { txn, commit } => {
-                        let out = site.decide(txn, commit, now, &mut hist);
-                        if let Some(plan) = out.compensation {
-                            site.begin_compensation(txn, &plan, now, &mut hist);
-                            while let OpResult::Done { finished: false, .. } =
-                                site.execute_next_op(ExecId::CompSub(txn), now, &mut hist)
-                            {}
-                            site.finish_compensation(txn, now, &mut hist);
-                            println!("[{sid}] compensated {txn}");
-                        } else {
-                            println!("[{sid}] decision applied: {}", if commit { "COMMIT" } else { "ABORT" });
-                        }
-                        t.send(sid, coord_id, Wire::DecisionAck { txn, from: sid });
-                    }
-                    Wire::Shutdown => break,
-                    _ => {}
-                }
-            }
-            (sid, site.get(Key(1)))
-        }));
+    let mut cfg = SystemConfig::new(3, ProtocolKind::O2pc);
+    cfg.seed = 42;
+    // Virtual durations are microseconds of *wall* time on this runtime.
+    cfg.op_service_time = Duration::micros(200);
+
+    let mut engine = Engine::with_runtime(cfg, rt);
+    for site in [SiteId(0), SiteId(1), SiteId(2)] {
+        engine.load(site, Key(1), Value(100));
     }
 
-    // Coordinator thread logic (inline on main).
-    let txn = GlobalTxnId(1);
-    let mut coord = TwoPhaseCoordinator::new(txn, participants.to_vec());
-    transport.send(coord_id, SiteId(1), Wire::Spawn { txn, ops: vec![Op::Add(Key(1), -25)] });
-    transport.send(coord_id, SiteId(2), Wire::Spawn { txn, ops: vec![Op::Add(Key(1), 25)] });
+    // Three money transfers between sites, submitted 5 ms apart.
+    for (i, (a, b)) in [(0u32, 1u32), (1, 2), (2, 0)].iter().enumerate() {
+        engine.submit_at(
+            SimTime(5_000 * i as u64),
+            TxnRequest::global(vec![
+                (SiteId(*a), vec![Op::Add(Key(1), -25)]),
+                (SiteId(*b), vec![Op::Add(Key(1), 25)]),
+            ]),
+        );
+    }
 
-    let mut outcome = None;
-    while outcome.is_none() {
-        let env = recv_timeout(&coord_rx, StdDuration::from_secs(10)).expect("protocol stalled");
-        let action = match env.msg {
-            Wire::Ack { txn: _, from, ok } => coord.on_subtxn_ack(from, ok),
-            Wire::Vote { txn: _, from, yes } => coord.on_vote(
-                from,
-                if yes { o2pc_repro::site::Vote::Yes } else { o2pc_repro::site::Vote::No },
-            ),
-            Wire::DecisionAck { txn: _, from } => coord.on_decision_ack(from),
-            _ => None,
-        };
-        match action {
-            Some(CoordAction::SendVoteReq(sites)) => {
-                println!("[coordinator] all acks in — sending VOTE-REQ");
-                for s in sites {
-                    transport.send(coord_id, s, Wire::VoteReq { txn });
-                }
-            }
-            Some(CoordAction::SendDecision(commit, sites)) => {
-                println!("[coordinator] decision logged: {}", if commit { "COMMIT" } else { "ABORT" });
-                for s in sites {
-                    transport.send(coord_id, s, Wire::Decision { txn, commit });
-                }
-            }
-            Some(CoordAction::Complete(commit)) => outcome = Some(commit),
-            None => {}
-        }
-    }
-    for &s in &participants {
-        transport.send(coord_id, s, Wire::Shutdown);
-    }
-    println!("[coordinator] transaction {} {}", txn, if outcome.unwrap() { "COMMITTED" } else { "ABORTED" });
-    for h in handles {
-        let (sid, v) = h.join().unwrap();
-        println!("[{sid}] final balance: {v:?}");
-    }
+    let report = engine.run(Duration::secs(10));
+
+    println!("ran on the threaded runtime:");
+    println!("  committed: {}", report.global_committed);
+    println!("  aborted:   {}", report.global_aborted);
+    println!("  end time:  {} (wall)", report.end_time);
+    println!("  2PC msgs/txn: {:.1}", report.msgs_2pc_per_txn());
+    let total: i64 = [SiteId(0), SiteId(1), SiteId(2)]
+        .iter()
+        .map(|&s| engine.value(s, Key(1)).unwrap().0)
+        .sum();
+    println!("  conservation: total balance = {total} (expected 300)");
+    assert_eq!(
+        report.global_committed, 3,
+        "conflict-free transfers all commit"
+    );
+    assert_eq!(total, 300);
+    // The engine drops the runtime (and its transport) here; the router
+    // thread is joined by `Drop` — no detached threads survive the run.
 }

@@ -36,14 +36,25 @@ fn main() {
 
         let units_after = r.total_value;
         let booked_units = 3 * r.global_committed as i64; // 3 legs × 1 unit
-        println!("capacity/item = {capacity:>3}: booked {} trips, {} sold out", r.global_committed, r.global_aborted);
-        println!("   abort rate {:.1}% (scarcity-driven), compensations {}", r.abort_rate() * 100.0, r.compensations_completed);
+        println!(
+            "capacity/item = {capacity:>3}: booked {} trips, {} sold out",
+            r.global_committed, r.global_aborted
+        );
+        println!(
+            "   abort rate {:.1}% (scarcity-driven), compensations {}",
+            r.abort_rate() * 100.0,
+            r.compensations_completed
+        );
         println!(
             "   inventory check: {} loaded - {} booked = {} remaining ({})",
             workload.total_units(),
             booked_units,
             units_after,
-            if workload.total_units() - booked_units == units_after { "exact" } else { "MISMATCH" }
+            if workload.total_units() - booked_units == units_after {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
         );
         assert_eq!(
             workload.total_units() - booked_units,

@@ -16,6 +16,7 @@ pub use o2pc_core as core;
 pub use o2pc_locking as locking;
 pub use o2pc_marking as marking;
 pub use o2pc_protocol as protocol;
+pub use o2pc_runtime as runtime;
 pub use o2pc_sgraph as sgraph;
 pub use o2pc_sim as sim;
 pub use o2pc_site as site;

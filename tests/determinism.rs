@@ -9,7 +9,9 @@ use o2pc_protocol::ProtocolKind;
 use o2pc_sim::FailurePlan;
 use o2pc_workload::{BankingWorkload, GenericWorkload};
 
-fn fingerprint(r: &RunReport) -> (u64, u64, u64, u64, u64, usize, Vec<(String, u64)>) {
+type Fingerprint = (u64, u64, u64, u64, u64, usize, Vec<(String, u64)>);
+
+fn fingerprint(r: &RunReport) -> Fingerprint {
     (
         r.global_committed,
         r.global_aborted,
@@ -78,12 +80,20 @@ fn different_seeds_differ() {
     let a = run_once(ProtocolKind::O2pc, 1, false);
     let b = run_once(ProtocolKind::O2pc, 2, false);
     // Outcomes may coincide, but the fine-grained trace will not.
-    assert_ne!(fingerprint(&a).4, fingerprint(&b).4, "end times should differ across seeds");
+    assert_ne!(
+        fingerprint(&a).4,
+        fingerprint(&b).4,
+        "end times should differ across seeds"
+    );
 }
 
 #[test]
 fn workload_generation_is_pure() {
-    let w = BankingWorkload { transfers: 60, seed: 3, ..Default::default() };
+    let w = BankingWorkload {
+        transfers: 60,
+        seed: 3,
+        ..Default::default()
+    };
     let a = w.generate();
     let b = w.generate();
     assert_eq!(a.arrivals.len(), b.arrivals.len());

@@ -9,7 +9,11 @@ use o2pc_core::{Engine, SystemConfig};
 use o2pc_protocol::ProtocolKind;
 use o2pc_workload::BankingWorkload;
 
-fn lossy_run(protocol: ProtocolKind, drop_p: f64, timeout: Option<Duration>) -> (o2pc_core::RunReport, i64) {
+fn lossy_run(
+    protocol: ProtocolKind,
+    drop_p: f64,
+    timeout: Option<Duration>,
+) -> (o2pc_core::RunReport, i64) {
     let wl = BankingWorkload {
         sites: 4,
         accounts_per_site: 8,
@@ -37,7 +41,10 @@ fn lossy_network_with_timeout_terminates_everything() {
             150,
             "{protocol}: every transfer must terminate despite 5% loss"
         );
-        assert!(r.global_aborted > 0, "{protocol}: drops must cause presumed aborts");
+        assert!(
+            r.global_aborted > 0,
+            "{protocol}: drops must cause presumed aborts"
+        );
         assert!(r.counters.get("net.dropped") > 0);
         if protocol == ProtocolKind::O2pc {
             // Money conservation holds only when every site's abort
@@ -50,7 +57,10 @@ fn lossy_network_with_timeout_terminates_everything() {
             // in-doubt sites.
             let imbalance = (r.total_value - expected).abs();
             let explained = r.counters.get("msg.decision") >= r.counters.get("msg.decision_ack");
-            assert!(explained, "imbalance {imbalance} must come from undelivered decisions");
+            assert!(
+                explained,
+                "imbalance {imbalance} must come from undelivered decisions"
+            );
         }
     }
 }

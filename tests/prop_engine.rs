@@ -26,16 +26,26 @@ struct RunSpec {
 }
 
 fn run_spec() -> impl Strategy<Value = RunSpec> {
-    (2u32..5, 1u64..6, 10usize..60, 0usize..3, 0..5usize, any::<u64>(), 0u8..8)
-        .prop_map(|(sites, accounts, transfers, fanout_raw, protocol_idx, seed, p_raw)| RunSpec {
-            sites,
-            accounts,
-            transfers,
-            fanout: 2 + fanout_raw.min(sites as usize - 2),
-            p_abort: p_raw as f64 / 10.0,
-            protocol_idx,
-            seed,
-        })
+    (
+        2u32..5,
+        1u64..6,
+        10usize..60,
+        0usize..3,
+        0..5usize,
+        any::<u64>(),
+        0u8..8,
+    )
+        .prop_map(
+            |(sites, accounts, transfers, fanout_raw, protocol_idx, seed, p_raw)| RunSpec {
+                sites,
+                accounts,
+                transfers,
+                fanout: 2 + fanout_raw.min(sites as usize - 2),
+                p_abort: p_raw as f64 / 10.0,
+                protocol_idx,
+                seed,
+            },
+        )
 }
 
 proptest! {

@@ -39,14 +39,21 @@ fn money_conserved_across_protocols_and_abort_rates() {
                 r.total_value, expected,
                 "{protocol} p={p}: money must be conserved at quiescence"
             );
-            assert_eq!(r.compensations_pending, 0, "{protocol} p={p}: compensation persists");
+            assert_eq!(
+                r.compensations_pending, 0,
+                "{protocol} p={p}: compensation persists"
+            );
         }
     }
 }
 
 #[test]
 fn all_submitted_transactions_terminate() {
-    for protocol in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc, ProtocolKind::O2pcP1] {
+    for protocol in [
+        ProtocolKind::D2pl2pc,
+        ProtocolKind::O2pc,
+        ProtocolKind::O2pcP1,
+    ] {
         let (r, _) = run_banking(protocol, 0.3, 0x1234);
         let globals = r.global_committed + r.global_aborted;
         // 250 arrivals, ~20% locals → ~200 globals; every one terminates.
@@ -110,7 +117,10 @@ fn generic_model_also_preserves_semantic_atomicity() {
     assert_eq!(r.compensations_pending, 0);
     assert!(r.global_aborted > 0);
     let report = audit(&r.history, 8_000, 8);
-    assert!(report.is_correct(), "P1 keeps the criterion under the generic model too");
+    assert!(
+        report.is_correct(),
+        "P1 keeps the criterion under the generic model too"
+    );
 }
 
 #[test]
@@ -137,7 +147,10 @@ fn read_write_mix_terminates_under_all_protocols() {
         wl.generate().install(&mut e);
         let r = e.run(Duration::secs(600));
         let total = r.global_committed + r.global_aborted + r.local_committed + r.local_aborted;
-        assert!(total >= 150, "{protocol}: all {total} arrivals must terminate");
+        assert!(
+            total >= 150,
+            "{protocol}: all {total} arrivals must terminate"
+        );
         assert_eq!(r.compensations_pending, 0, "{protocol}");
     }
 }
@@ -165,12 +178,18 @@ fn no_aborts_means_plain_serializability_for_every_protocol() {
         // abort even without failures — P2 keys on the locally-committed
         // marks every transaction carries between vote and decision. The
         // unrestricted protocols must be abort-free here.
-        if matches!(protocol, ProtocolKind::D2pl2pc | ProtocolKind::O2pc | ProtocolKind::O2pcP1) {
+        if matches!(
+            protocol,
+            ProtocolKind::D2pl2pc | ProtocolKind::O2pc | ProtocolKind::O2pcP1
+        ) {
             assert_eq!(r.global_aborted, 0, "{protocol}");
         }
         if r.global_aborted == 0 {
             let report = audit(&r.history, 8_000, 8);
-            assert!(report.serializable, "{protocol}: abort-free runs are serializable");
+            assert!(
+                report.serializable,
+                "{protocol}: abort-free runs are serializable"
+            );
         }
     }
 }

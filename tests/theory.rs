@@ -108,7 +108,10 @@ fn lemma1_regular_cycles_include_a_ct() {
             );
         }
     }
-    assert!(found > 0, "the adversarial workload must produce some regular cycles");
+    assert!(
+        found > 0,
+        "the adversarial workload must produce some regular cycles"
+    );
 }
 
 #[test]
@@ -171,7 +174,10 @@ fn coordinator_site_placement_does_not_change_outcomes() {
             SimTime::ZERO,
             TxnRequest::global_with_coordinator(
                 coord,
-                vec![(SiteId(1), vec![Op::Add(Key(0), -1)]), (SiteId(2), vec![Op::Add(Key(0), 1)])],
+                vec![
+                    (SiteId(1), vec![Op::Add(Key(0), -1)]),
+                    (SiteId(2), vec![Op::Add(Key(0), 1)]),
+                ],
             ),
         );
         let r = e.run(Duration::secs(5));
