@@ -1,0 +1,195 @@
+//! `chaos` — run a block of seeded randomized fault schedules against the
+//! fully hardened engine and check every invariant after each one.
+//!
+//! ```sh
+//! cargo run --release --bin chaos -- --schedules 1000 --seed 42
+//! cargo run --release --bin chaos -- --replay 65          # one seed, verbose
+//! ```
+//!
+//! Each schedule derives (from one seed) a composed plan of site crashes,
+//! link partitions, message drop/duplication probabilities, and extra
+//! delay, runs a banking workload through it, and feeds the end state to
+//! the chaos oracle. On the first violated seed the harness greedily
+//! shrinks the plan to a minimal still-failing fault set, prints it, and
+//! emits the exact `--replay` command line before exiting nonzero.
+
+use o2pc_chaos::{run_plan, shrink, ChaosConfig, ChaosPlan, Hardening};
+
+#[derive(Debug)]
+struct Args {
+    schedules: u64,
+    seed: u64,
+    replay: Option<u64>,
+    sites: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        schedules: 1000,
+        seed: 42,
+        replay: None,
+        sites: 4,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--schedules" => {
+                args.schedules = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--schedules: {e}"))?
+            }
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--replay" => {
+                args.replay = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--replay: {e}"))?,
+                )
+            }
+            "--sites" => args.sites = take(&mut i)?.parse().map_err(|e| format!("--sites: {e}"))?,
+            "--help" | "-h" => {
+                println!("usage: chaos [--schedules N] [--seed S] [--sites N] [--replay SEED]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn config_for(sites: u32) -> ChaosConfig {
+    ChaosConfig {
+        num_sites: sites,
+        ..Default::default()
+    }
+}
+
+/// Replay one seed with the full plan and outcome printed.
+fn replay(seed: u64, sites: u32) -> ! {
+    let plan = ChaosPlan::generate(seed, &config_for(sites));
+    println!("{}", plan.describe());
+    let outcome = run_plan(&plan, Hardening::default());
+    println!(
+        "protocol {} | drop p={:.3} dup p={:.3} | {} committed / {} aborted / {} local | \
+         {} gc'd, {} live at end",
+        outcome.protocol,
+        outcome.drop_probability,
+        outcome.duplicate_probability,
+        outcome.report.global_committed,
+        outcome.report.global_aborted,
+        outcome.report.local_committed,
+        outcome.gc_retired,
+        outcome.live_at_end,
+    );
+    if outcome.survived() {
+        println!("all invariants hold");
+        std::process::exit(0);
+    }
+    println!("VIOLATIONS:");
+    for v in &outcome.violations {
+        println!("  - {v}");
+    }
+    let minimal = shrink(&plan, Hardening::default());
+    println!(
+        "\nminimal failing fault set ({} faults):",
+        minimal.faults.len()
+    );
+    println!("{}", minimal.describe());
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    if let Some(seed) = args.replay {
+        replay(seed, args.sites);
+    }
+
+    let cfg = config_for(args.sites);
+    let mut coordinator_crashes = 0u64;
+    let mut min_drop = f64::INFINITY;
+    let mut min_dup = f64::INFINITY;
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut retired = 0u64;
+    let mut live = 0usize;
+    let started = std::time::Instant::now();
+
+    for n in 0..args.schedules {
+        let seed = args.seed.wrapping_add(n);
+        let plan = ChaosPlan::generate(seed, &cfg);
+        let outcome = run_plan(&plan, Hardening::default());
+        min_drop = min_drop.min(outcome.drop_probability);
+        min_dup = min_dup.min(outcome.duplicate_probability);
+        coordinator_crashes += outcome.crashed_a_coordinator as u64;
+        committed += outcome.report.global_committed;
+        aborted += outcome.report.global_aborted;
+        retired += outcome.gc_retired;
+        live += outcome.live_at_end;
+
+        if !outcome.survived() {
+            println!("seed {seed} VIOLATED invariants under:");
+            println!("{}", plan.describe());
+            for v in &outcome.violations {
+                println!("  - {v}");
+            }
+            println!("shrinking to a minimal fault set...");
+            let minimal = shrink(&plan, Hardening::default());
+            println!(
+                "minimal failing fault set ({} of {} faults):",
+                minimal.faults.len(),
+                plan.faults.len()
+            );
+            println!("{}", minimal.describe());
+            println!("replay with:");
+            println!(
+                "  cargo run --release --bin chaos -- --replay {seed} --sites {}",
+                args.sites
+            );
+            std::process::exit(1);
+        }
+        if (n + 1) % 100 == 0 {
+            println!(
+                "  {:>5}/{} schedules clean ({:.1}s)",
+                n + 1,
+                args.schedules,
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    println!(
+        "{} schedules, 0 violations ({:.1}s)",
+        args.schedules,
+        started.elapsed().as_secs_f64()
+    );
+    println!(
+        "coverage: min drop p={min_drop:.3}, min dup p={min_dup:.3}, \
+         {coordinator_crashes} schedules crashed a coordinator-hosting site"
+    );
+    println!(
+        "totals: {committed} committed, {aborted} aborted, {retired} gc'd, {live} live at end"
+    );
+    assert!(
+        min_drop >= 0.05,
+        "coverage: drop probability fell below the 0.05 floor"
+    );
+    assert!(min_dup > 0.0, "coverage: duplication was never enabled");
+    assert!(
+        coordinator_crashes > 0,
+        "coverage: no schedule ever crashed a coordinator-hosting site"
+    );
+}

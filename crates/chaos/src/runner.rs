@@ -1,0 +1,167 @@
+//! Execute one chaos schedule against the engine and judge the outcome.
+
+use crate::oracle::{self, Violation};
+use crate::plan::ChaosPlan;
+use o2pc_common::{Duration, SiteId};
+use o2pc_core::{Engine, RunReport, SystemConfig, TxnRequest};
+use o2pc_protocol::ProtocolKind;
+use o2pc_workload::BankingWorkload;
+use std::collections::BTreeSet;
+
+/// Which hardening machinery the run may use. The chaos harness runs with
+/// everything on; switching pieces off is the harness's *negative control* —
+/// a deliberately fragile engine whose failures prove the oracle can see.
+#[derive(Clone, Copy, Debug)]
+pub struct Hardening {
+    /// Coordinator retransmission of unacked VOTE-REQ / DECISION.
+    pub retransmit: bool,
+    /// Cooperative termination rounds (with retry) for in-doubt
+    /// participants.
+    pub termination: bool,
+}
+
+impl Default for Hardening {
+    fn default() -> Self {
+        Hardening {
+            retransmit: true,
+            termination: true,
+        }
+    }
+}
+
+impl Hardening {
+    /// Everything off: the classic send-once engine (negative control).
+    pub fn none() -> Self {
+        Hardening {
+            retransmit: false,
+            termination: false,
+        }
+    }
+}
+
+/// Result of one chaos run: oracle verdict plus coverage accounting.
+pub struct ChaosOutcome {
+    /// Invariants violated (empty = the run survived).
+    pub violations: Vec<Violation>,
+    /// The engine's run report.
+    pub report: RunReport,
+    /// Protocol variant this seed selected.
+    pub protocol: ProtocolKind,
+    /// The plan's message-drop probability.
+    pub drop_probability: f64,
+    /// The plan's message-duplication probability.
+    pub duplicate_probability: f64,
+    /// At least one crash window hit a site hosting a coordinator.
+    pub crashed_a_coordinator: bool,
+    /// Transactions garbage-collected during the run.
+    pub gc_retired: u64,
+    /// Transactions still tracked at the end (bounded-memory signal).
+    pub live_at_end: usize,
+}
+
+impl ChaosOutcome {
+    /// Did the run satisfy every invariant?
+    pub fn survived(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Protocol variant exercised by a seed (rotates so a seed block covers
+/// blocking 2PC and every marking-protected O2PC variant against the same
+/// fault machinery). Bare `O2pc` is deliberately excluded: without a
+/// marking protocol it enforces neither S1 nor S2, and the paper's own
+/// Example 1 shows it *can* admit regular cycles under adversarial
+/// interleavings — exactly what chaos schedules produce — so it carries no
+/// zero-violation guarantee for the oracle to check.
+pub fn protocol_for(seed: u64) -> ProtocolKind {
+    match seed % 4 {
+        0 => ProtocolKind::D2pl2pc,
+        1 => ProtocolKind::O2pcP2,
+        2 => ProtocolKind::O2pcSimple,
+        _ => ProtocolKind::O2pcP1,
+    }
+}
+
+/// Run one plan under the given hardening and check every invariant.
+///
+/// The workload is banking (zero-sum transfers → conservation oracle), the
+/// horizon is `heal_at` plus several virtual seconds of quiet drain, and a
+/// seed also rotates protocol variant, occasional real-action sites, and
+/// occasional autonomous abort probability so the schedule space crosses
+/// the configuration space.
+pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
+    let protocol = protocol_for(plan.seed);
+    let wl = BankingWorkload {
+        sites: plan.num_sites,
+        accounts_per_site: 8,
+        transfers: 120,
+        mean_interarrival: Duration::millis(2),
+        local_fraction: 0.1,
+        seed: plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        ..Default::default()
+    };
+    let schedule = wl.generate();
+    let coordinators: BTreeSet<SiteId> = schedule
+        .arrivals
+        .iter()
+        .filter_map(|(_, req)| match req {
+            TxnRequest::Global { coordinator, .. } => Some(*coordinator),
+            TxnRequest::Local { .. } => None,
+        })
+        .collect();
+    let crashed_a_coordinator = plan.crash_sites().iter().any(|s| coordinators.contains(s));
+
+    let mut cfg = SystemConfig::new(plan.num_sites, protocol);
+    cfg.seed = plan.seed;
+    cfg.network.chaos = plan.message_chaos();
+    cfg.failures = plan.failure_plan();
+    cfg.vote_timeout = Some(Duration::millis(40));
+    cfg.termination_timeout = harden.termination.then(|| Duration::millis(50));
+    cfg.retransmit_base = harden.retransmit.then(|| Duration::millis(10));
+    cfg.retransmit_cap = Duration::millis(160);
+    if plan.seed.is_multiple_of(5) {
+        // A real-action site holds write locks until the decision even
+        // under O2PC — the blocking shape chaos must not be able to wedge.
+        cfg.real_action_sites.insert(SiteId(plan.num_sites - 1));
+    }
+    if plan.seed.is_multiple_of(7) {
+        cfg.vote_abort_probability = 0.1;
+    }
+
+    let mut engine = Engine::new(cfg);
+    schedule.install(&mut engine);
+    let horizon = Duration::micros(plan.heal_at.micros()) + Duration::secs(5);
+    let report = engine.run(horizon);
+    let violations = oracle::check(&engine, &report, wl.expected_total());
+    ChaosOutcome {
+        gc_retired: report.counters.get("txn.gc"),
+        live_at_end: engine.live_txn_count(),
+        violations,
+        report,
+        protocol,
+        drop_probability: plan.drop_probability(),
+        duplicate_probability: plan.duplicate_probability(),
+        crashed_a_coordinator,
+    }
+}
+
+/// Shrink a failing plan: greedily drop one fault at a time, keeping each
+/// removal that still fails the oracle, until no single removal does. The
+/// result is a (locally) minimal fault set reproducing the violation.
+pub fn shrink(plan: &ChaosPlan, harden: Hardening) -> ChaosPlan {
+    let mut current = plan.clone();
+    loop {
+        let mut improved = false;
+        for idx in 0..current.faults.len() {
+            let candidate = current.without(idx);
+            if !run_plan(&candidate, harden).survived() {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}

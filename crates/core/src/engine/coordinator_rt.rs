@@ -46,6 +46,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     spawn_retries: HashMap::new(),
                     began: BTreeSet::new(),
                     done: false,
+                    retx_armed: false,
                 };
                 self.txns.insert(id, gtxn);
                 for (site, ops) in subs {
@@ -62,7 +63,10 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     }
 
     pub(crate) fn coord_action(&mut self, now: SimTime, txn: GlobalTxnId, action: CoordAction) {
-        let coord_site = self.txns[&txn].coord_site;
+        let Some(g) = self.txns.get(&txn) else {
+            return; // retired (garbage collected): nothing left to drive
+        };
+        let coord_site = g.coord_site;
         match action {
             CoordAction::SendVoteReq(sites) => {
                 for s in sites {
@@ -71,6 +75,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 if let Some(t) = self.cfg.vote_timeout {
                     self.rt.schedule(now + t, TimerEvent::VoteTimeout { txn });
                 }
+                self.arm_retransmit(now, txn);
             }
             CoordAction::SendDecision(commit, sites) => {
                 if !commit {
@@ -78,11 +83,14 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     // transaction's *actual* execution-site set, enabling
                     // UDUM1 detection at the sites (no extra messages).
                     let began = self.txns[&txn].began.clone();
-                    self.udum.register_aborted(txn, began);
+                    if !began.is_empty() {
+                        self.udum.register_aborted(txn, began);
+                    }
                 }
                 for s in sites {
                     self.send(now, coord_site, s, Msg::Decision { txn, commit });
                 }
+                self.arm_retransmit(now, txn);
             }
             CoordAction::Complete(commit) => {
                 let g = self.txns.get_mut(&txn).expect("txn exists");
@@ -98,22 +106,146 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 self.report
                     .global_latency
                     .record((now - g.start).as_micros());
+                self.try_gc(txn);
             }
         }
     }
 
     pub(crate) fn on_vote_timeout(&mut self, now: SimTime, txn: GlobalTxnId) {
-        if !self.site_up(self.txns[&txn].coord_site) {
-            return; // a crashed coordinator times out nothing
+        let Some(g) = self.txns.get(&txn) else {
+            return; // stale timer: the transaction has been retired
+        };
+        if g.done || !self.site_up(g.coord_site) {
+            return; // finished, or a crashed coordinator times out nothing
         }
-        let Some(g) = self.txns.get_mut(&txn) else {
+        let action = self.txns.get_mut(&txn).unwrap().coord.on_timeout();
+        if let Some(action) = action {
+            self.coord_action(now, txn, action);
+        }
+    }
+
+    /// One link of the capped-exponential-backoff retransmission chain: if
+    /// the coordinator is still waiting on votes or decision acks, resend to
+    /// exactly the missing participants and schedule the next check.
+    pub(crate) fn on_retransmit(&mut self, now: SimTime, txn: GlobalTxnId, attempt: u32) {
+        let Some(base) = self.cfg.retransmit_base else {
             return;
         };
-        if g.done {
+        let cap = self.cfg.retransmit_cap;
+        let (done, coord_site) = match self.txns.get(&txn) {
+            Some(g) => (g.done, g.coord_site),
+            None => return, // stale timer: the transaction has been retired
+        };
+        if done {
+            self.txns.get_mut(&txn).unwrap().retx_armed = false;
             return;
         }
-        if let Some(action) = g.coord.on_timeout() {
-            self.coord_action(now, txn, action);
+        if !self.site_up(coord_site) {
+            // The coordinator is down; keep the chain alive at the capped
+            // interval so retransmission resumes after recovery (recovery
+            // itself also resends, making this a cheap safety net).
+            self.rt
+                .schedule(now + cap, TimerEvent::Retransmit { txn, attempt });
+            return;
+        }
+        match self.txns[&txn].coord.retransmit() {
+            Some(action) => {
+                self.report.counters.inc("msg.retransmit");
+                self.coord_action_resend(now, txn, action);
+                let exp = base.saturating_mul(1u64 << (attempt + 1).min(16));
+                let delay = if exp > cap { cap } else { exp };
+                self.rt.schedule(
+                    now + delay,
+                    TimerEvent::Retransmit {
+                        txn,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            None => {
+                // Nothing outstanding: the chain ends. `arm_retransmit`
+                // starts a fresh one if a later phase sends again.
+                if let Some(g) = self.txns.get_mut(&txn) {
+                    g.retx_armed = false;
+                }
+            }
+        }
+    }
+
+    /// Resend a `retransmit()` action without re-running decision side
+    /// effects (UDUM registration, timers) or re-arming the chain.
+    fn coord_action_resend(&mut self, now: SimTime, txn: GlobalTxnId, action: CoordAction) {
+        let Some(g) = self.txns.get(&txn) else {
+            return;
+        };
+        let coord_site = g.coord_site;
+        match action {
+            CoordAction::SendVoteReq(sites) => {
+                for s in sites {
+                    self.send(now, coord_site, s, Msg::VoteReq { txn });
+                }
+            }
+            CoordAction::SendDecision(commit, sites) => {
+                for s in sites {
+                    self.send(now, coord_site, s, Msg::Decision { txn, commit });
+                }
+            }
+            CoordAction::Complete(_) => unreachable!("retransmit never completes"),
+        }
+    }
+
+    /// Retire a finished transaction once nothing in the system can still
+    /// reference it: the decision is acked everywhere (`done`), no
+    /// compensation or termination round is pending at any participant, and
+    /// every participant is up and unmarked (an aborted transaction stays
+    /// until UDUM1 clears its markings — rule R3 is the *correctness* gate
+    /// for forgetting, so it is also the memory gate). Crashed participants
+    /// defer GC to their recovery sweep.
+    pub(crate) fn try_gc(&mut self, txn: GlobalTxnId) {
+        let Some(g) = self.txns.get(&txn) else {
+            return;
+        };
+        if !g.done {
+            return;
+        }
+        let participants: Vec<SiteId> = g.coord.participants().to_vec();
+        for &p in &participants {
+            if self.pending_comp.contains_key(&(txn, p))
+                || self.term_rounds.contains_key(&(txn, p))
+                || self.term_armed.contains(&(txn, p))
+            {
+                return;
+            }
+            let Some(site) = self.sites[p.index()].as_ref() else {
+                return;
+            };
+            if site.mark_of(txn) != o2pc_marking::MarkState::Unmarked {
+                return;
+            }
+        }
+        if !self.udum.missing_sites(txn).is_empty() {
+            return;
+        }
+        for &p in &participants {
+            if let Some(site) = self.sites[p.index()].as_mut() {
+                site.forget(txn);
+            }
+        }
+        self.txns.remove(&txn);
+        self.report.counters.inc("txn.gc");
+    }
+
+    /// GC sweep over every finished transaction (used after recovery, when
+    /// a crashed participant was the last thing blocking retirement).
+    pub(crate) fn gc_sweep(&mut self) {
+        let done: Vec<GlobalTxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, g)| g.done)
+            .map(|(&id, _)| id)
+            .collect();
+        for txn in done {
+            self.try_gc(txn);
         }
     }
 
@@ -130,7 +262,24 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         let site_cfg = SiteConfig {
             compensation_model: self.cfg.compensation_model,
         };
-        self.sites[site.index()] = Some(Site::recover(site, site_cfg, wal));
+        let mut recovered_site = Site::recover(site, site_cfg, wal);
+        // The WAL resurrects every logged decision (peers in doubt may
+        // still ask), but decisions for transactions GC already retired
+        // can never be queried again — drop them so recovery does not
+        // grow the decided map without bound across crash cycles.
+        recovered_site.retain_decisions(|g| self.txns.contains_key(&g));
+        // Executions that died in-flight with the crash were rolled back
+        // from the log; close them out in the history, else the SG audit
+        // would treat their undone writes as observable accesses.
+        for exec in recovered_site.take_recovery_rollbacks() {
+            self.hist.push(o2pc_common::HistEvent {
+                site,
+                txn: exec.txn_id(),
+                kind: o2pc_common::HistEventKind::RolledBack,
+                time: now,
+            });
+        }
+        self.sites[site.index()] = Some(recovered_site);
         // Coordinators hosted here resume: resend logged decisions, presume
         // abort for undecided transactions.
         let to_recover: Vec<GlobalTxnId> = self
@@ -147,16 +296,18 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         // Recovered in-doubt participants (prepared, or locally committed
         // with the decision lost in the crash) resolve their fate through
         // the termination protocol when it is enabled.
-        if let Some(t) = self.cfg.termination_timeout {
+        if self.cfg.termination_timeout.is_some() {
             let site_ref = self.sites[site.index()].as_ref().unwrap();
             let mut in_doubt = site_ref.prepared_subs();
             in_doubt.extend(site_ref.pending_local_commits());
             for txn in in_doubt {
                 if self.txns.contains_key(&txn) {
-                    self.rt
-                        .schedule(now + t, TimerEvent::TermTimeout { txn, site });
+                    self.arm_term_timer(now, txn, site);
                 }
             }
         }
+        // This site may have been the last thing blocking retirement of
+        // finished transactions (GC defers while a participant is down).
+        self.gc_sweep();
     }
 }

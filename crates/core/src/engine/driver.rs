@@ -44,6 +44,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             TimerEvent::R1Retry { txn, site } => self.try_spawn(now, txn, site),
             TimerEvent::CompRetry { txn, site } => self.resume_compensation(now, txn, site),
             TimerEvent::VoteTimeout { txn } => self.on_vote_timeout(now, txn),
+            TimerEvent::Retransmit { txn, attempt } => self.on_retransmit(now, txn, attempt),
             TimerEvent::TermTimeout { txn, site } => self.on_term_timeout(now, txn, site),
             TimerEvent::Crash { site } => self.on_crash(site),
             TimerEvent::Recover { site } => self.on_recover(now, site),

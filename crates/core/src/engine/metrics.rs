@@ -31,6 +31,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         report
             .counters
             .add("net.dropped", self.rt.messages_dropped());
+        report
+            .counters
+            .add("txn.live_at_end", self.txns.len() as u64);
         report.compensations_pending = self.persistence.pending_count();
         report.compensations_completed = self.persistence.completed_count();
         report

@@ -77,6 +77,15 @@ pub enum TimerEvent {
         /// Global transaction.
         txn: GlobalTxnId,
     },
+    /// Coordinator retransmission check: resend unacked VOTE-REQ/DECISION
+    /// with capped exponential backoff (armed only when
+    /// `SystemConfig::retransmit_base` is set).
+    Retransmit {
+        /// Global transaction.
+        txn: GlobalTxnId,
+        /// Backoff attempt number (0 = first resend check).
+        attempt: u32,
+    },
     /// A prepared participant has waited too long for the decision.
     TermTimeout {
         /// Global transaction.
@@ -111,6 +120,9 @@ pub(crate) struct GTxn {
     /// never executes, never marks, never fences).
     pub(crate) began: BTreeSet<SiteId>,
     pub(crate) done: bool,
+    /// A retransmission timer chain is live for this transaction (at most
+    /// one chain per transaction; re-armed from the chain itself).
+    pub(crate) retx_armed: bool,
 }
 
 /// The runtime `Engine::new` builds: the deterministic simulator.
@@ -130,6 +142,10 @@ pub struct Engine<R: Runtime<TimerEvent, Msg> = DefaultSimRuntime> {
     pub(crate) txns: HashMap<GlobalTxnId, GTxn>,
     pub(crate) pending_comp: HashMap<(GlobalTxnId, SiteId), CompensationPlan>,
     pub(crate) term_rounds: HashMap<(GlobalTxnId, SiteId), TerminationRound>,
+    /// In-doubt participants with a live termination-timer chain. Exactly
+    /// one chain per `(txn, site)` exists while the site is in doubt, so a
+    /// lost `TermReq`/`TermAnswer` re-fires instead of blocking forever.
+    pub(crate) term_armed: BTreeSet<(GlobalTxnId, SiteId)>,
     pub(crate) local_starts: HashMap<ExecId, SimTime>,
     pub(crate) persistence: PersistenceGuard,
     pub(crate) udum: UdumTracker,
@@ -186,6 +202,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             txns: HashMap::new(),
             pending_comp: HashMap::new(),
             term_rounds: HashMap::new(),
+            term_armed: BTreeSet::new(),
             local_starts: HashMap::new(),
             persistence: PersistenceGuard::new(),
             udum: UdumTracker::new(),
@@ -215,6 +232,93 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         &self.rt
     }
 
+    // ----- oracle probes ---------------------------------------------------
+    //
+    // Read-only views of engine state for post-run invariant checking (the
+    // chaos oracle): these expose *whether* the run quiesced cleanly, never
+    // protocol internals.
+
+    /// Global transactions still tracked (completed ones are garbage
+    /// collected once decided, acked, and unmarked everywhere).
+    pub fn live_txn_count(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Transactions whose coordinator never reached `Complete`.
+    pub fn unfinished_txns(&self) -> Vec<GlobalTxnId> {
+        let mut v: Vec<GlobalTxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, g)| !g.done)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Participants still in doubt: prepared under hold-writes, or locally
+    /// committed under O2PC without a known decision.
+    pub fn in_doubt_participants(&self) -> Vec<(GlobalTxnId, SiteId)> {
+        let mut v = Vec::new();
+        for s in self.sites.iter().flatten() {
+            for txn in s.prepared_subs() {
+                v.push((txn, s.id()));
+            }
+            for txn in s.pending_local_commits() {
+                v.push((txn, s.id()));
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// Sites currently crashed.
+    pub fn down_sites(&self) -> Vec<SiteId> {
+        self.cfg.sites().filter(|s| !self.site_up(*s)).collect()
+    }
+
+    /// Up sites whose WAL no longer replays to their live store — a crash
+    /// right now would lose or invent data.
+    pub fn wal_divergent_sites(&self) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .flatten()
+            .filter(|s| !s.wal_matches_store())
+            .map(|s| s.id())
+            .collect()
+    }
+
+    /// Per-site WAL/store discrepancies as `(site, key, recovered, live)` —
+    /// the diagnostic detail behind [`Engine::wal_divergent_sites`].
+    pub fn wal_store_diffs(&self) -> Vec<(SiteId, Key, Option<Value>, Option<Value>)> {
+        self.sites
+            .iter()
+            .flatten()
+            .flat_map(|s| {
+                let id = s.id();
+                s.wal_store_diff()
+                    .into_iter()
+                    .map(move |(k, r, l)| (id, k, r, l))
+            })
+            .collect()
+    }
+
+    /// One site's raw WAL records (diagnostics: tracing chaos
+    /// counterexamples back to the log).
+    pub fn wal_records(&self, site: SiteId) -> Option<&[o2pc_storage::LogRecord]> {
+        self.sites[site.index()].as_ref().map(|s| s.wal_records())
+    }
+
+    /// Sum of every live site's item values (conservation checks).
+    pub fn total_value(&self) -> i64 {
+        self.sites.iter().flatten().map(|s| s.total()).sum()
+    }
+
+    /// Total retained per-site decision records (bounded-memory checks).
+    pub fn decided_records(&self) -> usize {
+        self.sites.iter().flatten().map(|s| s.decided_count()).sum()
+    }
+
     pub(crate) fn site_mut(&mut self, site: SiteId) -> &mut Site {
         self.sites[site.index()]
             .as_mut()
@@ -240,10 +344,46 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     // ----- messaging -------------------------------------------------------
 
     pub(crate) fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
-        self.report.counters.inc(msg.label());
+        let label = msg.label();
+        self.report.counters.inc(label);
         // A `false` return means the substrate lost the message at send time
-        // (link down or random drop); the runtime counts it.
-        let _ = self.rt.send(now, from, to, msg);
+        // (link down or random drop). Account the loss per message type so
+        // E6 and the chaos oracle can reconcile message conservation.
+        if !self.rt.send(now, from, to, msg) {
+            let kind = label.strip_prefix("msg.").unwrap_or(label);
+            self.report.counters.inc(&format!("msg.dropped.{kind}"));
+        }
+    }
+
+    /// Start (or refresh) the termination-timer chain for an in-doubt
+    /// participant. At most one chain per `(txn, site)` is live: the chain
+    /// re-arms itself from `on_term_timeout`, so arming is idempotent and a
+    /// lost answer can never strand the participant.
+    pub(crate) fn arm_term_timer(&mut self, now: SimTime, txn: GlobalTxnId, site: SiteId) {
+        let Some(t) = self.cfg.termination_timeout else {
+            return;
+        };
+        if self.term_armed.insert((txn, site)) {
+            self.rt
+                .schedule(now + t, TimerEvent::TermTimeout { txn, site });
+        }
+    }
+
+    /// Start the retransmission backoff chain for a transaction's
+    /// coordinator, if retransmission is enabled and no chain is live.
+    pub(crate) fn arm_retransmit(&mut self, now: SimTime, txn: GlobalTxnId) {
+        let Some(base) = self.cfg.retransmit_base else {
+            return;
+        };
+        let Some(g) = self.txns.get_mut(&txn) else {
+            return;
+        };
+        if g.done || g.retx_armed {
+            return;
+        }
+        g.retx_armed = true;
+        self.rt
+            .schedule(now + base, TimerEvent::Retransmit { txn, attempt: 0 });
     }
 
     pub(crate) fn wake(&mut self, now: SimTime, site: SiteId, woken: Vec<ExecId>) {

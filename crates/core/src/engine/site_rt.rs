@@ -28,6 +28,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 }
             }
             Msg::VoteReq { txn } => {
+                if !self.txns.contains_key(&txn) {
+                    return; // stale duplicate for a retired transaction
+                }
                 let force = self.cfg.vote_abort_probability > 0.0
                     && self.rng.gen_bool(self.cfg.vote_abort_probability);
                 let policy = self.lock_policy_at(to);
@@ -43,10 +46,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     self.invalidate_incompatible_subs(now, to);
                 }
                 if out.vote == o2pc_site::Vote::Yes && policy == LockPolicy::HoldWrites {
-                    if let Some(t) = self.cfg.termination_timeout {
-                        self.rt
-                            .schedule(now + t, TimerEvent::TermTimeout { txn, site: to });
-                    }
+                    self.arm_term_timer(now, txn, to);
                 }
                 let coord_site = self.txns[&txn].coord_site;
                 self.send(
@@ -72,6 +72,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 }
             }
             Msg::Decision { txn, commit } => {
+                if !self.txns.contains_key(&txn) {
+                    return; // stale duplicate for a retired transaction
+                }
                 let hist = &mut self.hist;
                 let site = self.sites[to.index()].as_mut().unwrap();
                 let out = site.decide(txn, commit, now, hist);
@@ -134,10 +137,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                         self.term_rounds.remove(&(txn, to));
                         self.report.counters.inc("term.still_blocked");
                         // Retry after another timeout period.
-                        if let Some(t) = self.cfg.termination_timeout {
-                            self.rt
-                                .schedule(now + t, TimerEvent::TermTimeout { txn, site: to });
-                        }
+                        self.arm_term_timer(now, txn, to);
                     }
                     None => {}
                 }
@@ -165,11 +165,17 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             self.pending_comp.insert((txn, site_id), plan);
             self.start_compensation(now, txn, site_id);
         }
+        self.try_gc(txn);
     }
 
     /// A prepared participant has waited too long for the decision: run a
-    /// cooperative-termination round against its peers.
+    /// cooperative-termination round against its peers. Each firing consumes
+    /// its `term_armed` slot and re-arms after sending, so a lost `TermReq`
+    /// or `TermAnswer` only delays the next round by one timeout — the
+    /// chain dies only when the site leaves doubt (or stays crashed, in
+    /// which case recovery re-arms it).
     pub(crate) fn on_term_timeout(&mut self, now: SimTime, txn: GlobalTxnId, site_id: SiteId) {
+        self.term_armed.remove(&(txn, site_id));
         if !self.site_up(site_id) {
             return;
         }
@@ -184,10 +190,14 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 .unwrap_or(false);
             let pending_lc = site.pending_local_commits().contains(&txn);
             if !prepared && !pending_lc {
+                self.try_gc(txn); // this chain may have been the last blocker
                 return;
             }
         }
-        let peers: Vec<SiteId> = self.txns[&txn]
+        let Some(g) = self.txns.get(&txn) else {
+            return; // retired while the timer was in flight
+        };
+        let peers: Vec<SiteId> = g
             .coord
             .participants()
             .iter()
@@ -198,6 +208,8 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             return;
         }
         self.report.counters.inc("term.rounds");
+        // Overwrite any stalled previous round: answers carry the sender id,
+        // so replies to the old round simply refill the new one.
         self.term_rounds.insert(
             (txn, site_id),
             o2pc_protocol::TerminationRound::new(txn, peers.clone()),
@@ -205,6 +217,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         for p in peers {
             self.send(now, site_id, p, Msg::TermReq { txn, from: site_id });
         }
+        self.arm_term_timer(now, txn, site_id);
     }
 
     /// Rule R1: admission check before (re)starting a subtransaction.
@@ -217,6 +230,13 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             return;
         };
         if g.done || g.coord.decision().is_some() {
+            return;
+        }
+        if g.began.contains(&site_id) {
+            // Duplicate SpawnSubtxn: the subtransaction already began here.
+            // Its original ack (or the vote-timeout's presumed abort)
+            // resolves the coordinator; re-beginning would clobber live
+            // execution state.
             return;
         }
         self.report.counters.inc("r1.checks");
@@ -390,6 +410,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                         // toward UDUM1, and running subtransactions admitted
                         // under the old marks must be re-checked.
                         self.invalidate_incompatible_subs(now, site_id);
+                        self.try_gc(g);
                     }
                 }
             }
@@ -434,6 +455,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             s.unmark(ti);
         }
         self.udum.forget(ti);
+        // Unmarking was usually the last condition holding the aborted
+        // transaction's record alive.
+        self.try_gc(ti);
     }
 
     /// A mark was just added at `site_id` (a roll-back or a completed
@@ -494,6 +518,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             self.pending_comp.remove(&(txn, site_id));
             self.persistence.completed(txn, site_id);
             self.invalidate_incompatible_subs(now, site_id);
+            self.try_gc(txn);
         } else {
             let service = self.cfg.op_service_time;
             self.rt.schedule(

@@ -137,10 +137,11 @@ fn d2pl_participant_crash_while_prepared_recovers_locks_and_resolves() {
 #[test]
 fn prepared_participant_without_termination_stays_in_doubt() {
     // No termination protocol: the recovered prepared participant has no way
-    // to learn the decision (the coordinator never retransmits unacked
-    // decisions in this engine unless it crashes itself) — the in-doubt
-    // data stays locked. This is 2PC blocking surviving a *participant*
-    // restart.
+    // to learn the decision (with `retransmit_base` unset — the default —
+    // the coordinator sends each decision exactly once and only resends on
+    // its own crash recovery) — the in-doubt data stays locked. This is
+    // 2PC blocking surviving a *participant* restart; enabling either
+    // `termination_timeout` or `retransmit_base` resolves it.
     let (e, r) = run_with_participant_crash(ProtocolKind::D2pl2pc, (4, 1000), None);
     // The coordinator logged COMMIT; site 1 applied it; site 2 is in doubt.
     assert_eq!(r.global_committed, 1);

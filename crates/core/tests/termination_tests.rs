@@ -169,6 +169,109 @@ fn termination_disabled_means_pure_blocking() {
     assert!(r.locks.exclusive_hold.mean() > 1_900_000.0);
 }
 
+/// A runtime that swallows the first `TermAnswer` it is asked to carry.
+/// Everything else passes through to the deterministic simulator.
+struct DropFirstTermAnswer {
+    inner: o2pc_core::DefaultSimRuntime,
+    dropped: bool,
+}
+
+impl o2pc_runtime::Clock for DropFirstTermAnswer {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+}
+
+impl o2pc_runtime::Runtime<o2pc_core::TimerEvent, o2pc_core::Msg> for DropFirstTermAnswer {
+    fn register_endpoint(&mut self, id: SiteId) {
+        self.inner.register_endpoint(id);
+    }
+    fn schedule(&mut self, at: SimTime, timer: o2pc_core::TimerEvent) {
+        self.inner.schedule(at, timer);
+    }
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: o2pc_core::Msg) -> bool {
+        if !self.dropped && matches!(msg, o2pc_core::Msg::TermAnswer { .. }) {
+            self.dropped = true;
+            return false;
+        }
+        self.inner.send(now, from, to, msg)
+    }
+    fn next(
+        &mut self,
+        deadline: SimTime,
+    ) -> Option<(
+        SimTime,
+        o2pc_runtime::Step<o2pc_core::TimerEvent, o2pc_core::Msg>,
+    )> {
+        self.inner.next(deadline)
+    }
+    fn messages_dropped(&self) -> u64 {
+        self.inner.messages_dropped()
+    }
+}
+
+/// Losing a `TermAnswer` must only delay resolution by one timeout: each
+/// firing of the termination timer re-arms the chain, so the next round
+/// re-queries the peers and the repeated answer resolves the in-doubt
+/// participant. (Without retry, the lost answer leaves the round open
+/// forever and the recovered participant stays in doubt.)
+#[test]
+fn dropped_term_answer_is_retried_until_resolution() {
+    // Participant-crash shape: site 2 crashes prepared at 4 ms (the
+    // DECISION at 5.05 ms hits a dead site) and recovers at 1 s in doubt.
+    // Its only path to the decision is the termination round against
+    // site 1 — whose first answer is eaten by the runtime wrapper.
+    let mut cfg = SystemConfig::new(3, ProtocolKind::D2pl2pc);
+    cfg.seed = 0x7E04;
+    cfg.termination_timeout = Some(Duration::millis(50));
+    let mut failures = FailurePlan::new();
+    failures.site_crash(
+        SiteId(2),
+        SimTime::ZERO + Duration::millis(4),
+        SimTime::ZERO + Duration::millis(1000),
+    );
+    cfg.failures = failures;
+    let mut root = o2pc_common::DetRng::new(cfg.seed);
+    let net_rng = root.fork(0x6e65);
+    let network =
+        o2pc_sim::Network::new(cfg.network.clone(), net_rng).with_failures(cfg.failures.clone());
+    let rt = DropFirstTermAnswer {
+        inner: o2pc_core::DefaultSimRuntime::new(network),
+        dropped: false,
+    };
+    let mut e = Engine::with_runtime(cfg, rt);
+    e.load(SiteId(1), Key(0), Value(100));
+    e.load(SiteId(2), Key(0), Value(100));
+    e.submit_at(
+        SimTime::ZERO,
+        TxnRequest::global_with_coordinator(
+            SiteId(0),
+            vec![
+                (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                (SiteId(2), vec![Op::Add(Key(0), 5)]),
+            ],
+        ),
+    );
+    let r = e.run(Duration::secs(30));
+    assert!(e.runtime().dropped, "the first TermAnswer must be eaten");
+    assert_eq!(r.global_committed, 1);
+    assert_eq!(e.value(SiteId(1), Key(0)), Some(Value(95)));
+    assert_eq!(
+        e.value(SiteId(2), Key(0)),
+        Some(Value(105)),
+        "the retried round must finalize the prepared update"
+    );
+    assert!(
+        r.counters.get("term.rounds") >= 2,
+        "a retried round is required after the lost answer: {:?}",
+        r.counters.iter().collect::<Vec<_>>()
+    );
+    assert!(
+        r.counters.get("term.resolved_commit") > 0,
+        "the repeat answer resolves the in-doubt participant"
+    );
+}
+
 #[test]
 fn o2pc_needs_no_termination_protocol() {
     // Under O2PC the participants released at the vote: nothing is blocked,

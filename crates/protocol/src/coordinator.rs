@@ -175,6 +175,44 @@ impl TwoPhaseCoordinator {
         None
     }
 
+    /// What an idle-timer retransmission should resend right now, if
+    /// anything: the VOTE-REQ to participants whose vote is still missing,
+    /// or the logged decision to participants that have not acked it.
+    /// `None` means the protocol is not waiting on any message (still
+    /// collecting subtransaction acks, or already `Done`), so the
+    /// retransmission timer chain can stop.
+    pub fn retransmit(&self) -> Option<CoordAction> {
+        match self.state {
+            CoordState::Voting => {
+                let missing: Vec<SiteId> = self
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.votes.contains_key(s))
+                    .collect();
+                if missing.is_empty() {
+                    None
+                } else {
+                    Some(CoordAction::SendVoteReq(missing))
+                }
+            }
+            CoordState::Decided(commit) => {
+                let missing: Vec<SiteId> = self
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.decision_acks.contains(s))
+                    .collect();
+                if missing.is_empty() {
+                    None
+                } else {
+                    Some(CoordAction::SendDecision(commit, missing))
+                }
+            }
+            CoordState::CollectingAcks | CoordState::Done(_) => None,
+        }
+    }
+
     /// Coordinator recovery: what must be resent / presumed after a crash.
     /// A logged decision is resent to participants that have not acked;
     /// an undecided transaction is presumed aborted.
@@ -332,5 +370,34 @@ mod tests {
     #[should_panic(expected = "needs participants")]
     fn empty_participants_rejected() {
         let _ = TwoPhaseCoordinator::new(g(), vec![]);
+    }
+
+    #[test]
+    fn retransmit_targets_only_missing_voters_and_ackers() {
+        let mut c = TwoPhaseCoordinator::new(g(), sites(3));
+        assert_eq!(c.retransmit(), None, "nothing outstanding before voting");
+        for s in sites(3) {
+            c.on_subtxn_ack(s, true);
+        }
+        assert_eq!(c.retransmit(), Some(CoordAction::SendVoteReq(sites(3))));
+        c.on_vote(SiteId(1), Vote::Yes);
+        assert_eq!(
+            c.retransmit(),
+            Some(CoordAction::SendVoteReq(vec![SiteId(0), SiteId(2)]))
+        );
+        c.on_vote(SiteId(0), Vote::Yes);
+        c.on_vote(SiteId(2), Vote::Yes);
+        assert_eq!(
+            c.retransmit(),
+            Some(CoordAction::SendDecision(true, sites(3)))
+        );
+        c.on_decision_ack(SiteId(2));
+        assert_eq!(
+            c.retransmit(),
+            Some(CoordAction::SendDecision(true, vec![SiteId(0), SiteId(1)]))
+        );
+        c.on_decision_ack(SiteId(0));
+        c.on_decision_ack(SiteId(1));
+        assert_eq!(c.retransmit(), None, "done: timer chain stops");
     }
 }

@@ -66,6 +66,12 @@ pub trait Runtime<T, M>: Clock {
 pub struct SimRuntime<T, M> {
     queue: EventQueue<Step<T, M>>,
     network: Network,
+    /// Deliveries popped so far (network + same-site + duplicates).
+    delivered: u64,
+    /// Deliveries scheduled but not yet popped.
+    in_flight_msgs: u64,
+    /// Same-site sends (bypass the network, so its counters miss them).
+    local_sends: u64,
 }
 
 impl<T, M> SimRuntime<T, M> {
@@ -74,6 +80,9 @@ impl<T, M> SimRuntime<T, M> {
         SimRuntime {
             queue: EventQueue::new(),
             network,
+            delivered: 0,
+            in_flight_msgs: 0,
+            local_sends: 0,
         }
     }
 
@@ -86,6 +95,23 @@ impl<T, M> SimRuntime<T, M> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// Deliveries handed to the engine so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages scheduled for delivery but not yet delivered. Together with
+    /// the network counters this closes the conservation equation:
+    /// `sent + local_sends + duplicated = delivered + dropped + in_flight`.
+    pub fn in_flight_messages(&self) -> u64 {
+        self.in_flight_msgs
+    }
+
+    /// Same-site sends (never counted by the network).
+    pub fn local_send_count(&self) -> u64 {
+        self.local_sends
+    }
 }
 
 impl<T, M> Clock for SimRuntime<T, M> {
@@ -94,7 +120,7 @@ impl<T, M> Clock for SimRuntime<T, M> {
     }
 }
 
-impl<T, M> Runtime<T, M> for SimRuntime<T, M> {
+impl<T, M: Clone> Runtime<T, M> for SimRuntime<T, M> {
     fn schedule(&mut self, at: SimTime, timer: T) {
         self.queue.schedule(at, Step::Timer(timer));
     }
@@ -102,11 +128,26 @@ impl<T, M> Runtime<T, M> for SimRuntime<T, M> {
     fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool {
         if from == to {
             // Same-site messages skip the network (no latency, no loss).
+            self.local_sends += 1;
+            self.in_flight_msgs += 1;
             self.queue.schedule(now, Step::Deliver { to, msg });
             return true;
         }
         match self.network.transmit(from, to, now) {
             Some(delay) => {
+                // Chaos duplication: the same message may arrive twice, with
+                // independently sampled latencies (so it can also reorder).
+                if let Some(dup_delay) = self.network.maybe_duplicate(from, to, now) {
+                    self.in_flight_msgs += 1;
+                    self.queue.schedule(
+                        now + dup_delay,
+                        Step::Deliver {
+                            to,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.in_flight_msgs += 1;
                 self.queue.schedule(now + delay, Step::Deliver { to, msg });
                 true
             }
@@ -119,7 +160,12 @@ impl<T, M> Runtime<T, M> for SimRuntime<T, M> {
         if t > deadline {
             return None; // left in the queue: a later run() call may resume
         }
-        self.queue.pop()
+        let popped = self.queue.pop();
+        if let Some((_, Step::Deliver { .. })) = &popped {
+            self.in_flight_msgs -= 1;
+            self.delivered += 1;
+        }
+        popped
     }
 
     fn messages_dropped(&self) -> u64 {
@@ -197,7 +243,7 @@ pub struct ThreadedRuntime<T, M> {
     cfg: ThreadedRuntimeConfig,
 }
 
-impl<T, M: Send + 'static> Default for ThreadedRuntime<T, M> {
+impl<T, M: Clone + Send + 'static> Default for ThreadedRuntime<T, M> {
     fn default() -> Self {
         Self::new(
             ThreadedTransport::default(),
@@ -206,7 +252,7 @@ impl<T, M: Send + 'static> Default for ThreadedRuntime<T, M> {
     }
 }
 
-impl<T, M: Send + 'static> ThreadedRuntime<T, M> {
+impl<T, M: Clone + Send + 'static> ThreadedRuntime<T, M> {
     /// Build on a transport; the clock's epoch (time zero) is *now*.
     pub fn new(transport: ThreadedTransport<M>, cfg: ThreadedRuntimeConfig) -> Self {
         let (inbox_tx, inbox) = channel();
@@ -232,13 +278,13 @@ impl<T, M: Send + 'static> ThreadedRuntime<T, M> {
     }
 }
 
-impl<T, M: Send + 'static> Clock for ThreadedRuntime<T, M> {
+impl<T, M: Clone + Send + 'static> Clock for ThreadedRuntime<T, M> {
     fn now(&self) -> SimTime {
         self.clock.now()
     }
 }
 
-impl<T, M: Send + 'static> Runtime<T, M> for ThreadedRuntime<T, M> {
+impl<T, M: Clone + Send + 'static> Runtime<T, M> for ThreadedRuntime<T, M> {
     fn register_endpoint(&mut self, id: SiteId) {
         self.transport.attach(id, self.inbox_tx.clone());
     }

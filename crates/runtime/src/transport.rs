@@ -47,6 +47,8 @@ pub struct LinkPolicy {
     pub latency: StdDuration,
     /// Probability in `[0, 1]` that a message is silently dropped.
     pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
 }
 
 impl Default for LinkPolicy {
@@ -54,6 +56,7 @@ impl Default for LinkPolicy {
         LinkPolicy {
             latency: StdDuration::ZERO,
             drop_probability: 0.0,
+            duplicate_probability: 0.0,
         }
     }
 }
@@ -63,7 +66,7 @@ impl LinkPolicy {
     pub fn fixed(latency: StdDuration) -> Self {
         LinkPolicy {
             latency,
-            drop_probability: 0.0,
+            ..LinkPolicy::default()
         }
     }
 }
@@ -74,6 +77,7 @@ struct Shared<M> {
     dropped: AtomicU64,
     delivered: AtomicU64,
     sent: AtomicU64,
+    duplicated: AtomicU64,
 }
 
 impl<M> Shared<M> {
@@ -160,6 +164,7 @@ impl<M: Send + 'static> ThreadedTransport<M> {
             dropped: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             sent: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
         });
         let (router_tx, router_rx) = channel();
         let router_shared = Arc::clone(&shared);
@@ -206,9 +211,14 @@ impl<M: Send + 'static> ThreadedTransport<M> {
         self.shared.mailboxes.lock().unwrap().remove(&id);
     }
 
-    /// Messages handed to the transport so far.
+    /// Messages handed to the transport so far (duplicates included).
     pub fn sent_count(&self) -> u64 {
         self.shared.sent.load(Ordering::Relaxed)
+    }
+
+    /// Deliveries created by link-policy duplication so far.
+    pub fn duplicated_count(&self) -> u64 {
+        self.shared.duplicated.load(Ordering::Relaxed)
     }
 
     /// Messages accepted but neither delivered to a mailbox nor dropped yet
@@ -256,17 +266,9 @@ impl<M: Send + 'static> ThreadedTransport<M> {
         z ^= z >> 31;
         ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
-}
 
-impl<M: Send + 'static> Transport<M> for ThreadedTransport<M> {
-    fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool {
-        self.shared.sent.fetch_add(1, Ordering::Relaxed);
-        let policy = self.policy(from, to);
-        if self.lose(policy.drop_probability) {
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
-        let env = Envelope { from, to, msg };
+    /// Hand one accepted envelope to the fast path or the router.
+    fn dispatch(&self, policy: LinkPolicy, env: Envelope<M>) -> bool {
         if policy.latency.is_zero() {
             // Fast path: preserve per-link FIFO without a router hop.
             let before = self.shared.dropped.load(Ordering::Relaxed);
@@ -284,6 +286,32 @@ impl<M: Send + 'static> Transport<M> for ThreadedTransport<M> {
             return false;
         }
         true
+    }
+}
+
+impl<M: Clone + Send + 'static> Transport<M> for ThreadedTransport<M> {
+    fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool {
+        self.shared.sent.fetch_add(1, Ordering::Relaxed);
+        let policy = self.policy(from, to);
+        if self.lose(policy.drop_probability) {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if policy.duplicate_probability > 0.0 && self.lose(policy.duplicate_probability) {
+            // Counted as an extra send so in-flight tracking
+            // (sent − delivered − dropped) stays exact.
+            self.shared.sent.fetch_add(1, Ordering::Relaxed);
+            self.shared.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.dispatch(
+                policy,
+                Envelope {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        self.dispatch(policy, Envelope { from, to, msg })
     }
 
     fn dropped(&self) -> u64 {
@@ -438,6 +466,7 @@ mod tests {
         let t: ThreadedTransport<u32> = ThreadedTransport::with_policy(LinkPolicy {
             latency: StdDuration::ZERO,
             drop_probability: 0.5,
+            ..LinkPolicy::default()
         });
         let rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
@@ -454,6 +483,30 @@ mod tests {
         for _ in 0..accepted {
             assert!(recv_timeout(&rx, StdDuration::from_secs(1)).is_some());
         }
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_counts() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::with_policy(LinkPolicy {
+            latency: StdDuration::ZERO,
+            drop_probability: 0.0,
+            duplicate_probability: 1.0,
+        });
+        let rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        for i in 0..10 {
+            assert!(t.send(SiteId(1), SiteId(0), i));
+        }
+        assert_eq!(t.duplicated_count(), 10);
+        // Each duplicate is accounted as an extra send so the in-flight
+        // equation (sent − delivered − dropped) still balances.
+        assert_eq!(t.sent_count(), 20);
+        let mut got = 0;
+        while recv_timeout(&rx, StdDuration::from_millis(100)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 20);
+        assert_eq!(t.in_flight(), 0);
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod network;
 
 pub use events::EventQueue;
 pub use failure::FailurePlan;
-pub use network::{LatencyModel, Network, NetworkConfig};
+pub use network::{LatencyModel, MessageChaos, Network, NetworkConfig};

@@ -46,6 +46,34 @@ impl LatencyModel {
     }
 }
 
+/// A time-windowed message-level fault injection layer: additional random
+/// loss, duplication, and delay jitter applied on top of the base network
+/// model while active. The window closing (`until`) is the *heal* point —
+/// after it the network behaves exactly as the base configuration, which is
+/// what makes liveness-under-quiescence a checkable invariant.
+#[derive(Clone, Copy, Debug)]
+pub struct MessageChaos {
+    /// Extra per-message drop probability while active.
+    pub drop_probability: f64,
+    /// Probability that a delivered message is also delivered a second time
+    /// (with an independently sampled latency).
+    pub duplicate_probability: f64,
+    /// Extra delay added to every delivery while active.
+    pub extra_delay: Option<LatencyModel>,
+    /// Chaos is active for sends at `t < until`; `None` = never heals.
+    pub until: Option<SimTime>,
+}
+
+impl MessageChaos {
+    /// Is the chaos window open at `t`?
+    pub fn active(&self, t: SimTime) -> bool {
+        match self.until {
+            Some(until) => t < until,
+            None => true,
+        }
+    }
+}
+
 /// Static configuration of the simulated network.
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
@@ -55,6 +83,8 @@ pub struct NetworkConfig {
     pub link_latency: HashMap<(SiteId, SiteId), LatencyModel>,
     /// Probability that any given message is dropped (0.0 = reliable).
     pub drop_probability: f64,
+    /// Optional windowed fault layer (extra loss / duplication / jitter).
+    pub chaos: Option<MessageChaos>,
 }
 
 impl Default for NetworkConfig {
@@ -63,6 +93,7 @@ impl Default for NetworkConfig {
             default_latency: LatencyModel::Fixed(Duration::millis(1)),
             link_latency: HashMap::new(),
             drop_probability: 0.0,
+            chaos: None,
         }
     }
 }
@@ -85,6 +116,7 @@ pub struct Network {
     failures: FailurePlan,
     sent: u64,
     dropped: u64,
+    duplicated: u64,
 }
 
 impl Network {
@@ -96,6 +128,7 @@ impl Network {
             failures: FailurePlan::new(),
             sent: 0,
             dropped: 0,
+            duplicated: 0,
         }
     }
 
@@ -125,13 +158,42 @@ impl Network {
             self.dropped += 1;
             return None;
         }
+        let chaos = self.config.chaos.filter(|c| c.active(now));
+        if let Some(c) = chaos {
+            if c.drop_probability > 0.0 && self.rng.gen_bool(c.drop_probability) {
+                self.dropped += 1;
+                return None;
+            }
+        }
+        Some(self.sample_delay(from, to, chaos))
+    }
+
+    /// Decide whether the message just accepted by [`Network::transmit`] is
+    /// *also* delivered a second time (chaos duplication). Returns the
+    /// independently sampled latency of the duplicate. Call at most once per
+    /// successful `transmit`.
+    pub fn maybe_duplicate(&mut self, from: SiteId, to: SiteId, now: SimTime) -> Option<Duration> {
+        let chaos = self.config.chaos.filter(|c| c.active(now))?;
+        if chaos.duplicate_probability > 0.0 && self.rng.gen_bool(chaos.duplicate_probability) {
+            self.duplicated += 1;
+            Some(self.sample_delay(from, to, Some(chaos)))
+        } else {
+            None
+        }
+    }
+
+    fn sample_delay(&mut self, from: SiteId, to: SiteId, chaos: Option<MessageChaos>) -> Duration {
         let model = self
             .config
             .link_latency
             .get(&(from, to))
             .copied()
             .unwrap_or(self.config.default_latency);
-        Some(model.sample(&mut self.rng))
+        let mut delay = model.sample(&mut self.rng);
+        if let Some(extra) = chaos.and_then(|c| c.extra_delay) {
+            delay += extra.sample(&mut self.rng);
+        }
+        delay
     }
 
     /// Messages handed to the network so far.
@@ -142,6 +204,11 @@ impl Network {
     /// Messages lost so far.
     pub fn dropped_count(&self) -> u64 {
         self.dropped
+    }
+
+    /// Chaos-duplicated deliveries so far.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated
     }
 }
 
@@ -231,6 +298,61 @@ mod tests {
         assert_eq!(n.dropped_count() + delivered, 10_000);
         let rate = delivered as f64 / 10_000.0;
         assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn chaos_window_drops_and_duplicates_until_heal() {
+        let cfg = NetworkConfig {
+            chaos: Some(MessageChaos {
+                drop_probability: 0.3,
+                duplicate_probability: 0.3,
+                extra_delay: None,
+                until: Some(SimTime(1_000)),
+            }),
+            ..NetworkConfig::fixed(Duration::millis(1))
+        };
+        let mut n = Network::new(cfg, rng());
+        let mut delivered = 0u64;
+        let mut dups = 0u64;
+        for _ in 0..10_000 {
+            if n.transmit(SiteId(0), SiteId(1), SimTime(500)).is_some() {
+                delivered += 1;
+                if n.maybe_duplicate(SiteId(0), SiteId(1), SimTime(500))
+                    .is_some()
+                {
+                    dups += 1;
+                }
+            }
+        }
+        assert_eq!(delivered + n.dropped_count(), 10_000);
+        assert_eq!(n.duplicated_count(), dups);
+        let drop_rate = n.dropped_count() as f64 / 10_000.0;
+        assert!((drop_rate - 0.3).abs() < 0.03, "drop rate {drop_rate}");
+        let dup_rate = dups as f64 / delivered as f64;
+        assert!((dup_rate - 0.3).abs() < 0.03, "dup rate {dup_rate}");
+        // Past the heal point the base (reliable) model is back.
+        for _ in 0..1000 {
+            assert!(n.transmit(SiteId(0), SiteId(1), SimTime(2_000)).is_some());
+            assert!(n
+                .maybe_duplicate(SiteId(0), SiteId(1), SimTime(2_000))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn chaos_extra_delay_inflates_latency() {
+        let cfg = NetworkConfig {
+            chaos: Some(MessageChaos {
+                drop_probability: 0.0,
+                duplicate_probability: 0.0,
+                extra_delay: Some(LatencyModel::Fixed(Duration::millis(7))),
+                until: None,
+            }),
+            ..NetworkConfig::fixed(Duration::millis(1))
+        };
+        let mut n = Network::new(cfg, rng());
+        let d = n.transmit(SiteId(0), SiteId(1), SimTime::ZERO).unwrap();
+        assert_eq!(d, Duration::millis(8));
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct Site {
     /// Compensation operations skipped because the state they would restore
     /// no longer admits them (e.g. re-deleting an already-deleted item).
     pub skipped_comp_ops: u64,
+    /// Executions rolled back by the last [`Site::recover`] (in-flight at
+    /// the crash). The engine drains this to record the rollbacks in the
+    /// history — the crash undid their writes, so leaving them unterminated
+    /// would make the SG audit count accesses nobody could ever observe.
+    recovery_rollbacks: Vec<ExecId>,
 }
 
 impl Site {
@@ -115,7 +120,14 @@ impl Site {
             decided: HashMap::new(),
             local_seq: 0,
             skipped_comp_ops: 0,
+            recovery_rollbacks: Vec::new(),
         }
+    }
+
+    /// Drain the executions rolled back by the last [`Site::recover`] (for
+    /// history bookkeeping by the engine).
+    pub fn take_recovery_rollbacks(&mut self) -> Vec<ExecId> {
+        std::mem::take(&mut self.recovery_rollbacks)
     }
 
     /// Site id.
@@ -417,6 +429,22 @@ impl Site {
         hist: &mut History,
     ) -> VoteOutcome {
         let exec = ExecId::Sub(g);
+        // Duplicate / retransmitted VOTE-REQ: re-answer consistently
+        // without re-running vote side effects. A site that already voted
+        // yes (locally committed, or prepared under hold-writes) must never
+        // flip to no on a repeat, and the decision outcome dominates both.
+        if let Some(&commit) = self.decided.get(&g) {
+            return VoteOutcome {
+                vote: if commit { Vote::Yes } else { Vote::No },
+                woken: Vec::new(),
+            };
+        }
+        if self.commit_records.contains_key(&g) {
+            return VoteOutcome {
+                vote: Vote::Yes,
+                woken: Vec::new(),
+            };
+        }
         let Some(state) = self.execs.get(&exec) else {
             // Already rolled back unilaterally: the marking is in place.
             return VoteOutcome {
@@ -424,6 +452,12 @@ impl Site {
                 woken: Vec::new(),
             };
         };
+        if state.phase == ExecPhase::Prepared {
+            return VoteOutcome {
+                vote: Vote::Yes,
+                woken: Vec::new(),
+            };
+        }
         if force_abort || state.phase == ExecPhase::Failed || state.phase == ExecPhase::Running {
             let woken = self.abort_exec(exec, now, hist);
             // Roll-back is this site's compensation: undone immediately.
@@ -546,9 +580,69 @@ impl Site {
         if repeat {
             return DecideOutcome::default();
         }
-        debug_assert!(!commit, "commit decision for a site that voted no");
+        if commit {
+            // A commit with no live exec and no retained commit record can
+            // only be a stale duplicate arriving after this site already
+            // applied and forgot the transaction (engine GC): the durable
+            // effects are in place, so treat it as the repeat it is.
+            return DecideOutcome::default();
+        }
         let _ = self.marks.apply(g, MarkEvent::DecisionAbort);
         DecideOutcome::default()
+    }
+
+    /// Drop the retained decision record for `g` (engine garbage collection
+    /// once every participant has acked the decision and unmarked). Callers
+    /// must filter later duplicate DECISIONs themselves; this only bounds
+    /// the `decided` map.
+    pub fn forget(&mut self, g: GlobalTxnId) {
+        self.decided.remove(&g);
+    }
+
+    /// Keep only the retained decisions for which `keep` returns true
+    /// (recovery pruning: decisions resurrected from the WAL for
+    /// transactions the system has already retired are dead weight — GC
+    /// only retires a transaction once no participant can still be in
+    /// doubt, so no termination round will ever ask about them again).
+    pub fn retain_decisions(&mut self, keep: impl FnMut(GlobalTxnId) -> bool) {
+        let mut keep = keep;
+        self.decided.retain(|&g, _| keep(g));
+    }
+
+    /// Number of retained decision records (bounded-memory assertions).
+    pub fn decided_count(&self) -> usize {
+        self.decided.len()
+    }
+
+    /// Replay the WAL and compare the reconstructed item state against the
+    /// live store — the durability check used by the chaos oracle. `true`
+    /// means a crash right now would recover to exactly the current data.
+    pub fn wal_matches_store(&self) -> bool {
+        self.wal_store_diff().is_empty()
+    }
+
+    /// The raw WAL records, for diagnostics (e.g. dumping why a replay
+    /// diverged, or tracing a chaos-harness counterexample).
+    pub fn wal_records(&self) -> &[LogRecord] {
+        self.wal.records()
+    }
+
+    /// Keys where WAL replay and the live store disagree, as
+    /// `(key, recovered, live)` — diagnostic companion to
+    /// [`Site::wal_matches_store`].
+    pub fn wal_store_diff(&self) -> Vec<(Key, Option<Value>, Option<Value>)> {
+        use std::collections::BTreeMap;
+        let recovered: BTreeMap<Key, Value> = self.wal.recover().items.into_iter().collect();
+        let live: BTreeMap<Key, Value> = self.store.iter().collect();
+        let keys: std::collections::BTreeSet<Key> =
+            recovered.keys().chain(live.keys()).copied().collect();
+        keys.into_iter()
+            .filter_map(|k| {
+                let r = recovered.get(&k).copied();
+                let l = live.get(&k).copied();
+                (r != l).then_some((k, r, l))
+            })
+            .collect()
     }
 
     /// Answer a cooperative-termination query from a blocked peer (§ the
@@ -668,6 +762,13 @@ impl Site {
     /// their commit records so they can still compensate.
     pub fn recover(id: SiteId, config: SiteConfig, wal: Wal) -> Site {
         let recovered = wal.recover();
+        let mut wal = wal;
+        // Log the restart rollback (ARIES-style compensation records):
+        // without these a later replay of the longer log would re-apply the
+        // rolled-back executions' stale before-images over newer commits.
+        for rec in recovered.rollback_records.clone() {
+            wal.append(rec);
+        }
         let mut site = Site::new(id, config);
         for (k, v) in recovered.items {
             site.store.load(k, v);
@@ -694,6 +795,17 @@ impl Site {
             site.commit_records.insert(g, rec);
             let _ = site.marks.apply(g, MarkEvent::VoteCommit);
         }
+        // Logged decisions survive the crash. Forgetting them would make
+        // `answer_termination_query` fall through to "never participated ⇒
+        // not prepared" for transactions this site in fact knows the fate
+        // of — and a peer's cooperative-termination round would presume
+        // abort against a committed transaction (then compensate it,
+        // silently destroying committed effects).
+        for (g, commit) in recovered.outcomes {
+            site.decided.insert(g, commit);
+        }
+        site.recovery_rollbacks = recovered.rolled_back;
+        site.local_seq = recovered.next_local_seq;
         site.wal = wal;
         site
     }
@@ -931,6 +1043,34 @@ mod tests {
             Some(Value(50)),
             "in-flight update rolled back"
         );
+    }
+
+    /// Regression (found by the chaos harness, seed 58): a site that
+    /// learned a COMMIT decision, crashed, and recovered must still answer
+    /// a peer's termination query with `KnowsCommit`. When recovery dropped
+    /// the decided map, the answer fell through to `NotPrepared` and the
+    /// asking peer presumed abort — compensating (destroying) a committed
+    /// transaction's effects.
+    #[test]
+    fn recovery_preserves_learned_decisions() {
+        let (mut s, mut h) = setup();
+        let sub1 = ExecId::Sub(g(1));
+        s.begin(sub1, vec![Op::Add(Key(1), 11)], SimTime(1), &mut h);
+        run_all(&mut s, sub1, SimTime(2), &mut h);
+        s.vote(g(1), LockPolicy::ReleaseAll, false, SimTime(3), &mut h);
+        s.decide(g(1), true, SimTime(4), &mut h);
+        let sub2 = ExecId::Sub(g(2));
+        s.begin(sub2, vec![Op::Add(Key(2), 7)], SimTime(5), &mut h);
+        run_all(&mut s, sub2, SimTime(6), &mut h);
+        s.vote(g(2), LockPolicy::ReleaseAll, false, SimTime(7), &mut h);
+        s.decide(g(2), false, SimTime(8), &mut h);
+
+        let wal = s.crash();
+        let mut s2 = Site::recover(SiteId(0), SiteConfig::default(), wal);
+        let (state, _) = s2.answer_termination_query(g(1), SimTime(9), &mut h);
+        assert_eq!(state, PeerState::KnowsCommit);
+        let (state, _) = s2.answer_termination_query(g(2), SimTime(9), &mut h);
+        assert_eq!(state, PeerState::KnowsAbort);
     }
 
     #[test]

@@ -84,6 +84,26 @@ pub struct RecoveredState {
     /// unknown at the crash: their commit records, so compensation remains
     /// possible.
     pub unresolved_local_commits: Vec<(GlobalTxnId, CommitRecord)>,
+    /// Compensation records for the recovery rollback (an `Update` per undo
+    /// write plus an `Abort` terminator per rolled-back execution). The
+    /// recovering site must append these to its log: without them a later
+    /// replay of the longer log would re-apply the stale before-images on
+    /// top of post-recovery commits (the reason ARIES logs CLRs during
+    /// restart).
+    pub rollback_records: Vec<LogRecord>,
+    /// One past the highest local-transaction sequence number seen in the
+    /// log. The recovering site must resume its local id counter here —
+    /// restarting at zero would reuse `TxnId`s of pre-crash local
+    /// transactions and corrupt the recorded history (two distinct
+    /// transactions merged into one serialization-graph node).
+    pub next_local_seq: u64,
+    /// Every logged global decision (`Outcome` record), latest wins. The
+    /// recovering site must reinstall these as retained decisions: a peer
+    /// running cooperative termination treats "no record of the
+    /// transaction" as license to presume abort, so a site that forgets a
+    /// COMMIT across a crash can make an in-doubt peer compensate a
+    /// committed transaction.
+    pub outcomes: Vec<(GlobalTxnId, bool)>,
 }
 
 impl RecoveredState {
@@ -173,6 +193,24 @@ impl Wal {
             }
         }
 
+        // Local-id watermark: scan the whole log (not just past the
+        // checkpoint) so a recovered site never reuses a local `TxnId`.
+        let mut next_local_seq = 0u64;
+        for rec in &self.records {
+            let exec = match rec {
+                LogRecord::Begin(e)
+                | LogRecord::Commit(e)
+                | LogRecord::Abort(e)
+                | LogRecord::Prepared(e) => Some(e),
+                LogRecord::Update { exec, .. } => Some(exec),
+                LogRecord::LocalCommit { exec, .. } => Some(exec),
+                _ => None,
+            };
+            if let Some(ExecId::Local(l)) = exec {
+                next_local_seq = next_local_seq.max(l.seq + 1);
+            }
+        }
+
         // Redo pass.
         let mut terminated: HashSet<ExecId> = HashSet::new();
         let mut committed: Vec<ExecId> = Vec::new();
@@ -242,6 +280,7 @@ impl Wal {
         // newest execution first, each execution's updates newest first —
         // except *prepared* executions, whose updates must survive.
         let mut rolled_back = Vec::new();
+        let mut rollback_records = Vec::new();
         let mut prepared = Vec::new();
         let mut undone_seen: HashSet<ExecId> = HashSet::new();
         for e in order.iter().rev() {
@@ -250,8 +289,16 @@ impl Wal {
             }
             if let Some(undo) = pending.get(e) {
                 for &(key, before) in undo.iter().rev() {
+                    let prev = items.get(&key).copied().flatten();
                     items.insert(key, before);
+                    rollback_records.push(LogRecord::Update {
+                        exec: *e,
+                        key,
+                        before: prev,
+                        after: before,
+                    });
                 }
+                rollback_records.push(LogRecord::Abort(*e));
                 rolled_back.push(*e);
             }
         }
@@ -286,12 +333,18 @@ impl Wal {
             .filter_map(|(k, v)| v.map(|v| (k, v)))
             .collect();
         out.sort_unstable_by_key(|&(k, _)| k);
+        let mut decided: Vec<(GlobalTxnId, bool)> = outcomes.into_iter().collect();
+        decided.sort_unstable_by_key(|&(g, _)| g);
+
         RecoveredState {
             items: out,
             rolled_back,
             committed,
             prepared,
             unresolved_local_commits: unresolved,
+            rollback_records,
+            next_local_seq,
+            outcomes: decided,
         }
     }
 }
