@@ -1,0 +1,356 @@
+//! `perf` — the wall-clock perf-regression harness.
+//!
+//! Measures the engine's hot-path rates (all higher-is-better):
+//!
+//! * `chaos_schedules_per_sec` — full chaos runs (plan generation, engine
+//!   execution under faults, oracle check including the SG audit) per
+//!   second of wall time;
+//! * `sim_txn_per_sec` — committed transactions per second on the
+//!   deterministic simulator under a contended banking workload;
+//! * `threaded_txn_per_sec` — committed transactions per second on the
+//!   threaded wall-clock runtime;
+//! * `audit_per_sec` — full correctness audits per second of the canned
+//!   adversarial history (E7's `banking p=0.4` scenario: tiny key space,
+//!   40% autonomous aborts — the cycle-richest history the harness knows).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--quick] [--label NAME] [--out FILE]
+//!      [--baseline FILE] [--tolerance PCT]
+//! ```
+//!
+//! Every metric is measured as **best-of-N rounds** (N = 5 full, 3 quick):
+//! on shared machines noise only ever slows a round down, so the fastest
+//! round is the least-contaminated estimate of the code's true rate.
+//!
+//! `--quick` shrinks repetition counts (CI smoke); the metric definitions
+//! are unchanged, so quick rates are comparable to full rates up to noise.
+//! With `--baseline`, every metric present in the baseline's `after` (or
+//! top-level `metrics`) object is compared and the process exits non-zero
+//! if any rate fell more than `--tolerance` percent (default 25) below it.
+
+use o2pc_chaos::{run_plan, ChaosConfig, ChaosPlan, Hardening};
+use o2pc_common::{Duration, History};
+use o2pc_core::{Engine, Msg, SystemConfig, TimerEvent};
+use o2pc_protocol::ProtocolKind;
+use o2pc_runtime::{LinkPolicy, ThreadedRuntime, ThreadedRuntimeConfig, ThreadedTransport};
+use o2pc_sgraph::audit;
+use o2pc_sim::NetworkConfig;
+use o2pc_workload::BankingWorkload;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    label: String,
+    out: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        label: String::from("current"),
+        out: None,
+        baseline: None,
+        tolerance: 25.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--label" => args.label = it.next().expect("--label needs a value"),
+            "--out" => args.out = Some(it.next().expect("--out needs a value")),
+            "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a value")),
+            "--tolerance" => {
+                args.tolerance = it
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance must be a number")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Best rate over `rounds` repetitions of a timed section. Shared-machine
+/// CPU noise only ever *slows* a round down (scheduling, frequency
+/// scaling, neighbours), so the maximum is the least-contaminated sample —
+/// the standard throughput-bench estimator on machines we don't own.
+fn best_of(rounds: usize, mut timed: impl FnMut() -> f64) -> f64 {
+    (0..rounds).map(|_| timed()).fold(0.0, f64::max)
+}
+
+/// Measurement rounds per metric: enough repeats that at least one round
+/// dodges the noise, few enough that the harness stays a smoke test.
+fn rounds(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        5
+    }
+}
+
+/// Chaos throughput: complete schedule lifecycles per second.
+fn bench_chaos(quick: bool) -> f64 {
+    let seeds: u64 = if quick { 6 } else { 24 };
+    let cfg = ChaosConfig::default();
+    // Warm-up run outside the timed window (first run pays page-in costs).
+    let _ = run_plan(&ChaosPlan::generate(1000, &cfg), Hardening::default());
+    best_of(rounds(quick), || {
+        let start = Instant::now();
+        let mut survived = 0usize;
+        for seed in 0..seeds {
+            let plan = ChaosPlan::generate(seed, &cfg);
+            let outcome = run_plan(&plan, Hardening::default());
+            if outcome.survived() {
+                survived += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            survived, seeds as usize,
+            "chaos runs must stay violation-free during perf measurement"
+        );
+        seeds as f64 / secs
+    })
+}
+
+/// Simulator throughput: committed transactions per wall second under a
+/// contended banking workload.
+fn bench_sim(quick: bool) -> f64 {
+    let reps = if quick { 1 } else { 3 };
+    best_of(rounds(quick), || {
+        let mut committed = 0u64;
+        let mut secs = 0.0;
+        for rep in 0..reps {
+            let wl = BankingWorkload {
+                sites: 4,
+                accounts_per_site: 16,
+                transfers: 3_000,
+                mean_interarrival: Duration::micros(200),
+                local_fraction: 0.2,
+                seed: 0x5EED ^ rep,
+                ..Default::default()
+            };
+            let mut cfg = SystemConfig::new(wl.sites, ProtocolKind::O2pcP2);
+            cfg.seed = 0x5EED ^ rep;
+            cfg.vote_abort_probability = 0.05;
+            let mut engine = Engine::new(cfg);
+            let schedule = wl.generate();
+            schedule.install(&mut engine);
+            let start = Instant::now();
+            let report = engine.run(Duration::secs(600));
+            secs += start.elapsed().as_secs_f64();
+            committed += report.global_committed + report.local_committed;
+        }
+        committed as f64 / secs
+    })
+}
+
+/// Threaded-runtime throughput: committed transactions per wall second with
+/// real threads and a fixed 200 µs link latency.
+fn bench_threaded(quick: bool) -> f64 {
+    let reps = if quick { 1 } else { 2 };
+    best_of(rounds(quick), || {
+        let mut committed = 0u64;
+        let mut secs = 0.0;
+        for rep in 0..reps {
+            let wl = BankingWorkload {
+                sites: 3,
+                accounts_per_site: 16,
+                transfers: 150,
+                mean_interarrival: Duration::micros(300),
+                local_fraction: 0.2,
+                seed: 0x7EED ^ rep,
+                ..Default::default()
+            };
+            let mut cfg = SystemConfig::new(wl.sites, ProtocolKind::O2pcP2);
+            cfg.seed = 0x7EED ^ rep;
+            let transport: ThreadedTransport<Msg> = ThreadedTransport::with_policy(
+                LinkPolicy::fixed(std::time::Duration::from_micros(200)),
+            );
+            let rt: ThreadedRuntime<TimerEvent, Msg> =
+                ThreadedRuntime::new(transport, ThreadedRuntimeConfig::default());
+            let mut engine = Engine::with_runtime(cfg, rt);
+            let schedule = wl.generate();
+            schedule.install(&mut engine);
+            let start = Instant::now();
+            let report = engine.run(Duration::secs(600));
+            secs += start.elapsed().as_secs_f64();
+            committed += report.global_committed + report.local_committed;
+        }
+        committed as f64 / secs
+    })
+}
+
+/// The canned adversarial history: E7's `banking p=0.4` scenario (salt 0) —
+/// four sites, two accounts each, 40% autonomous aborts, bare O2PC. The
+/// cycle-richest history in the experiment suite.
+fn adversarial_history() -> History {
+    let wl = BankingWorkload {
+        sites: 4,
+        accounts_per_site: 2,
+        transfers: 120,
+        mean_interarrival: Duration::micros(400),
+        seed: 0xE7,
+        ..Default::default()
+    };
+    let mut cfg = SystemConfig::new(wl.sites, ProtocolKind::O2pc);
+    cfg.network = NetworkConfig::fixed(Duration::millis(3));
+    cfg.vote_abort_probability = 0.4;
+    cfg.seed = 0xE7;
+    cfg.max_events = 2_000_000;
+    let mut engine = Engine::new(cfg);
+    wl.generate().install(&mut engine);
+    engine.run(Duration::secs(600)).history
+}
+
+/// Audit throughput on the canned history, with the E7 enumeration bounds.
+fn bench_audit(quick: bool) -> f64 {
+    let history = adversarial_history();
+    let report = audit(&history, 10_000, 8); // warm-up + sanity
+    assert!(
+        report.regular_cycle.is_some() || !report.serializable,
+        "the adversarial history should not be conflict-free"
+    );
+    let iters = if quick { 3 } else { 10 };
+    best_of(rounds(quick), || {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(audit(std::hint::black_box(&history), 10_000, 8));
+        }
+        iters as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+fn render_json(label: &str, quick: bool, metrics: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": \"{label}\",\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {value:.3}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extract the body of the first `"name": { ... }` object in `content`
+/// (brace-matched), if present.
+fn extract_object<'a>(content: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\"");
+    let at = content.find(&key)?;
+    let open = content[at..].find('{')? + at;
+    let mut depth = 0usize;
+    for (i, c) in content[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&content[open + 1..open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse flat `"key": number` pairs from an object body.
+fn parse_pairs(body: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    while let Some(q0) = rest.find('"') {
+        let after = &rest[q0 + 1..];
+        let Some(q1) = after.find('"') else { break };
+        let key = &after[..q1];
+        let tail = &after[q1 + 1..];
+        let Some(colon) = tail.find(':') else { break };
+        let val_str: String = tail[colon + 1..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(v) = val_str.parse::<f64>() {
+            pairs.push((key.to_string(), v));
+        }
+        rest = &tail[colon + 1..];
+    }
+    pairs
+}
+
+/// Compare against a committed baseline; returns false on regression.
+fn gate(baseline_path: &str, metrics: &[(&str, f64)], tolerance: f64) -> bool {
+    let content = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    // A combined before/after artifact gates on `after`; a plain perf
+    // artifact gates on its `metrics` object.
+    let body = extract_object(&content, "after")
+        .or_else(|| extract_object(&content, "metrics"))
+        .expect("baseline has neither an `after` nor a `metrics` object");
+    let baseline = parse_pairs(body);
+    let mut ok = true;
+    println!("\ngate vs {baseline_path} (tolerance {tolerance}%):");
+    for (name, base) in &baseline {
+        let Some((_, cur)) = metrics.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let floor = base * (1.0 - tolerance / 100.0);
+        let verdict = if *cur >= floor { "ok" } else { "REGRESSION" };
+        println!("  {name:<28} baseline {base:>12.3}  current {cur:>12.3}  {verdict}");
+        ok &= *cur >= floor;
+    }
+    ok
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!(
+        "perf harness ({} mode, label `{}`)",
+        if args.quick { "quick" } else { "full" },
+        args.label
+    );
+
+    let chaos = bench_chaos(args.quick);
+    println!("  chaos_schedules_per_sec   {chaos:>12.3}");
+    let sim = bench_sim(args.quick);
+    println!("  sim_txn_per_sec           {sim:>12.3}");
+    let threaded = bench_threaded(args.quick);
+    println!("  threaded_txn_per_sec      {threaded:>12.3}");
+    let audit_rate = bench_audit(args.quick);
+    println!("  audit_per_sec             {audit_rate:>12.3}");
+
+    let metrics: Vec<(&str, f64)> = vec![
+        ("chaos_schedules_per_sec", chaos),
+        ("sim_txn_per_sec", sim),
+        ("threaded_txn_per_sec", threaded),
+        ("audit_per_sec", audit_rate),
+    ];
+
+    let json = render_json(&args.label, args.quick, &metrics);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    } else {
+        print!("\n{json}");
+    }
+
+    if let Some(baseline) = &args.baseline {
+        if !gate(baseline, &metrics, args.tolerance) {
+            eprintln!("perf regression beyond tolerance — failing");
+            std::process::exit(1);
+        }
+        println!("no regression beyond tolerance");
+    }
+}

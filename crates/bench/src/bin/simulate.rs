@@ -212,8 +212,9 @@ fn main() {
         let report = audit(&r.history, 20_000, 8);
         println!();
         println!("serialization-graph audit:");
-        println!("  cycles examined:     {}", report.cycles_examined);
-        println!("  non-regular cycles:  {}", report.nonregular_cycles);
+        println!("  cyclic SCCs:         {}", report.cyclic_sccs);
+        println!("  SCCs dismissed:      {}", report.sccs_dismissed);
+        println!("  cycles enumerated:   {}", report.cycles_enumerated);
         println!(
             "  regular cycle:       {:?}",
             report.regular_cycle.as_ref().map(|rc| &rc.nodes)

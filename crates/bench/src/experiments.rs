@@ -680,9 +680,9 @@ pub fn e7() {
         "workload",
         "protocol",
         "aborted",
-        "cycles",
+        "cyclic SCCs",
         "regular cycles",
-        "CT-only cycles",
+        "SCCs dismissed",
         "AoC violations",
         "criterion",
     ]);
@@ -696,9 +696,9 @@ pub fn e7() {
     ];
     for (name, p, proto, seed) in scenarios {
         // Aggregate over several seeds to give cycles a chance to form.
-        let mut total_cycles = 0usize;
+        let mut total_sccs = 0usize;
         let mut regular = 0usize;
-        let mut nonregular = 0usize;
+        let mut dismissed = 0usize;
         let mut aoc = 0usize;
         let mut aborted = 0u64;
         let mut all_correct = true;
@@ -721,8 +721,8 @@ pub fn e7() {
             let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
             aborted += r.global_aborted;
             let report = audit(&r.history, 10_000, 8);
-            total_cycles += report.cycles_examined;
-            nonregular += report.nonregular_cycles;
+            total_sccs += report.cyclic_sccs;
+            dismissed += report.sccs_dismissed;
             if report.regular_cycle.is_some() {
                 regular += 1;
             }
@@ -733,9 +733,9 @@ pub fn e7() {
             name.into(),
             proto.to_string(),
             aborted.to_string(),
-            total_cycles.to_string(),
+            total_sccs.to_string(),
             format!("{regular}/8 runs"),
-            nonregular.to_string(),
+            dismissed.to_string(),
             aoc.to_string(),
             if all_correct {
                 "SATISFIED".into()

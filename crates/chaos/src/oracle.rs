@@ -169,7 +169,15 @@ pub fn check_state<R: Runtime<TimerEvent, Msg>>(
     if !divergent.is_empty() {
         out.push(Violation::WalDivergence(divergent.len()));
     }
-    let audit = o2pc_sgraph::audit(&report.history, 10_000, 10);
+    // Prefer the serialization graphs the engine maintained incrementally
+    // while the run executed (`live_audit_graph`); replaying the recorded
+    // history through the batch builder is the fallback for engines that
+    // did not keep one. The two are equivalent — `incremental_sg_equivalence`
+    // proves it on exactly these chaos histories.
+    let audit = match engine.live_audit_graph() {
+        Some(gsg) => o2pc_sgraph::audit_graph(&gsg, &report.history, 10_000, 10),
+        None => o2pc_sgraph::audit(&report.history, 10_000, 10),
+    };
     if !audit.local_cycles.is_empty() {
         out.push(Violation::LocalCycles(audit.local_cycles.len()));
     }

@@ -113,6 +113,7 @@ pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
 
     let mut cfg = SystemConfig::new(plan.num_sites, protocol);
     cfg.seed = plan.seed;
+    cfg.live_audit_graph = true; // the oracle audits the live graph
     cfg.network.chaos = plan.message_chaos();
     cfg.failures = plan.failure_plan();
     cfg.vote_timeout = Some(Duration::millis(40));

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod history;
 pub mod ids;
 pub mod ops;
@@ -29,7 +30,8 @@ pub mod time;
 pub mod value;
 
 pub use error::{CommonError, Result};
-pub use history::{HistEvent, HistEventKind, History};
+pub use hash::{FastHashMap, FastHashSet, FxHasher};
+pub use history::{CountingSink, HistEvent, HistEventKind, History, HistorySink};
 pub use ids::{ExecId, GlobalTxnId, GlobalTxnIdGen, LocalTxnId, SiteId, TxnId};
 pub use ops::{AccessMode, Op, OpKind};
 pub use rng::DetRng;

@@ -23,12 +23,13 @@ pub struct CompensationPlan {
 }
 
 impl CompensationPlan {
-    /// Keys the plan writes.
+    /// Keys the plan writes (deduplicated, first-occurrence order).
     pub fn write_set(&self) -> Vec<Key> {
+        let mut seen = std::collections::HashSet::new();
         let mut keys = Vec::new();
         for op in &self.ops {
             let k = op.key();
-            if !keys.contains(&k) {
+            if seen.insert(k) {
                 keys.push(k);
             }
         }

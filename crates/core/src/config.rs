@@ -99,6 +99,12 @@ pub struct SystemConfig {
     pub enable_udum: bool,
     /// Record the execution history for post-hoc SG audits.
     pub record_history: bool,
+    /// Maintain the exposed serialization graphs *incrementally* while the
+    /// run executes (an `o2pc-sgraph` builder fed event by event). Off by
+    /// default; the chaos harness turns it on so its oracle audits the live
+    /// graph instead of replaying the whole history through the batch
+    /// builder after every run.
+    pub live_audit_graph: bool,
     /// RNG seed; identical seeds give identical runs.
     pub seed: u64,
     /// Safety cap on processed events.
@@ -127,6 +133,7 @@ impl SystemConfig {
             retransmit_cap: Duration::millis(200),
             enable_udum: true,
             record_history: true,
+            live_audit_graph: false,
             seed: 0x5EED,
             max_events: 50_000_000,
         }

@@ -4,12 +4,12 @@
 use super::{Engine, GTxn, TimerEvent};
 use crate::config::TxnRequest;
 use crate::msg::Msg;
-use o2pc_common::{ExecId, GlobalTxnId, SimTime, SiteId};
+use o2pc_common::{ExecId, GlobalTxnId, HistorySink, SimTime, SiteId};
 use o2pc_marking::TransMarks;
 use o2pc_protocol::{CoordAction, TwoPhaseCoordinator};
 use o2pc_runtime::Runtime;
 use o2pc_site::{Site, SiteConfig};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     pub(crate) fn on_arrive(&mut self, now: SimTime, req: TxnRequest) {
@@ -43,7 +43,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     subs: subs.iter().cloned().collect(),
                     tm: TransMarks::new(),
                     start: now,
-                    spawn_retries: HashMap::new(),
+                    spawn_retries: Default::default(),
                     began: BTreeSet::new(),
                     done: false,
                     retx_armed: false,
@@ -272,7 +272,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         // from the log; close them out in the history, else the SG audit
         // would treat their undone writes as observable accesses.
         for exec in recovered_site.take_recovery_rollbacks() {
-            self.hist.push(o2pc_common::HistEvent {
+            self.hist.record(o2pc_common::HistEvent {
                 site,
                 txn: exec.txn_id(),
                 kind: o2pc_common::HistEventKind::RolledBack,
@@ -288,6 +288,8 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             .filter(|(_, g)| g.coord_site == site && !g.done)
             .map(|(&id, _)| id)
             .collect();
+        let mut to_recover = to_recover;
+        to_recover.sort_unstable(); // canonical resend order, independent of map iteration
         for txn in to_recover {
             if let Some(action) = self.txns.get_mut(&txn).unwrap().coord.recover() {
                 self.coord_action(now, txn, action);

@@ -2,18 +2,20 @@
 
 use super::{Engine, TimerEvent};
 use crate::msg::Msg;
+use o2pc_common::FastHashMap;
 use o2pc_common::{ExecId, GlobalTxnId, SimTime, SiteId};
 use o2pc_runtime::Runtime;
-use std::collections::HashMap;
 
 /// Find one cycle in a directed graph given as an adjacency map.
-fn find_cycle<N: Copy + Eq + std::hash::Hash + Ord>(adj: &HashMap<N, Vec<N>>) -> Option<Vec<N>> {
+fn find_cycle<N: Copy + Eq + std::hash::Hash + Ord>(
+    adj: &FastHashMap<N, Vec<N>>,
+) -> Option<Vec<N>> {
     #[derive(Clone, Copy, PartialEq)]
     enum Colour {
         Grey,
         Black,
     }
-    let mut colour: HashMap<N, Colour> = HashMap::new();
+    let mut colour: FastHashMap<N, Colour> = FastHashMap::default();
     let mut roots: Vec<N> = adj.keys().copied().collect();
     roots.sort();
     for root in roots {
@@ -139,9 +141,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             C(SiteId, GlobalTxnId),
         }
         loop {
-            let mut edges: HashMap<Node, Vec<Node>> = HashMap::new();
+            let mut edges: FastHashMap<Node, Vec<Node>> = FastHashMap::default();
             // Where each node has a blocked execution (for victim handling).
-            let mut blocked_at: HashMap<Node, (SiteId, ExecId)> = HashMap::new();
+            let mut blocked_at: FastHashMap<Node, (SiteId, ExecId)> = FastHashMap::default();
             for (idx, site) in self.sites.iter().enumerate() {
                 let Some(site) = site else { continue };
                 let sid = SiteId(idx as u32);

@@ -39,8 +39,15 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         report
             .counters
             .add("comp.retries", self.persistence.total_retries());
-        if self.cfg.record_history {
-            report.history = self.hist.clone();
+        match &self.hist.history {
+            Some(h) => {
+                report.history_events = h.len() as u64;
+                report.history = h.clone();
+            }
+            None => {
+                report.history_events = self.hist.counting.events;
+                report.history_digest = self.hist.counting.digest();
+            }
         }
         report
     }

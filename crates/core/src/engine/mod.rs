@@ -27,13 +27,14 @@ mod coordinator_rt;
 mod deadlock;
 mod driver;
 mod metrics;
+mod recorder;
 mod site_rt;
 
 use crate::config::{SystemConfig, TxnRequest};
 use crate::msg::Msg;
 use crate::report::RunReport;
 use o2pc_common::{
-    DetRng, ExecId, GlobalTxnId, GlobalTxnIdGen, History, Key, SimTime, SiteId, Value,
+    DetRng, ExecId, FastHashMap, GlobalTxnId, GlobalTxnIdGen, Key, SimTime, SiteId, Value,
 };
 use o2pc_compensation::{CompensationPlan, PersistenceGuard};
 use o2pc_marking::{MarkingProtocol, TransMarks, UdumTracker};
@@ -42,7 +43,8 @@ use o2pc_runtime::{Runtime, SimRuntime};
 use o2pc_sim::Network;
 use o2pc_site::{LockPolicy, Site, SiteConfig};
 use o2pc_storage::Wal;
-use std::collections::{BTreeSet, HashMap};
+use recorder::Recorder;
+use std::collections::BTreeSet;
 
 /// Engine timers: everything the engine schedules against its own clock.
 /// Message deliveries are *not* timers — they arrive through the runtime's
@@ -109,10 +111,10 @@ pub enum TimerEvent {
 pub(crate) struct GTxn {
     pub(crate) coord_site: SiteId,
     pub(crate) coord: TwoPhaseCoordinator,
-    pub(crate) subs: HashMap<SiteId, Vec<o2pc_common::Op>>,
+    pub(crate) subs: FastHashMap<SiteId, Vec<o2pc_common::Op>>,
     pub(crate) tm: TransMarks,
     pub(crate) start: SimTime,
-    pub(crate) spawn_retries: HashMap<SiteId, u32>,
+    pub(crate) spawn_retries: FastHashMap<SiteId, u32>,
     /// Sites where the subtransaction actually began executing. Only these
     /// can ever carry an *undone* marking for this transaction, so only
     /// these count as UDUM1 execution sites — registering all participants
@@ -135,21 +137,21 @@ pub type DefaultSimRuntime = SimRuntime<TimerEvent, Msg>;
 pub struct Engine<R: Runtime<TimerEvent, Msg> = DefaultSimRuntime> {
     pub(crate) cfg: SystemConfig,
     pub(crate) sites: Vec<Option<Site>>,
-    pub(crate) crashed_wals: HashMap<SiteId, Wal>,
+    pub(crate) crashed_wals: FastHashMap<SiteId, Wal>,
     pub(crate) rt: R,
     pub(crate) rng: DetRng,
     pub(crate) idgen: GlobalTxnIdGen,
-    pub(crate) txns: HashMap<GlobalTxnId, GTxn>,
-    pub(crate) pending_comp: HashMap<(GlobalTxnId, SiteId), CompensationPlan>,
-    pub(crate) term_rounds: HashMap<(GlobalTxnId, SiteId), TerminationRound>,
+    pub(crate) txns: FastHashMap<GlobalTxnId, GTxn>,
+    pub(crate) pending_comp: FastHashMap<(GlobalTxnId, SiteId), CompensationPlan>,
+    pub(crate) term_rounds: FastHashMap<(GlobalTxnId, SiteId), TerminationRound>,
     /// In-doubt participants with a live termination-timer chain. Exactly
     /// one chain per `(txn, site)` exists while the site is in doubt, so a
     /// lost `TermReq`/`TermAnswer` re-fires instead of blocking forever.
     pub(crate) term_armed: BTreeSet<(GlobalTxnId, SiteId)>,
-    pub(crate) local_starts: HashMap<ExecId, SimTime>,
+    pub(crate) local_starts: FastHashMap<ExecId, SimTime>,
     pub(crate) persistence: PersistenceGuard,
     pub(crate) udum: UdumTracker,
-    pub(crate) hist: History,
+    pub(crate) hist: Recorder,
     pub(crate) report: RunReport,
     pub(crate) checkpointed: bool,
 }
@@ -178,6 +180,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     }
 
     fn assemble(cfg: SystemConfig, mut rt: R, rng: DetRng) -> Self {
+        let hist = Recorder::new(cfg.record_history, cfg.live_audit_graph);
         for id in cfg.sites() {
             rt.register_endpoint(id);
         }
@@ -195,18 +198,18 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         Engine {
             cfg,
             sites,
-            crashed_wals: HashMap::new(),
+            crashed_wals: FastHashMap::default(),
             rt,
             rng,
             idgen: GlobalTxnIdGen::new(),
-            txns: HashMap::new(),
-            pending_comp: HashMap::new(),
-            term_rounds: HashMap::new(),
+            txns: FastHashMap::default(),
+            pending_comp: FastHashMap::default(),
+            term_rounds: FastHashMap::default(),
             term_armed: BTreeSet::new(),
-            local_starts: HashMap::new(),
+            local_starts: FastHashMap::default(),
             persistence: PersistenceGuard::new(),
             udum: UdumTracker::new(),
-            hist: History::new(),
+            hist,
             report: RunReport::default(),
             checkpointed: false,
         }
@@ -279,6 +282,10 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
 
     /// Up sites whose WAL no longer replays to their live store — a crash
     /// right now would lose or invent data.
+    ///
+    /// This is a quiescence/oracle-time probe: each site replays its full
+    /// WAL to answer. Nothing on the timer/message path calls it, and
+    /// nothing should — run it once per run after the engine drains.
     pub fn wal_divergent_sites(&self) -> Vec<SiteId> {
         self.sites
             .iter()
@@ -319,6 +326,14 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         self.sites.iter().flatten().map(|s| s.decided_count()).sum()
     }
 
+    /// Snapshot of the incrementally-maintained exposed serialization
+    /// graphs, when `SystemConfig::live_audit_graph` is on. The chaos
+    /// oracle audits this instead of replaying the recorded history through
+    /// the batch builder.
+    pub fn live_audit_graph(&self) -> Option<o2pc_sgraph::GlobalSg> {
+        self.hist.live_sg.as_ref().map(|sg| sg.snapshot())
+    }
+
     pub(crate) fn site_mut(&mut self, site: SiteId) -> &mut Site {
         self.sites[site.index()]
             .as_mut()
@@ -344,14 +359,13 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     // ----- messaging -------------------------------------------------------
 
     pub(crate) fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
-        let label = msg.label();
+        let (label, dropped) = (msg.label(), msg.dropped_label());
         self.report.counters.inc(label);
         // A `false` return means the substrate lost the message at send time
         // (link down or random drop). Account the loss per message type so
         // E6 and the chaos oracle can reconcile message conservation.
         if !self.rt.send(now, from, to, msg) {
-            let kind = label.strip_prefix("msg.").unwrap_or(label);
-            self.report.counters.inc(&format!("msg.dropped.{kind}"));
+            self.report.counters.inc(dropped);
         }
     }
 

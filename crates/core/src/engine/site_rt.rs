@@ -188,7 +188,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 .exec_state(ExecId::Sub(txn))
                 .map(|s| s.phase == o2pc_site::ExecPhase::Prepared)
                 .unwrap_or(false);
-            let pending_lc = site.pending_local_commits().contains(&txn);
+            let pending_lc = site.has_pending_local_commit(txn);
             if !prepared && !pending_lc {
                 self.try_gc(txn); // this chain may have been the last blocker
                 return;

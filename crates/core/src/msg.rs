@@ -95,6 +95,22 @@ impl Msg {
         }
     }
 
+    /// Counter label charged when the substrate loses this message at send
+    /// time — the static twin of `format!("msg.dropped.{kind}")`, kept out
+    /// of the per-send hot path.
+    pub fn dropped_label(&self) -> &'static str {
+        match self {
+            Msg::SpawnSubtxn { .. } => "msg.dropped.spawn",
+            Msg::SubtxnAck { .. } => "msg.dropped.subtxn_ack",
+            Msg::VoteReq { .. } => "msg.dropped.vote_req",
+            Msg::VoteMsg { .. } => "msg.dropped.vote",
+            Msg::Decision { .. } => "msg.dropped.decision",
+            Msg::DecisionAck { .. } => "msg.dropped.decision_ack",
+            Msg::TermReq { .. } => "msg.dropped.term_req",
+            Msg::TermAnswer { .. } => "msg.dropped.term_answer",
+        }
+    }
+
     /// Is this one of the four standard 2PC message types?
     pub fn is_2pc(&self) -> bool {
         matches!(

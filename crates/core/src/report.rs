@@ -40,6 +40,13 @@ pub struct RunReport {
     pub compensations_pending: usize,
     /// The execution history (empty when `record_history` was off).
     pub history: History,
+    /// History events recorded (counted even when `record_history` is off).
+    pub history_events: u64,
+    /// Order-sensitive digest over the event stream, filled in when
+    /// `record_history` is *off* (determinism fingerprints for perf runs
+    /// that skip the archive). With the archive kept it stays 0 — call
+    /// `history.digest()` instead; both fold the same FNV stream.
+    pub history_digest: u64,
     /// Sum of all data values across all sites at end of run (workload
     /// invariant checks, e.g. conservation of money).
     pub total_value: i64,

@@ -1,8 +1,9 @@
 //! The lock table.
 
 use crate::stats::LockStats;
+use o2pc_common::FastHashMap;
 use o2pc_common::{AccessMode, ExecId, Key, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Outcome of a lock request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,9 +59,9 @@ impl LockEntry {
 ///    *conflicting* later request.
 #[derive(Clone, Debug, Default)]
 pub struct LockManager {
-    table: HashMap<Key, LockEntry>,
-    held: HashMap<ExecId, Vec<Key>>,
-    waiting: HashMap<ExecId, Key>,
+    table: FastHashMap<Key, LockEntry>,
+    held: FastHashMap<ExecId, Vec<Key>>,
+    waiting: FastHashMap<ExecId, Key>,
     stats: LockStats,
 }
 
@@ -314,7 +315,7 @@ impl LockManager {
         if edges.is_empty() {
             return None;
         }
-        let mut adj: HashMap<ExecId, Vec<ExecId>> = HashMap::new();
+        let mut adj: FastHashMap<ExecId, Vec<ExecId>> = FastHashMap::default();
         for (a, b) in &edges {
             adj.entry(*a).or_default().push(*b);
         }
@@ -325,7 +326,7 @@ impl LockManager {
             Grey,
             Black,
         }
-        let mut colour: HashMap<ExecId, Colour> = HashMap::new();
+        let mut colour: FastHashMap<ExecId, Colour> = FastHashMap::default();
         let mut nodes: Vec<ExecId> = adj.keys().copied().collect();
         nodes.sort_unstable();
         for &start in &nodes {

@@ -12,11 +12,12 @@
 //! straight from the recorded history.
 
 use crate::build::build_exposed_sgs;
-use crate::cycles::enumerate_cycles;
+use crate::cycles::{cycles_in_comp, sccs, Indexed};
 use crate::graph::GlobalSg;
 use crate::regular::{classify_cycle_with, CycleClass, RegularCycle, SegmentOracle};
-use o2pc_common::{GlobalTxnId, HistEventKind, History, SiteId, TxnId};
-use std::collections::{BTreeMap, BTreeSet};
+use o2pc_common::{FastHashMap, FastHashSet, GlobalTxnId, HistEventKind, History, SiteId, TxnId};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
 /// Outcome of auditing a history.
 #[derive(Clone, Debug, Default)]
@@ -26,15 +27,27 @@ pub struct AuditReport {
     pub local_cycles: Vec<SiteId>,
     /// The first regular cycle found, if any (criterion violation).
     pub regular_cycle: Option<RegularCycle>,
-    /// Total cycles examined in the union SG.
-    pub cycles_examined: usize,
-    /// Cycles that were non-regular (allowed: they involve compensating
-    /// transactions only, possibly with locals).
-    pub nonregular_cycles: usize,
+    /// Cyclic strongly connected components of the union SG (each may hold
+    /// many simple cycles).
+    pub cyclic_sccs: usize,
+    /// Components decided *without enumerating a single cycle*: every
+    /// simple cycle lies inside one SCC, and a regular cycle must contain a
+    /// regular global transaction, so a component holding none (only CTs
+    /// and committed locals) cannot host a regular cycle.
+    pub sccs_dismissed: usize,
+    /// Simple cycles actually enumerated inside mixed components (witness
+    /// search; stops at the first regular cycle).
+    pub cycles_enumerated: usize,
+    /// True when enumeration hit the `max_cycles` budget before exhausting
+    /// a component — the no-regular-cycle verdict is then only as strong as
+    /// the bounded search (exactly as in the pre-condensation audit).
+    pub truncated: bool,
     /// Pairs `(reader, i)` such that the reader read from both `T_i` and
     /// `CT_i` (atomicity-of-compensation violations; must be empty).
     pub compensation_atomicity_violations: Vec<(TxnId, GlobalTxnId)>,
-    /// Whether the union SG is fully acyclic (plain serializability).
+    /// Whether the union SG is fully acyclic (plain serializability). Since
+    /// the condensation rewrite this is exact — acyclicity is an SCC fact,
+    /// not a bounded-enumeration one.
     pub serializable: bool,
 }
 
@@ -57,7 +70,21 @@ pub fn audit(history: &History, max_cycles: usize, max_len: usize) -> AuditRepor
     audit_graph(&gsg, history, max_cycles, max_len)
 }
 
-/// Audit with a pre-built SG (lets callers reuse the graph).
+/// Audit with a pre-built SG (lets callers reuse the graph — e.g. the
+/// engine's incrementally-maintained one).
+///
+/// The regular-cycle decision works on the SCC condensation instead of
+/// enumerating all simple cycles up front:
+///
+/// 1. every simple cycle lies inside one cyclic SCC, so an acyclic
+///    condensation settles serializability (and hence correctness when no
+///    transaction aborted) with zero enumeration;
+/// 2. an SCC containing no regular global transaction (CT-and-local-only
+///    traffic, the common case under heavy aborts) is dismissed in
+///    O(component size): none of its cycles can be regular;
+/// 3. only *mixed* components are searched, each against a
+///    [`SegmentOracle`] restricted to that component (sound — see
+///    [`SegmentOracle::restricted`]), stopping at the first regular cycle.
 pub fn audit_graph(
     gsg: &GlobalSg,
     history: &History,
@@ -72,22 +99,39 @@ pub fn audit_graph(
         }
     }
 
-    let cycles = enumerate_cycles(gsg, max_cycles, max_len);
-    report.cycles_examined = cycles.len();
-    report.serializable = cycles.is_empty() && report.local_cycles.is_empty();
-    let oracle = if cycles.is_empty() {
-        None
-    } else {
-        Some(SegmentOracle::new(gsg))
-    };
-    for cycle in &cycles {
-        match classify_cycle_with(oracle.as_ref().expect("cycles imply oracle"), cycle) {
-            CycleClass::Regular(rc) => {
-                if report.regular_cycle.is_none() {
+    let g = Indexed::new(gsg);
+    let comps = sccs(&g);
+    report.cyclic_sccs = comps.len();
+    report.serializable = comps.is_empty() && report.local_cycles.is_empty();
+
+    for comp in &comps {
+        if !comp
+            .iter()
+            .any(|&v| g.nodes[v as usize].is_regular_global())
+        {
+            report.sccs_dismissed += 1;
+            continue;
+        }
+        let allowed: BTreeSet<TxnId> = comp.iter().map(|&v| g.nodes[v as usize]).collect();
+        let oracle = SegmentOracle::restricted(gsg, &allowed);
+        let _ = cycles_in_comp(&g, comp, max_len, &mut |cycle: &[TxnId]| {
+            report.cycles_enumerated += 1;
+            // Cheap filter first: a regular cycle needs a regular global
+            // node; only then pay for the minimal-representation DP.
+            if cycle.iter().any(|n| n.is_regular_global()) {
+                if let CycleClass::Regular(rc) = classify_cycle_with(&oracle, cycle) {
                     report.regular_cycle = Some(rc);
+                    return ControlFlow::Break(());
                 }
             }
-            CycleClass::NonRegular { .. } => report.nonregular_cycles += 1,
+            if report.cycles_enumerated >= max_cycles {
+                report.truncated = true;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        if report.regular_cycle.is_some() || report.truncated {
+            break;
         }
     }
 
@@ -99,8 +143,10 @@ pub fn audit_graph(
 /// `CT_i` — the situation Theorem 2 proves impossible in correct histories
 /// when `CT_i` writes (at least) `T_i`'s write set.
 pub fn compensation_atomicity_violations(history: &History) -> Vec<(TxnId, GlobalTxnId)> {
-    // reader → set of sources read from.
-    let mut reads_from: BTreeMap<TxnId, BTreeSet<TxnId>> = BTreeMap::new();
+    // reader → set of sources read from. Hash maps beat ordered maps on
+    // this once-per-oracle scan; the final sort restores the ordered-map
+    // output order exactly.
+    let mut reads_from: FastHashMap<TxnId, FastHashSet<TxnId>> = FastHashMap::default();
     for e in history.events() {
         if let HistEventKind::Access {
             read_from: Some(src),
@@ -122,6 +168,7 @@ pub fn compensation_atomicity_violations(history: &History) -> Vec<(TxnId, Globa
             }
         }
     }
+    violations.sort_unstable();
     violations
 }
 
@@ -162,7 +209,8 @@ mod tests {
         let report = audit(&h, 1000, 16);
         assert!(report.is_correct());
         assert!(report.serializable);
-        assert_eq!(report.cycles_examined, 0);
+        assert_eq!(report.cyclic_sccs, 0);
+        assert_eq!(report.cycles_enumerated, 0);
         assert!(report.compensation_atomicity_violations.is_empty());
     }
 
@@ -202,7 +250,31 @@ mod tests {
         let report = audit(&h, 1000, 16);
         assert!(report.is_correct(), "CT-only cycles are allowed");
         assert!(!report.serializable);
-        assert_eq!(report.nonregular_cycles, 1);
+        assert_eq!(report.cyclic_sccs, 1);
+        assert_eq!(
+            (report.sccs_dismissed, report.cycles_enumerated),
+            (1, 0),
+            "a CT-only component is dismissed without enumerating"
+        );
+    }
+
+    #[test]
+    fn mixed_component_without_regular_cycle_is_enumerated_not_dismissed() {
+        // Paper Example 1: cycle CT1 → T2 → CT3 → CT1 where SG2 lets the
+        // minimal representation skip T2 — the component holds a regular
+        // global, so it cannot be dismissed, yet no cycle is regular.
+        let mut g = GlobalSg::new();
+        g.site_mut(SiteId(1)).add_edge(ct(1), t(2));
+        g.site_mut(SiteId(2)).add_edge(ct(1), t(2));
+        g.site_mut(SiteId(2)).add_edge(t(2), ct(3));
+        g.site_mut(SiteId(3)).add_edge(ct(3), ct(1));
+        let report = audit_graph(&g, &History::new(), 1000, 16);
+        assert!(report.is_correct());
+        assert!(!report.serializable);
+        assert_eq!(report.cyclic_sccs, 1);
+        assert_eq!(report.sccs_dismissed, 0);
+        assert!(report.cycles_enumerated > 0);
+        assert!(!report.truncated);
     }
 
     #[test]

@@ -10,31 +10,50 @@
 //! detector) can stop at the first hit.
 
 use crate::graph::GlobalSg;
-use o2pc_common::TxnId;
-use std::collections::HashMap;
+use o2pc_common::{FastHashMap, TxnId};
 use std::ops::ControlFlow;
 
 /// Union graph with dense integer indexing (built once per analysis).
-struct Indexed {
-    nodes: Vec<TxnId>,
-    succ: Vec<Vec<u32>>,
-    pred: Vec<Vec<u32>>,
+pub(crate) struct Indexed {
+    pub(crate) nodes: Vec<TxnId>,
+    pub(crate) succ: Vec<Vec<u32>>,
+    pub(crate) pred: Vec<Vec<u32>>,
 }
 
 impl Indexed {
-    fn new(gsg: &GlobalSg) -> Self {
-        let nodes = gsg.nodes();
-        let index_of: HashMap<TxnId, u32> = nodes
+    pub(crate) fn new(gsg: &GlobalSg) -> Self {
+        // Sort + dedup flat vectors instead of `GlobalSg::nodes`/`edges`
+        // (which build throwaway `BTreeSet`s): same sorted node order and
+        // identical sorted, deduplicated adjacency — the enumeration
+        // anchor order is part of the audit's determinism — at a fraction
+        // of the allocation traffic. This runs once per oracle check, on
+        // the chaos hot path.
+        let mut nodes: Vec<TxnId> = Vec::new();
+        for (_, sg) in gsg.sites() {
+            nodes.extend(sg.nodes());
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let index_of: FastHashMap<TxnId, u32> = nodes
             .iter()
             .enumerate()
             .map(|(i, &n)| (n, i as u32))
             .collect();
         let mut succ = vec![Vec::new(); nodes.len()];
         let mut pred = vec![Vec::new(); nodes.len()];
-        for (a, b) in gsg.edges() {
-            let (ia, ib) = (index_of[&a], index_of[&b]);
-            succ[ia as usize].push(ib);
-            pred[ib as usize].push(ia);
+        for (_, sg) in gsg.sites() {
+            for (a, b) in sg.edges() {
+                succ[index_of[&a] as usize].push(index_of[&b]);
+            }
+        }
+        for s in &mut succ {
+            s.sort_unstable();
+            s.dedup();
+        }
+        for (ia, succs) in succ.iter().enumerate() {
+            for &ib in succs {
+                pred[ib as usize].push(ia as u32);
+            }
         }
         Indexed { nodes, succ, pred }
     }
@@ -45,7 +64,7 @@ impl Indexed {
 }
 
 /// Tarjan SCC over the indexed graph (iterative).
-fn sccs(g: &Indexed) -> Vec<Vec<u32>> {
+pub(crate) fn sccs(g: &Indexed) -> Vec<Vec<u32>> {
     let n = g.len();
     let mut index = vec![u32::MAX; n];
     let mut lowlink = vec![0u32; n];
@@ -126,6 +145,92 @@ pub fn cyclic_sccs(gsg: &GlobalSg) -> Vec<Vec<TxnId>> {
         .collect()
 }
 
+/// Visit the simple cycles lying inside one SCC (`comp` must be one
+/// component returned by [`sccs`] over the same [`Indexed`] graph). Cycles
+/// are reported as node sequences (`[n0, n1, ..., nk]` meaning
+/// `n0 → n1 → ... → nk → n0`), each exactly once, length ≤ `max_len` only.
+/// Propagates the callback's `ControlFlow::Break(())`.
+pub(crate) fn cycles_in_comp<F>(
+    g: &Indexed,
+    comp: &[u32],
+    max_len: usize,
+    cb: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[TxnId]) -> ControlFlow<()>,
+{
+    let n = g.len();
+    // Scratch buffers reused across anchors. Non-component nodes stay
+    // `false` in `allowed` throughout, which confines the walk to the SCC
+    // (every simple cycle lies within one).
+    let mut allowed = vec![false; n];
+    let mut can_reach = vec![false; n];
+    let mut on_path = vec![false; n];
+    let mut bfs: Vec<u32> = Vec::new();
+    let mut txn_path: Vec<TxnId> = Vec::new();
+
+    for &anchor in comp {
+        // Sub-universe for this anchor: same SCC, index ≥ anchor.
+        for &v in comp {
+            allowed[v as usize] = v >= anchor;
+            can_reach[v as usize] = false;
+        }
+        // Reverse BFS from the anchor over allowed nodes: which nodes can
+        // return to it?
+        bfs.clear();
+        bfs.push(anchor);
+        can_reach[anchor as usize] = true;
+        let mut head = 0;
+        while head < bfs.len() {
+            let v = bfs[head];
+            head += 1;
+            for &p in &g.pred[v as usize] {
+                if allowed[p as usize] && !can_reach[p as usize] {
+                    can_reach[p as usize] = true;
+                    bfs.push(p);
+                }
+            }
+        }
+
+        // DFS from the anchor over nodes that can return to it. `on_path`
+        // is restored to all-false by the unwinding pops (an early Break
+        // abandons the scratch entirely).
+        let mut stack: Vec<(u32, usize)> = vec![(anchor, 0)];
+        txn_path.clear();
+        txn_path.push(g.nodes[anchor as usize]);
+        on_path[anchor as usize] = true;
+        'dfs: while let Some(&mut (v, ref mut child)) = stack.last_mut() {
+            let succs = &g.succ[v as usize];
+            let mut advanced = false;
+            while *child < succs.len() {
+                let w = succs[*child];
+                *child += 1;
+                if w == anchor {
+                    cb(&txn_path)?;
+                    continue;
+                }
+                let wi = w as usize;
+                if !allowed[wi] || !can_reach[wi] || on_path[wi] || txn_path.len() >= max_len {
+                    continue;
+                }
+                on_path[wi] = true;
+                txn_path.push(g.nodes[wi]);
+                stack.push((w, 0));
+                advanced = true;
+                break;
+            }
+            if advanced {
+                continue 'dfs;
+            }
+            // Exhausted this node.
+            let (v, _) = stack.pop().unwrap();
+            on_path[v as usize] = false;
+            txn_path.pop();
+        }
+    }
+    ControlFlow::Continue(())
+}
+
 /// Visit simple cycles of the union graph as node sequences
 /// (`[n0, n1, ..., nk]` meaning `n0 → n1 → ... → nk → n0`), each reported
 /// once, cycles of length ≤ `max_len` only. The callback returns
@@ -135,81 +240,9 @@ where
     F: FnMut(&[TxnId]) -> ControlFlow<()>,
 {
     let g = Indexed::new(gsg);
-    let n = g.len();
-    let mut scc_id = vec![u32::MAX; n];
-    let comps = sccs(&g);
-    for (ci, comp) in comps.iter().enumerate() {
-        for &v in comp {
-            scc_id[v as usize] = ci as u32;
-        }
-    }
-
-    // Scratch buffers reused across anchors.
-    let mut allowed = vec![false; n];
-    let mut can_reach = vec![false; n];
-    let mut bfs: Vec<u32> = Vec::new();
-    let mut txn_path: Vec<TxnId> = Vec::new();
-
-    for (ci, comp) in comps.iter().enumerate() {
-        for &anchor in comp {
-            // Sub-universe for this anchor: same SCC, index ≥ anchor.
-            for &v in comp {
-                allowed[v as usize] = v >= anchor && scc_id[v as usize] == ci as u32;
-                can_reach[v as usize] = false;
-            }
-            // Reverse BFS from the anchor over allowed nodes: which nodes
-            // can return to it?
-            bfs.clear();
-            bfs.push(anchor);
-            can_reach[anchor as usize] = true;
-            let mut head = 0;
-            while head < bfs.len() {
-                let v = bfs[head];
-                head += 1;
-                for &p in &g.pred[v as usize] {
-                    if allowed[p as usize] && !can_reach[p as usize] {
-                        can_reach[p as usize] = true;
-                        bfs.push(p);
-                    }
-                }
-            }
-
-            // DFS from the anchor over nodes that can return to it.
-            let mut on_path = vec![false; n];
-            let mut stack: Vec<(u32, usize)> = vec![(anchor, 0)];
-            txn_path.clear();
-            txn_path.push(g.nodes[anchor as usize]);
-            on_path[anchor as usize] = true;
-            'dfs: while let Some(&mut (v, ref mut child)) = stack.last_mut() {
-                let succs = &g.succ[v as usize];
-                let mut advanced = false;
-                while *child < succs.len() {
-                    let w = succs[*child];
-                    *child += 1;
-                    if w == anchor {
-                        if cb(&txn_path) == ControlFlow::Break(()) {
-                            return;
-                        }
-                        continue;
-                    }
-                    let wi = w as usize;
-                    if !allowed[wi] || !can_reach[wi] || on_path[wi] || txn_path.len() >= max_len {
-                        continue;
-                    }
-                    on_path[wi] = true;
-                    txn_path.push(g.nodes[wi]);
-                    stack.push((w, 0));
-                    advanced = true;
-                    break;
-                }
-                if advanced {
-                    continue 'dfs;
-                }
-                // Exhausted this node.
-                let (v, _) = stack.pop().unwrap();
-                on_path[v as usize] = false;
-                txn_path.pop();
-            }
+    for comp in sccs(&g) {
+        if cycles_in_comp(&g, &comp, max_len, &mut cb).is_break() {
+            return;
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Local and global serialization graphs.
 
-use o2pc_common::{SiteId, TxnId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use o2pc_common::{FastHashMap, SiteId, TxnId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A serialization graph local to one site.
 ///
@@ -104,8 +104,9 @@ impl LocalSg {
     /// Does the local SG contain a cycle? (Local histories are serializable
     /// under strict 2PL, so this should always be `false`; the audit checks.)
     pub fn has_cycle(&self) -> bool {
-        // Kahn's algorithm: cycle iff not all nodes drain.
-        let mut indeg: HashMap<TxnId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        // Kahn's algorithm: cycle iff not all nodes drain. (The verdict is
+        // queue-order independent, so the map's iteration order is free.)
+        let mut indeg: FastHashMap<TxnId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
         for (_, b) in self.edges() {
             *indeg.get_mut(&b).unwrap() += 1;
         }

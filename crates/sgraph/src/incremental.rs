@@ -1,0 +1,524 @@
+//! Incremental serialization-graph maintenance.
+//!
+//! [`crate::build`] derives the SGs by replaying a complete recorded
+//! [`History`]: a first pass settles which accesses are *included*
+//! (committed locals; globals where exposed; compensations always), a second
+//! pass collects per-(site, key) access lists, and a third adds an edge for
+//! every conflicting pair — quadratic in the per-key access count and only
+//! possible once the history is complete.
+//!
+//! [`IncrementalSg`] maintains the same graph *as events are recorded*: it
+//! is a [`HistorySink`], so the engine can feed it the live event stream and
+//! an audit at quiescence starts from an already-built graph. Two ideas make
+//! the incremental form cheaper than the batch replay:
+//!
+//! * **per-(site, key) last-accessor index** — instead of an ordered access
+//!   list paired quadratically, each key lane keeps one compact entry per
+//!   *distinct included transaction* with the min/max positions of its reads
+//!   and writes. A new access conflicts with a prior transaction iff that
+//!   transaction's conflicting-mode position range extends before (edge
+//!   `them → me`) or after (edge `me → them`) the access's own position —
+//!   which reproduces exactly the batch edge set, because an edge `A → B`
+//!   exists iff *some* conflicting access of `A` precedes *some* access of
+//!   `B`, and position ranges capture precisely that;
+//! * **deferred inclusion** — an access whose transaction's fate is not yet
+//!   settled (a local before its commit, a global before local commit /
+//!   roll-back under exposure semantics) is buffered in its lane with its
+//!   position and linked only when the inclusion decision arrives, so late
+//!   decisions need no replay. [`IncrementalSg::finish`] applies the batch
+//!   builder's defaults to whatever is still undecided.
+//!
+//! Equivalence with the batch builder (same nodes, same edges, per site) is
+//! pinned by unit tests here and by an integration test over recorded chaos
+//! histories (`crates/sgraph/tests/incremental_equivalence.rs`).
+
+use crate::graph::GlobalSg;
+use o2pc_common::FastHashMap;
+use o2pc_common::{HistEvent, HistEventKind, History, HistorySink, Key, OpKind, SiteId, TxnId};
+
+/// Inclusion state of one (transaction, site) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Inclusion {
+    /// No deciding event seen yet.
+    Undecided,
+    /// Forward accesses at the site count (committed / exposed).
+    Included,
+    /// Rolled back unexposed at the site; a later local-commit event may
+    /// still upgrade to [`Inclusion::Included`] (matching the batch
+    /// builder, where exposure overrides roll-back regardless of order).
+    Excluded,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Per-lane record of one distinct *included* transaction: min/max access
+/// positions split by mode (`NONE` = no access of that mode yet).
+#[derive(Clone, Copy, Debug)]
+struct LaneTxn {
+    txn: TxnId,
+    read_min: u32,
+    read_max: u32,
+    write_min: u32,
+    write_max: u32,
+}
+
+impl LaneTxn {
+    fn new(txn: TxnId) -> Self {
+        LaneTxn {
+            txn,
+            read_min: NONE,
+            read_max: NONE,
+            write_min: NONE,
+            write_max: NONE,
+        }
+    }
+
+    fn note(&mut self, kind: OpKind, pos: u32) {
+        let (min, max) = match kind {
+            OpKind::Read => (&mut self.read_min, &mut self.read_max),
+            OpKind::Write => (&mut self.write_min, &mut self.write_max),
+        };
+        if *min == NONE || pos < *min {
+            *min = pos;
+        }
+        if *max == NONE || pos > *max {
+            *max = pos;
+        }
+    }
+
+    /// Position range of the accesses that conflict with an access of
+    /// `kind` (reads conflict with writes only; writes with everything).
+    fn conflicting_range(&self, kind: OpKind) -> (u32, u32) {
+        match kind {
+            OpKind::Write => (
+                self.read_min.min(self.write_min),
+                match (self.read_max, self.write_max) {
+                    (NONE, m) | (m, NONE) => m,
+                    (a, b) => a.max(b),
+                },
+            ),
+            OpKind::Read => (self.write_min, self.write_max),
+        }
+    }
+}
+
+/// One (site, key) access lane.
+#[derive(Clone, Debug, Default)]
+struct Lane {
+    next_pos: u32,
+    /// One entry per distinct included transaction.
+    included: Vec<LaneTxn>,
+    /// Buffered accesses whose inclusion is not yet decided, in position
+    /// order.
+    pending: Vec<(TxnId, OpKind, u32)>,
+}
+
+/// An incrementally-maintained global serialization graph. Feed it history
+/// events (it is a [`HistorySink`]); read the graph of all *settled*
+/// accesses at any time via [`IncrementalSg::graph`], or settle the
+/// end-of-history defaults with [`IncrementalSg::finish`] /
+/// [`IncrementalSg::snapshot`].
+#[derive(Clone, Debug)]
+pub struct IncrementalSg {
+    exposure_filter: bool,
+    gsg: GlobalSg,
+    lanes: FastHashMap<(SiteId, Key), Lane>,
+    status: FastHashMap<(TxnId, SiteId), Inclusion>,
+    /// Keys (per (txn, site)) holding buffered accesses, for flushing.
+    pending_keys: FastHashMap<(TxnId, SiteId), Vec<Key>>,
+}
+
+impl IncrementalSg {
+    /// Exposure-semantics graph (the audit's graph; see
+    /// [`crate::build::build_exposed_sgs`]).
+    pub fn new_exposed() -> Self {
+        Self::with_filter(true)
+    }
+
+    /// Paper-faithful complete-history graph (see
+    /// [`crate::build::build_sgs`]).
+    pub fn new_complete() -> Self {
+        Self::with_filter(false)
+    }
+
+    fn with_filter(exposure_filter: bool) -> Self {
+        IncrementalSg {
+            exposure_filter,
+            gsg: GlobalSg::new(),
+            lanes: FastHashMap::default(),
+            status: FastHashMap::default(),
+            pending_keys: FastHashMap::default(),
+        }
+    }
+
+    /// The graph over accesses whose inclusion is already settled.
+    /// Undecided accesses (in-flight transactions) are not yet in it; use
+    /// [`IncrementalSg::snapshot`] for end-of-history semantics.
+    pub fn graph(&self) -> &GlobalSg {
+        &self.gsg
+    }
+
+    /// Consume one history event.
+    pub fn observe(&mut self, ev: HistEvent) {
+        match ev.kind {
+            HistEventKind::Access { kind, key, .. } => self.on_access(ev.site, ev.txn, kind, key),
+            HistEventKind::LocallyCommitted => {
+                if matches!(ev.txn, TxnId::Global(_)) {
+                    self.set_included(ev.txn, ev.site);
+                }
+            }
+            HistEventKind::Committed => match ev.txn {
+                TxnId::Global(_) | TxnId::Local(_) => self.set_included(ev.txn, ev.site),
+                TxnId::Compensation(_) => {}
+            },
+            HistEventKind::RolledBack => {
+                // Roll-back excludes unless exposure was (or is later)
+                // observed — `Included` is absorbing.
+                if matches!(ev.txn, TxnId::Global(_) | TxnId::Local(_)) {
+                    let s = self
+                        .status
+                        .entry((ev.txn, ev.site))
+                        .or_insert(Inclusion::Undecided);
+                    if *s != Inclusion::Included {
+                        *s = Inclusion::Excluded;
+                    }
+                }
+            }
+            HistEventKind::Begin | HistEventKind::Compensated => {}
+        }
+    }
+
+    fn on_access(&mut self, site: SiteId, txn: TxnId, kind: OpKind, key: Key) {
+        let lane = self.lanes.entry((site, key)).or_default();
+        let pos = lane.next_pos;
+        lane.next_pos += 1;
+        let included = match txn {
+            TxnId::Compensation(_) => true,
+            TxnId::Global(_) if !self.exposure_filter => true,
+            TxnId::Global(_) | TxnId::Local(_) => {
+                matches!(self.status.get(&(txn, site)), Some(Inclusion::Included))
+            }
+        };
+        if included {
+            link(&mut self.gsg, lane, site, txn, kind, pos);
+        } else {
+            lane.pending.push((txn, kind, pos));
+            self.pending_keys.entry((txn, site)).or_default().push(key);
+        }
+    }
+
+    fn set_included(&mut self, txn: TxnId, site: SiteId) {
+        let s = self
+            .status
+            .entry((txn, site))
+            .or_insert(Inclusion::Undecided);
+        if *s == Inclusion::Included {
+            return;
+        }
+        *s = Inclusion::Included;
+        let Some(keys) = self.pending_keys.remove(&(txn, site)) else {
+            return;
+        };
+        for key in keys {
+            let lane = self.lanes.get_mut(&(site, key)).expect("lane exists");
+            // Extract every buffered access of this transaction (position
+            // order is preserved); repeated keys find an empty set.
+            let mut i = 0;
+            while i < lane.pending.len() {
+                if lane.pending[i].0 == txn {
+                    let (_, kind, pos) = lane.pending.remove(i);
+                    link(&mut self.gsg, lane, site, txn, kind, pos);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Settle end-of-history defaults and return the final graph: globals
+    /// with no deciding event at a site count as included (they were in
+    /// flight when recording stopped); undecided locals and unexposed
+    /// roll-backs are dropped. Matches the batch builder exactly.
+    pub fn finish(mut self) -> GlobalSg {
+        // Collect lanes into a deterministic order only insofar as edge
+        // *sets* are concerned: positions make pair directions independent
+        // of flush order, so plain map iteration is fine.
+        let lanes = std::mem::take(&mut self.lanes);
+        let mut lanes: Vec<((SiteId, Key), Lane)> = lanes.into_iter().collect();
+        for ((site, _), lane) in &mut lanes {
+            let pending = std::mem::take(&mut lane.pending);
+            for (txn, kind, pos) in pending {
+                let include_by_default = self.exposure_filter
+                    && matches!(txn, TxnId::Global(_))
+                    && !matches!(self.status.get(&(txn, *site)), Some(Inclusion::Excluded));
+                if include_by_default {
+                    link(&mut self.gsg, lane, *site, txn, kind, pos);
+                }
+            }
+        }
+        self.gsg
+    }
+
+    /// Non-consuming [`IncrementalSg::finish`]: the graph as if the history
+    /// ended now. At quiescence (everything decided) nothing is pending and
+    /// this is just a clone of the live graph.
+    pub fn snapshot(&self) -> GlobalSg {
+        self.clone().finish()
+    }
+}
+
+impl HistorySink for IncrementalSg {
+    fn record(&mut self, ev: HistEvent) {
+        self.observe(ev);
+    }
+}
+
+/// Add one settled access to the graph: node, conflict edges against every
+/// other distinct included transaction in the lane (direction per position
+/// range), and the lane-index update.
+fn link(gsg: &mut GlobalSg, lane: &mut Lane, site: SiteId, txn: TxnId, kind: OpKind, pos: u32) {
+    let sg = gsg.site_mut(site);
+    sg.add_node(txn);
+    let mut self_entry: Option<usize> = None;
+    for (i, lt) in lane.included.iter().enumerate() {
+        if lt.txn == txn {
+            self_entry = Some(i);
+            continue;
+        }
+        let (c_min, c_max) = lt.conflicting_range(kind);
+        if c_min != NONE && c_min < pos {
+            sg.add_edge(lt.txn, txn);
+        }
+        if c_max != NONE && c_max > pos {
+            sg.add_edge(txn, lt.txn);
+        }
+    }
+    match self_entry {
+        Some(i) => lane.included[i].note(kind, pos),
+        None => {
+            let mut lt = LaneTxn::new(txn);
+            lt.note(kind, pos);
+            lane.included.push(lt);
+        }
+    }
+}
+
+/// Replay a complete history through the incremental builder (convenience
+/// for tests and equivalence checks).
+pub fn replay(history: &History, exposure_filter: bool) -> GlobalSg {
+    let mut inc = IncrementalSg::with_filter(exposure_filter);
+    for &ev in history.events() {
+        inc.observe(ev);
+    }
+    inc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_exposed_sgs, build_sgs};
+    use o2pc_common::{GlobalTxnId, LocalTxnId, SimTime};
+
+    fn t(i: u64) -> TxnId {
+        TxnId::Global(GlobalTxnId(i))
+    }
+
+    fn ct(i: u64) -> TxnId {
+        TxnId::Compensation(GlobalTxnId(i))
+    }
+
+    fn l(site: u32, seq: u64) -> TxnId {
+        TxnId::Local(LocalTxnId {
+            site: SiteId(site),
+            seq,
+        })
+    }
+
+    fn assert_equivalent(h: &History) {
+        for filter in [false, true] {
+            let batch = if filter {
+                build_exposed_sgs(h)
+            } else {
+                build_sgs(h)
+            };
+            let inc = replay(h, filter);
+            assert_eq!(inc.nodes(), batch.nodes(), "nodes (filter={filter})");
+            assert_eq!(inc.edges(), batch.edges(), "edges (filter={filter})");
+            let inc_sites: Vec<SiteId> = inc.sites().map(|(s, _)| s).collect();
+            let batch_sites: Vec<SiteId> = batch.sites().map(|(s, _)| s).collect();
+            assert_eq!(inc_sites, batch_sites, "sites (filter={filter})");
+        }
+    }
+
+    #[test]
+    fn empty_history() {
+        assert_equivalent(&History::new());
+    }
+
+    #[test]
+    fn conflict_edges_match_batch() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(
+            SiteId(0),
+            t(2),
+            OpKind::Read,
+            Key(1),
+            Some(t(1)),
+            SimTime(2),
+        );
+        h.access(SiteId(0), t(3), OpKind::Write, Key(1), None, SimTime(3));
+        h.access(SiteId(1), t(3), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(1), t(1), OpKind::Write, Key(1), None, SimTime(2));
+        assert_equivalent(&h);
+    }
+
+    #[test]
+    fn read_read_is_no_conflict() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Read, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Read, Key(1), None, SimTime(2));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        assert!(g.edges().is_empty());
+        assert_eq!(g.nodes().len(), 2);
+    }
+
+    #[test]
+    fn local_txns_gated_on_commit() {
+        let mut h = History::new();
+        let lx = l(0, 1);
+        let ly = l(0, 2);
+        h.access(SiteId(0), lx, OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ly, OpKind::Write, Key(1), None, SimTime(2));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: lx,
+            kind: HistEventKind::Committed,
+            time: SimTime(3),
+        });
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: ly,
+            kind: HistEventKind::RolledBack,
+            time: SimTime(4),
+        });
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        assert!(g.nodes().contains(&lx));
+        assert!(!g.nodes().contains(&ly), "uncommitted local dropped");
+    }
+
+    #[test]
+    fn unexposed_rollback_drops_forward_accesses() {
+        let ct1 = ct(1);
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::RolledBack,
+            time: SimTime(2),
+        });
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(3));
+        assert_equivalent(&h);
+    }
+
+    #[test]
+    fn exposure_overrides_rollback_regardless_of_order() {
+        // Roll-back recorded before the (late-arriving) local-commit event:
+        // the batch builder still includes the forward access, because
+        // exposure insertion is unconditional. The incremental builder must
+        // upgrade Excluded → Included.
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::RolledBack,
+            time: SimTime(2),
+        });
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::LocallyCommitted,
+            time: SimTime(3),
+        });
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(4));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        assert!(g.nodes().contains(&t(1)));
+    }
+
+    #[test]
+    fn undecided_global_included_by_default_at_finish() {
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(2));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        assert_eq!(g.edges().len(), 1, "in-flight globals default-included");
+    }
+
+    #[test]
+    fn graph_grows_as_events_arrive() {
+        let mut inc = IncrementalSg::new_exposed();
+        inc.observe(HistEvent {
+            site: SiteId(0),
+            txn: ct(1),
+            kind: HistEventKind::Access {
+                kind: OpKind::Write,
+                key: Key(1),
+                read_from: None,
+            },
+            time: SimTime(1),
+        });
+        inc.observe(HistEvent {
+            site: SiteId(0),
+            txn: ct(2),
+            kind: HistEventKind::Access {
+                kind: OpKind::Write,
+                key: Key(1),
+                read_from: None,
+            },
+            time: SimTime(2),
+        });
+        // Compensations settle immediately: the edge is live already.
+        assert_eq!(inc.graph().edges().len(), 1);
+        assert_eq!(inc.snapshot().edges().len(), 1);
+    }
+
+    #[test]
+    fn repeated_access_positions_produce_local_cycles_like_batch() {
+        // a@1, b@2, a@3 on one key: batch yields both a→b and b→a.
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(2));
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(3));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        assert_eq!(g.edges().len(), 2);
+    }
+
+    #[test]
+    fn late_commit_links_buffered_accesses_in_both_directions() {
+        // Local L accesses between two global accesses; L commits last.
+        let mut h = History::new();
+        let lx = l(0, 1);
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), lx, OpKind::Write, Key(1), None, SimTime(2));
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(3));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: lx,
+            kind: HistEventKind::Committed,
+            time: SimTime(4),
+        });
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        let sg = g.site(SiteId(0)).unwrap();
+        assert!(sg.successors(t(1)).contains(&lx));
+        assert!(sg.successors(lx).contains(&t(2)));
+    }
+}

@@ -7,6 +7,10 @@
 //!   (including *node-avoiding* paths, needed by predicates A2/A4).
 //! * [`build`] — derive the SGs from a recorded [`o2pc_common::History`]
 //!   (conflict edges: same item, at least one write, order of access).
+//! * [`incremental`] — the same graphs maintained *online*: a
+//!   [`o2pc_common::HistorySink`] that folds each event into the global SG
+//!   as it is recorded, so an audit at quiescence starts from an
+//!   already-built graph instead of replaying the whole history.
 //! * [`cycles`] — Tarjan SCCs and bounded simple-cycle enumeration.
 //! * [`regular`] — **regular-cycle detection**: a cycle is *regular* iff some
 //!   *minimal representation* of it (fewest local segments, computed as a
@@ -30,12 +34,14 @@ pub mod build;
 pub mod correctness;
 pub mod cycles;
 pub mod graph;
+pub mod incremental;
 pub mod regular;
 pub mod repr;
 pub mod strat;
 
 pub use build::{build_exposed_sgs, build_sgs};
-pub use correctness::{audit, AuditReport};
+pub use correctness::{audit, audit_graph, AuditReport};
 pub use graph::{GlobalSg, LocalSg};
+pub use incremental::IncrementalSg;
 pub use regular::{find_regular_cycle, RegularCycle};
 pub use strat::{holds_s1, holds_s2};

@@ -54,6 +54,44 @@ impl SegmentOracle {
         SegmentOracle { reach }
     }
 
+    /// Build the oracle restricted to `allowed` nodes: only paths that
+    /// start, end, *and stay* inside the set are recorded.
+    ///
+    /// This is exact (not an approximation) when `allowed` is one strongly
+    /// connected component of the union SG and the queries concern cycles
+    /// inside it: if a single site has a local path `a →+ b` with `a`, `b`
+    /// in the SCC, every intermediate node `x` of that path also lies in
+    /// the SCC (`a` reaches `x` and `x` reaches `b` along the path, and `b`
+    /// reaches `a` through the component's return path, closing a cycle
+    /// through `x`). So confining the BFS to the component loses no
+    /// admissible segment — while shrinking the quadratic reachability
+    /// closure from the whole graph to one component.
+    pub fn restricted(gsg: &GlobalSg, allowed: &BTreeSet<TxnId>) -> Self {
+        let mut reach = HashSet::new();
+        for (_, sg) in gsg.sites() {
+            for start in sg.nodes() {
+                if !allowed.contains(&start) {
+                    continue;
+                }
+                let mut seen: BTreeSet<TxnId> = BTreeSet::new();
+                let mut queue: VecDeque<TxnId> = VecDeque::new();
+                queue.push_back(start);
+                while let Some(n) = queue.pop_front() {
+                    for &s in sg.successors(n) {
+                        if !allowed.contains(&s) {
+                            continue;
+                        }
+                        reach.insert((start, s));
+                        if seen.insert(s) {
+                            queue.push_back(s);
+                        }
+                    }
+                }
+            }
+        }
+        SegmentOracle { reach }
+    }
+
     /// Does a single-site local path `a →+ b` exist?
     #[inline]
     pub fn exists(&self, a: TxnId, b: TxnId) -> bool {
@@ -341,6 +379,30 @@ mod tests {
             find_regular_cycle(&g, 100, 10).is_none(),
             "T5 must be skipped by the CT1→CT2 local segment"
         );
+    }
+
+    /// The SCC-restricted oracle agrees with the full oracle on queries
+    /// inside the component, even when the graph has nodes outside it.
+    #[test]
+    fn restricted_oracle_matches_full_oracle_inside_scc() {
+        let mut g = GlobalSg::new();
+        // SCC {ct1, t2, ct3} via site-local chains, plus an outside tail.
+        g.site_mut(SiteId(1)).add_edge(ct(1), t(2));
+        g.site_mut(SiteId(2)).add_edge(ct(1), t(2));
+        g.site_mut(SiteId(2)).add_edge(t(2), ct(3));
+        g.site_mut(SiteId(3)).add_edge(ct(3), ct(1));
+        g.site_mut(SiteId(2)).add_edge(ct(3), t(9)); // t9 outside the SCC
+        let scc: std::collections::BTreeSet<TxnId> = [ct(1), t(2), ct(3)].into_iter().collect();
+        let full = SegmentOracle::new(&g);
+        let restricted = SegmentOracle::restricted(&g, &scc);
+        for &a in &scc {
+            for &b in &scc {
+                assert_eq!(full.exists(a, b), restricted.exists(a, b), "{a:?} -> {b:?}");
+            }
+        }
+        // Outside queries are (deliberately) absent from the restricted one.
+        assert!(full.exists(ct(3), t(9)));
+        assert!(!restricted.exists(ct(3), t(9)));
     }
 
     /// The anchored DP returns a cover that actually covers the cycle.

@@ -48,10 +48,17 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// New empty queue at time zero.
+    /// New empty queue at time zero. Pre-sizes the heap: engine runs keep
+    /// hundreds of timers and in-flight messages live, and growing the heap
+    /// through the doubling sequence on every fresh run is pure overhead.
     pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// New empty queue with an explicit initial heap capacity.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             seq: 0,
             now: SimTime::ZERO,
         }

@@ -1,15 +1,17 @@
 //! The site kernel.
 
 use crate::exec::{ExecPhase, ExecState, OpResult};
+use o2pc_common::FastHashMap;
 use o2pc_common::{
-    ExecId, GlobalTxnId, HistEvent, HistEventKind, History, Key, LocalTxnId, Op, OpKind, SimTime,
-    SiteId, TxnId, Value,
+    ExecId, GlobalTxnId, HistEvent, HistEventKind, HistorySink, Key, LocalTxnId, Op, OpKind,
+    SimTime, SiteId, TxnId, Value,
 };
 use o2pc_compensation::{plan_compensation, CompensationModel, CompensationPlan};
 use o2pc_locking::{LockManager, RequestOutcome};
 use o2pc_marking::{MarkEvent, MarkState, SiteMarks};
 use o2pc_storage::{CommitRecord, LogRecord, Store, Wal};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// What a *yes* vote does with the subtransaction's locks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -86,13 +88,19 @@ pub struct Site {
     wal: Wal,
     locks: LockManager,
     marks: SiteMarks,
-    last_writer: HashMap<Key, TxnId>,
-    execs: HashMap<ExecId, ExecState>,
+    last_writer: FastHashMap<Key, TxnId>,
+    execs: FastHashMap<ExecId, ExecState>,
     /// Locally-committed subtransactions awaiting the coordinator decision.
-    commit_records: HashMap<GlobalTxnId, CommitRecord>,
+    commit_records: FastHashMap<GlobalTxnId, Arc<CommitRecord>>,
     /// Decisions this site has learned (answers termination-protocol
     /// queries from blocked peers).
-    decided: HashMap<GlobalTxnId, bool>,
+    decided: FastHashMap<GlobalTxnId, bool>,
+    /// Live index of subtransactions in the *Running* phase — maintained
+    /// at every phase transition so polls need no scan-and-sort over the
+    /// exec table.
+    running: BTreeSet<GlobalTxnId>,
+    /// Live index of *Prepared* (in-doubt under 2PC) subtransactions.
+    prepared: BTreeSet<GlobalTxnId>,
     local_seq: u64,
     /// Compensation operations skipped because the state they would restore
     /// no longer admits them (e.g. re-deleting an already-deleted item).
@@ -114,10 +122,12 @@ impl Site {
             wal: Wal::new(),
             locks: LockManager::new(),
             marks: SiteMarks::new(),
-            last_writer: HashMap::new(),
-            execs: HashMap::new(),
-            commit_records: HashMap::new(),
-            decided: HashMap::new(),
+            last_writer: FastHashMap::default(),
+            execs: FastHashMap::default(),
+            commit_records: FastHashMap::default(),
+            decided: FastHashMap::default(),
+            running: BTreeSet::new(),
+            prepared: BTreeSet::new(),
             local_seq: 0,
             skipped_comp_ops: 0,
             recovery_rollbacks: Vec::new(),
@@ -204,30 +214,38 @@ impl Site {
     /// discussion — aborting here is the deadlock-victim path of the
     /// sitemarks lock cycle).
     pub fn running_subs(&self) -> Vec<GlobalTxnId> {
-        let mut v: Vec<GlobalTxnId> = self
-            .execs
-            .iter()
-            .filter_map(|(e, st)| match (e, st.phase) {
-                (ExecId::Sub(g), ExecPhase::Running) => Some(*g),
-                _ => None,
-            })
-            .collect();
-        v.sort_unstable(); // HashMap order is not deterministic; runs must be
-        v
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(self.running, self.scan_phase(ExecPhase::Running));
+        self.running.iter().copied().collect()
     }
 
     /// Global transactions prepared at this site (in-doubt under 2PC).
     pub fn prepared_subs(&self) -> Vec<GlobalTxnId> {
-        let mut v: Vec<GlobalTxnId> = self
-            .execs
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(self.prepared, self.scan_phase(ExecPhase::Prepared));
+        self.prepared.iter().copied().collect()
+    }
+
+    /// Recompute an index set from the exec table (debug cross-check that
+    /// the live `running`/`prepared` indexes track every phase transition).
+    #[cfg(debug_assertions)]
+    fn scan_phase(&self, phase: ExecPhase) -> BTreeSet<GlobalTxnId> {
+        self.execs
             .iter()
-            .filter_map(|(e, st)| match (e, st.phase) {
-                (ExecId::Sub(g), ExecPhase::Prepared) => Some(*g),
+            .filter_map(|(e, st)| match e {
+                ExecId::Sub(g) if st.phase == phase => Some(*g),
                 _ => None,
             })
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
+    }
+
+    /// Drop `exec` from the live phase indexes (it left the exec table or
+    /// moved to a terminal phase).
+    fn unindex(&mut self, exec: ExecId) {
+        if let ExecId::Sub(g) = exec {
+            self.running.remove(&g);
+            self.prepared.remove(&g);
+        }
     }
 
     /// Global transactions locally committed here whose decision is still
@@ -237,6 +255,12 @@ impl Site {
         let mut v: Vec<GlobalTxnId> = self.commit_records.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Is `g` locally committed here with its decision still unknown?
+    /// (Allocation-free membership twin of [`Site::pending_local_commits`].)
+    pub fn has_pending_local_commit(&self, g: GlobalTxnId) -> bool {
+        self.commit_records.contains_key(&g)
     }
 
     /// Find a local deadlock cycle, if any.
@@ -251,22 +275,30 @@ impl Site {
     }
 
     /// Begin an execution with the given operation program.
-    pub fn begin(&mut self, exec: ExecId, ops: Vec<Op>, now: SimTime, hist: &mut History) {
+    pub fn begin(&mut self, exec: ExecId, ops: Vec<Op>, now: SimTime, hist: &mut dyn HistorySink) {
         debug_assert!(!self.execs.contains_key(&exec), "{exec} already active");
         self.wal.append(LogRecord::Begin(exec));
-        hist.push(HistEvent {
+        hist.record(HistEvent {
             site: self.id,
             txn: exec.txn_id(),
             kind: HistEventKind::Begin,
             time: now,
         });
         self.execs.insert(exec, ExecState::new(exec, ops));
+        if let ExecId::Sub(g) = exec {
+            self.running.insert(g);
+        }
     }
 
     /// Execute the execution's next operation. On `Blocked` the caller must
     /// wait for the exec to appear in a `woken` list and then call again
     /// (the lock is granted re-entrantly at that point).
-    pub fn execute_next_op(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> OpResult {
+    pub fn execute_next_op(
+        &mut self,
+        exec: ExecId,
+        now: SimTime,
+        hist: &mut dyn HistorySink,
+    ) -> OpResult {
         let state = self
             .execs
             .get(&exec)
@@ -298,7 +330,7 @@ impl Site {
                     let rec = *self.store.last_undo(exec).expect("mutation logged");
                     self.wal.append_update(exec, &rec);
                 }
-                hist.access(self.id, txn, op.kind(), op.key(), read_from, now);
+                hist.record_access(self.id, txn, op.kind(), op.key(), read_from, now);
                 if op.kind() == OpKind::Write {
                     self.last_writer.insert(op.key(), txn);
                 }
@@ -307,6 +339,7 @@ impl Site {
                 let finished = state.pc == state.ops.len();
                 if finished {
                     state.phase = ExecPhase::Completed;
+                    self.unindex(exec);
                 }
                 OpResult::Done { value, finished }
             }
@@ -331,6 +364,7 @@ impl Site {
                     let state = self.execs.get_mut(&exec).unwrap();
                     state.phase = ExecPhase::Failed;
                     state.error = Some(e.clone());
+                    self.unindex(exec);
                     OpResult::Failed(e)
                 }
             }
@@ -339,13 +373,18 @@ impl Site {
 
     /// Commit an independent local transaction (strict 2PL: all locks
     /// released now). Returns woken executions.
-    pub fn commit_local(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+    pub fn commit_local(
+        &mut self,
+        exec: ExecId,
+        now: SimTime,
+        hist: &mut dyn HistorySink,
+    ) -> Vec<ExecId> {
         debug_assert!(matches!(exec, ExecId::Local(_)));
         let state = self.execs.remove(&exec).expect("local exec active");
         debug_assert_eq!(state.phase, ExecPhase::Completed);
         self.store.commit(exec);
         self.wal.append(LogRecord::Commit(exec));
-        hist.push(HistEvent {
+        hist.record(HistEvent {
             site: self.id,
             txn: exec.txn_id(),
             kind: HistEventKind::Committed,
@@ -362,7 +401,12 @@ impl Site {
     /// abort). For local transactions and in-flight compensating
     /// subtransactions the undo is purely physical — strict 2PL guarantees
     /// nobody observed the undone values.
-    pub fn abort_exec(&mut self, exec: ExecId, now: SimTime, hist: &mut History) -> Vec<ExecId> {
+    pub fn abort_exec(
+        &mut self,
+        exec: ExecId,
+        now: SimTime,
+        hist: &mut dyn HistorySink,
+    ) -> Vec<ExecId> {
         let undo = self.store.rollback(exec);
         for rec in undo.iter().rev() {
             self.wal.append(LogRecord::Update {
@@ -376,17 +420,17 @@ impl Site {
         if let ExecId::Sub(g) = exec {
             let ct = TxnId::Compensation(g);
             for rec in undo.iter().rev() {
-                hist.access(self.id, ct, OpKind::Write, rec.key, None, now);
+                hist.record_access(self.id, ct, OpKind::Write, rec.key, None, now);
                 self.last_writer.insert(rec.key, ct);
             }
-            hist.push(HistEvent {
+            hist.record(HistEvent {
                 site: self.id,
                 txn: TxnId::Global(g),
                 kind: HistEventKind::RolledBack,
                 time: now,
             });
         } else {
-            hist.push(HistEvent {
+            hist.record(HistEvent {
                 site: self.id,
                 txn: exec.txn_id(),
                 kind: HistEventKind::RolledBack,
@@ -394,6 +438,7 @@ impl Site {
             });
         }
         self.execs.remove(&exec);
+        self.unindex(exec);
         self.locks.release_all(exec, now)
     }
 
@@ -406,7 +451,7 @@ impl Site {
         &mut self,
         g: GlobalTxnId,
         now: SimTime,
-        hist: &mut History,
+        hist: &mut dyn HistorySink,
     ) -> Vec<ExecId> {
         let exec = ExecId::Sub(g);
         debug_assert!(
@@ -426,7 +471,7 @@ impl Site {
         policy: LockPolicy,
         force_abort: bool,
         now: SimTime,
-        hist: &mut History,
+        hist: &mut dyn HistorySink,
     ) -> VoteOutcome {
         let exec = ExecId::Sub(g);
         // Duplicate / retransmitted VOTE-REQ: re-answer consistently
@@ -470,13 +515,13 @@ impl Site {
         debug_assert_eq!(state.phase, ExecPhase::Completed);
         match policy {
             LockPolicy::ReleaseAll => {
-                let rec = self.store.commit(exec);
+                let rec = Arc::new(self.store.commit(exec));
                 self.wal.append(LogRecord::LocalCommit {
                     exec,
-                    record: rec.clone(),
+                    record: Arc::clone(&rec),
                 });
                 self.commit_records.insert(g, rec);
-                hist.push(HistEvent {
+                hist.record(HistEvent {
                     site: self.id,
                     txn: TxnId::Global(g),
                     kind: HistEventKind::LocallyCommitted,
@@ -494,6 +539,7 @@ impl Site {
                 self.wal.append(LogRecord::Prepared(exec));
                 let _ = self.marks.apply(g, MarkEvent::VoteCommit);
                 self.execs.get_mut(&exec).unwrap().phase = ExecPhase::Prepared;
+                self.prepared.insert(g);
                 let woken = self.locks.release_read_locks(exec, now);
                 VoteOutcome {
                     vote: Vote::Yes,
@@ -509,7 +555,7 @@ impl Site {
         g: GlobalTxnId,
         commit: bool,
         now: SimTime,
-        hist: &mut History,
+        hist: &mut dyn HistorySink,
     ) -> DecideOutcome {
         let repeat = self.decided.insert(g, commit) == Some(commit);
         if !repeat {
@@ -529,7 +575,7 @@ impl Site {
                 );
                 self.store.commit(exec);
                 self.wal.append(LogRecord::Commit(exec));
-                hist.push(HistEvent {
+                hist.record(HistEvent {
                     site: self.id,
                     txn: TxnId::Global(g),
                     kind: HistEventKind::Committed,
@@ -537,6 +583,7 @@ impl Site {
                 });
                 let _ = self.marks.apply(g, MarkEvent::DecisionCommit);
                 self.execs.remove(&exec);
+                self.unindex(exec);
                 return DecideOutcome {
                     woken: self.locks.release_all(exec, now),
                     compensation: None,
@@ -556,7 +603,7 @@ impl Site {
         // Case 2: locally committed under O2PC.
         if let Some(rec) = self.commit_records.remove(&g) {
             if commit {
-                hist.push(HistEvent {
+                hist.record(HistEvent {
                     site: self.id,
                     txn: TxnId::Global(g),
                     kind: HistEventKind::Committed,
@@ -617,6 +664,12 @@ impl Site {
     /// Replay the WAL and compare the reconstructed item state against the
     /// live store — the durability check used by the chaos oracle. `true`
     /// means a crash right now would recover to exactly the current data.
+    ///
+    /// **Oracle-time only.** This replays the full log and materializes the
+    /// whole store (see [`Site::wal_store_diff`]); it must never run on the
+    /// per-decision hot path. The engine exposes it solely through its
+    /// end-of-run probes (`wal_divergent_sites` / `wal_store_diffs`), which
+    /// the chaos oracle calls once per run at quiescence.
     pub fn wal_matches_store(&self) -> bool {
         self.wal_store_diff().is_empty()
     }
@@ -630,6 +683,11 @@ impl Site {
     /// Keys where WAL replay and the live store disagree, as
     /// `(key, recovered, live)` — diagnostic companion to
     /// [`Site::wal_matches_store`].
+    ///
+    /// Rebuilds two full ordered maps per call — O(log size + store size)
+    /// work and allocation. That is fine exactly once per run in the
+    /// oracle, and ruinous anywhere inside the engine loop, which is why
+    /// no protocol code path calls it (and none may start to).
     pub fn wal_store_diff(&self) -> Vec<(Key, Option<Value>, Option<Value>)> {
         use std::collections::BTreeMap;
         let recovered: BTreeMap<Key, Value> = self.wal.recover().items.into_iter().collect();
@@ -656,7 +714,7 @@ impl Site {
         &mut self,
         g: GlobalTxnId,
         now: SimTime,
-        hist: &mut History,
+        hist: &mut dyn HistorySink,
     ) -> (PeerState, Vec<ExecId>) {
         if let Some(&commit) = self.decided.get(&g) {
             let state = if commit {
@@ -696,7 +754,7 @@ impl Site {
         g: GlobalTxnId,
         plan: &CompensationPlan,
         now: SimTime,
-        hist: &mut History,
+        hist: &mut dyn HistorySink,
     ) {
         self.begin(ExecId::CompSub(g), plan.ops.clone(), now, hist);
     }
@@ -707,14 +765,14 @@ impl Site {
         &mut self,
         g: GlobalTxnId,
         now: SimTime,
-        hist: &mut History,
+        hist: &mut dyn HistorySink,
     ) -> Vec<ExecId> {
         let exec = ExecId::CompSub(g);
         let state = self.execs.remove(&exec).expect("compensation active");
         debug_assert_eq!(state.phase, ExecPhase::Completed);
         self.store.commit(exec);
         self.wal.append(LogRecord::Commit(exec));
-        hist.push(HistEvent {
+        hist.record(HistEvent {
             site: self.id,
             txn: TxnId::Compensation(g),
             kind: HistEventKind::Compensated,
@@ -786,6 +844,7 @@ impl Site {
             st.phase = ExecPhase::Prepared;
             site.execs.insert(exec, st);
             if let ExecId::Sub(g) = exec {
+                site.prepared.insert(g);
                 let _ = site.marks.apply(g, MarkEvent::VoteCommit);
             }
         }
@@ -814,6 +873,7 @@ impl Site {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use o2pc_common::History;
 
     fn setup() -> (Site, History) {
         let mut s = Site::new(SiteId(0), SiteConfig::default());
@@ -827,7 +887,7 @@ mod tests {
         GlobalTxnId(i)
     }
 
-    fn run_all(s: &mut Site, exec: ExecId, now: SimTime, hist: &mut History) {
+    fn run_all(s: &mut Site, exec: ExecId, now: SimTime, hist: &mut dyn HistorySink) {
         loop {
             match s.execute_next_op(exec, now, hist) {
                 OpResult::Done { finished: true, .. } => break,

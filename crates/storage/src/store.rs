@@ -9,9 +9,25 @@
 //! [`Store::commit`] returns a [`CommitRecord`] so the compensation layer can
 //! later undo the execution *semantically*.
 
+use o2pc_common::FastHashMap;
 use o2pc_common::{CommonError, ExecId, Key, Op, Result, Value};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Deduplicate keys drawn from undo records, preserving first-occurrence
+/// order. Hash-set membership keeps this linear — compensation planning
+/// calls it per commit, so the old `Vec::contains` scan was quadratic in
+/// the write-set size.
+fn dedup_keys<'a>(undo: impl Iterator<Item = &'a UndoRecord>) -> Vec<Key> {
+    let mut seen = HashSet::new();
+    let mut keys = Vec::new();
+    for u in undo {
+        if seen.insert(u.key) {
+            keys.push(u.key);
+        }
+    }
+    keys
+}
 
 /// Before-image of one mutation (`None` = the key did not exist).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,22 +55,16 @@ pub struct CommitRecord {
 impl CommitRecord {
     /// Keys written by the execution (deduplicated, in first-write order).
     pub fn write_set(&self) -> Vec<Key> {
-        let mut keys = Vec::new();
-        for u in &self.undo {
-            if !keys.contains(&u.key) {
-                keys.push(u.key);
-            }
-        }
-        keys
+        dedup_keys(self.undo.iter())
     }
 }
 
 /// The per-site store.
 #[derive(Clone, Debug, Default)]
 pub struct Store {
-    items: HashMap<Key, Value>,
-    undo: HashMap<ExecId, Vec<UndoRecord>>,
-    ops: HashMap<ExecId, Vec<Op>>,
+    items: FastHashMap<Key, Value>,
+    undo: FastHashMap<ExecId, Vec<UndoRecord>>,
+    ops: FastHashMap<ExecId, Vec<Op>>,
 }
 
 impl Store {
@@ -270,15 +280,10 @@ impl Store {
 
     /// Keys currently written (dirty) by an active execution.
     pub fn dirty_keys(&self, exec: ExecId) -> Vec<Key> {
-        let mut keys = Vec::new();
-        if let Some(undo) = self.undo.get(&exec) {
-            for u in undo {
-                if !keys.contains(&u.key) {
-                    keys.push(u.key);
-                }
-            }
-        }
-        keys
+        self.undo
+            .get(&exec)
+            .map(|undo| dedup_keys(undo.iter()))
+            .unwrap_or_default()
     }
 }
 

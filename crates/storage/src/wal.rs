@@ -15,6 +15,7 @@
 use crate::store::{CommitRecord, Store, UndoRecord};
 use o2pc_common::{ExecId, GlobalTxnId, Key, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One log record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,8 +47,10 @@ pub enum LogRecord {
     LocalCommit {
         /// The subtransaction.
         exec: ExecId,
-        /// Its retained commit record.
-        record: CommitRecord,
+        /// Its retained commit record, shared with the site's live
+        /// `commit_records` table (an `Arc` so appending the log record
+        /// does not deep-copy the op log and before-images).
+        record: Arc<CommitRecord>,
     },
     /// The coordinator's decision for a global transaction reached this
     /// site (resolves a pending `LocalCommit`).
@@ -83,7 +86,7 @@ pub struct RecoveredState {
     /// Locally-committed subtransactions whose global fate was still
     /// unknown at the crash: their commit records, so compensation remains
     /// possible.
-    pub unresolved_local_commits: Vec<(GlobalTxnId, CommitRecord)>,
+    pub unresolved_local_commits: Vec<(GlobalTxnId, Arc<CommitRecord>)>,
     /// Compensation records for the recovery rollback (an `Update` per undo
     /// write plus an `Abort` terminator per rolled-back execution). The
     /// recovering site must append these to its log: without them a later
@@ -215,7 +218,7 @@ impl Wal {
         let mut terminated: HashSet<ExecId> = HashSet::new();
         let mut committed: Vec<ExecId> = Vec::new();
         let mut prepared_set: HashSet<ExecId> = HashSet::new();
-        let mut local_commits: HashMap<GlobalTxnId, CommitRecord> = HashMap::new();
+        let mut local_commits: HashMap<GlobalTxnId, Arc<CommitRecord>> = HashMap::new();
         let mut outcomes: HashMap<GlobalTxnId, bool> = HashMap::new();
         let mut comp_done: HashSet<GlobalTxnId> = HashSet::new();
         let mut pending: HashMap<ExecId, Vec<(Key, Option<Value>)>> = HashMap::new();
@@ -322,7 +325,7 @@ impl Wal {
 
         // A locally-committed subtransaction is unresolved unless a commit
         // outcome arrived, or its compensation already completed.
-        let mut unresolved: Vec<(GlobalTxnId, CommitRecord)> = local_commits
+        let mut unresolved: Vec<(GlobalTxnId, Arc<CommitRecord>)> = local_commits
             .into_iter()
             .filter(|(g, _)| outcomes.get(g) != Some(&true) && !comp_done.contains(g))
             .collect();
@@ -623,7 +626,7 @@ mod tests {
         h.wal.checkpoint(&h.store);
         h.begin(sub(3));
         h.apply(sub(3), Op::Add(Key(1), 5));
-        let record = h.store.commit(sub(3));
+        let record = Arc::new(h.store.commit(sub(3)));
         h.wal.append(LogRecord::LocalCommit {
             exec: sub(3),
             record: record.clone(),
@@ -650,7 +653,7 @@ mod tests {
         h.wal.checkpoint(&h.store);
         h.begin(sub(3));
         h.apply(sub(3), Op::Add(Key(1), 5));
-        let record = h.store.commit(sub(3));
+        let record = Arc::new(h.store.commit(sub(3)));
         h.wal.append(LogRecord::LocalCommit {
             exec: sub(3),
             record,

@@ -42,7 +42,7 @@ fn main() {
             let r = engine.run(Duration::secs(600));
 
             let report = audit(&r.history, 10_000, 8);
-            total_cycles += report.cycles_examined;
+            total_cycles += report.cyclic_sccs;
             aoc_violations += report.compensation_atomicity_violations.len();
             if let Some(rc) = &report.regular_cycle {
                 regular_runs += 1;
@@ -57,7 +57,7 @@ fn main() {
             }
         }
         println!(
-            "[{protocol}] {runs} adversarial runs: {total_cycles} cycles in the union SGs, \
+            "[{protocol}] {runs} adversarial runs: {total_cycles} cyclic SCCs in the union SGs, \
              {regular_runs} runs with regular cycles, {aoc_violations} atomicity-of-compensation violations\n"
         );
         if protocol == ProtocolKind::O2pcP1 {

@@ -89,6 +89,26 @@ fn conflict_free_workload() -> Workload {
     (loads, arrivals)
 }
 
+/// Golden fingerprint of the conflict-free run on the simulator, pinned
+/// before the hot-path rewrite. The threaded backend cannot be digested
+/// (wall-clock timestamps differ run to run), but the simulator side of the
+/// differential must stay byte-identical across optimizations.
+#[test]
+fn conflict_free_sim_history_digest_is_golden() {
+    let (loads, arrivals) = conflict_free_workload();
+    let mut cfg = SystemConfig::new(3, ProtocolKind::O2pc);
+    cfg.seed = 11;
+    cfg.op_service_time = Duration::micros(100);
+    let mut sim = Engine::new(cfg);
+    install(&mut sim, &loads, &arrivals);
+    let r = sim.run(Duration::secs(30));
+    assert_eq!(
+        (r.history.digest(), r.history.len()),
+        (3469630476736176198u64, 57usize),
+        "golden sim fingerprint drifted"
+    );
+}
+
 #[test]
 fn conflict_free_counts_match_across_backends() {
     let (loads, arrivals) = conflict_free_workload();

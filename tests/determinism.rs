@@ -75,6 +75,28 @@ fn histories_replay_identically() {
     }
 }
 
+/// Golden digests pinned from the engine *before* the hot-path rewrite
+/// (incremental SG audit, zero-allocation loop, pluggable history sinks).
+/// Identical seeds must keep producing byte-identical event streams: any
+/// drift here means an "optimization" changed observable behavior.
+#[test]
+fn golden_history_digests_are_stable() {
+    let cases: [(ProtocolKind, u64, bool, u64, usize); 4] = [
+        (ProtocolKind::O2pc, 7, false, 686464693030732886, 1532),
+        (ProtocolKind::O2pcP1, 11, false, 14583858794710470918, 831),
+        (ProtocolKind::O2pcP2, 7, true, 16150712325492644207, 810),
+        (ProtocolKind::D2pl2pc, 5, false, 1211984530926276219, 1260),
+    ];
+    for (protocol, seed, with_failures, digest, events) in cases {
+        let r = run_once(protocol, seed, with_failures);
+        assert_eq!(
+            (r.history.digest(), r.history.len()),
+            (digest, events),
+            "golden history fingerprint drifted: {protocol} seed {seed} failures {with_failures}"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run_once(ProtocolKind::O2pc, 1, false);
