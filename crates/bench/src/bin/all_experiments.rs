@@ -47,7 +47,8 @@ fn parse_backend() -> Backend {
 fn main() {
     match parse_backend() {
         Backend::Sim => {
-            println!("# O2PC reproduction — full experiment suite (deterministic sim)\n");
+            println!("# O2PC reproduction — full experiment suite (deterministic sim)");
+            println!("# mode: closed-loop trace replay (pre-generated arrival schedule)\n");
             ex::fig1();
             ex::fig2();
             ex::e1();
@@ -63,10 +64,13 @@ fn main() {
             println!("\nAll experiments completed.");
         }
         Backend::Threaded => {
-            println!("# O2PC reproduction — threaded wall-clock backend\n");
+            println!("# O2PC reproduction — threaded wall-clock backend");
+            println!("# E1 mode: closed-loop trace replay (pre-generated arrival schedule)");
+            println!("# E10 mode: open-loop (2 000 Poisson client sessions, bounded admission)\n");
             println!("(F1–F2, E2–E9 are defined on the deterministic simulator only;");
             println!(" run them with `--backend sim`.)\n");
             ex::e1_threaded();
+            ex::e10_open_loop_threaded();
             println!("\nThreaded experiments completed.");
         }
     }

@@ -7,8 +7,15 @@
 //!   second of wall time;
 //! * `sim_txn_per_sec` — committed transactions per second on the
 //!   deterministic simulator under a contended banking workload;
-//! * `threaded_txn_per_sec` — committed transactions per second on the
-//!   threaded wall-clock runtime;
+//! * `threaded_txn_per_sec` — decided transactions per second on the
+//!   threaded wall-clock runtime, measured **open-loop**: thousands of
+//!   client sessions offer Poisson arrivals regardless of completions and
+//!   the pipelined coordinator admits a bounded window;
+//! * `threaded_p50_us` / `threaded_p99_us` / `threaded_p999_us` — the
+//!   open-loop latency distribution of the same run, measured from each
+//!   request's *scheduled* submit time so admission queueing counts
+//!   (reported, never gated — latency is lower-is-better and the gate
+//!   compares only `*_per_sec` rates);
 //! * `audit_per_sec` — full correctness audits per second of the canned
 //!   adversarial history (E7's `banking p=0.4` scenario: tiny key space,
 //!   40% autonomous aborts — the cycle-richest history the harness knows).
@@ -17,7 +24,7 @@
 //!
 //! ```text
 //! perf [--quick] [--label NAME] [--out FILE]
-//!      [--baseline FILE] [--tolerance PCT]
+//!      [--baseline FILE] [--tolerance PCT] [--floor NAME=VALUE]...
 //! ```
 //!
 //! Every metric is measured as **best-of-N rounds** (N = 5 full, 3 quick):
@@ -26,15 +33,18 @@
 //!
 //! `--quick` shrinks repetition counts (CI smoke); the metric definitions
 //! are unchanged, so quick rates are comparable to full rates up to noise.
-//! With `--baseline`, every metric present in the baseline's `after` (or
-//! top-level `metrics`) object is compared and the process exits non-zero
-//! if any rate fell more than `--tolerance` percent (default 25) below it.
+//! With `--baseline`, every `*_per_sec` metric present in the baseline's
+//! `after` (or top-level `metrics`) object is compared and the process
+//! exits non-zero if any rate fell more than `--tolerance` percent
+//! (default 25) below it. `--floor NAME=VALUE` (repeatable) additionally
+//! enforces an absolute minimum on a rate — CI uses it to pin the threaded
+//! backend's throughput floor independent of baseline drift.
 
+use o2pc_bench::{run_open_loop, OpenLoopClients};
 use o2pc_chaos::{run_plan, ChaosConfig, ChaosPlan, Hardening};
 use o2pc_common::{Duration, History};
-use o2pc_core::{Engine, Msg, SystemConfig, TimerEvent};
+use o2pc_core::{Engine, SystemConfig};
 use o2pc_protocol::ProtocolKind;
-use o2pc_runtime::{LinkPolicy, ThreadedRuntime, ThreadedRuntimeConfig, ThreadedTransport};
 use o2pc_sgraph::audit;
 use o2pc_sim::NetworkConfig;
 use o2pc_workload::BankingWorkload;
@@ -46,6 +56,7 @@ struct Args {
     out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
+    floors: Vec<(String, f64)>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +66,7 @@ fn parse_args() -> Args {
         out: None,
         baseline: None,
         tolerance: 25.0,
+        floors: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,6 +81,16 @@ fn parse_args() -> Args {
                     .expect("--tolerance needs a value")
                     .parse()
                     .expect("--tolerance must be a number")
+            }
+            "--floor" => {
+                let spec = it.next().expect("--floor needs NAME=VALUE");
+                let (name, value) = spec
+                    .split_once('=')
+                    .expect("--floor argument must look like NAME=VALUE");
+                args.floors.push((
+                    name.to_string(),
+                    value.parse().expect("--floor value must be a number"),
+                ));
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -154,40 +176,72 @@ fn bench_sim(quick: bool) -> f64 {
     })
 }
 
-/// Threaded-runtime throughput: committed transactions per wall second with
-/// real threads and a fixed 200 µs link latency.
-fn bench_threaded(quick: bool) -> f64 {
-    let reps = if quick { 1 } else { 2 };
-    best_of(rounds(quick), || {
-        let mut committed = 0u64;
-        let mut secs = 0.0;
-        for rep in 0..reps {
-            let wl = BankingWorkload {
-                sites: 3,
-                accounts_per_site: 16,
-                transfers: 150,
-                mean_interarrival: Duration::micros(300),
-                local_fraction: 0.2,
-                seed: 0x7EED ^ rep,
-                ..Default::default()
+/// One open-loop threaded measurement: achieved rate plus the latency tail.
+struct ThreadedMeasure {
+    txn_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+/// Threaded-runtime throughput, measured open-loop: 2 000 client sessions
+/// offer Poisson arrivals far above capacity, the pipelined coordinator
+/// admits a bounded window per site, and the run ends when every offered
+/// transaction is decided. Latency percentiles come from the best round
+/// (the one whose rate we report) and are measured from each request's
+/// scheduled submit time, so queueing at the admission gate is visible.
+fn bench_threaded(quick: bool) -> ThreadedMeasure {
+    let total = if quick { 6_000 } else { 20_000 };
+    let clients = OpenLoopClients {
+        sessions: 2_000,
+        offered_txn_per_sec: 150_000.0,
+        total_txns: total,
+        mix: BankingWorkload {
+            sites: 3,
+            accounts_per_site: 2_048,
+            local_fraction: 0.2,
+            seed: 0x7EED,
+            ..Default::default()
+        },
+    };
+    let mut best = ThreadedMeasure {
+        txn_per_sec: 0.0,
+        p50_us: 0,
+        p99_us: 0,
+        p999_us: 0,
+    };
+    for _ in 0..rounds(quick) {
+        let mut cfg = SystemConfig::new(3, ProtocolKind::O2pcP2);
+        cfg.seed = 0x7EED;
+        // The post-hoc history is not consulted here; recording it would
+        // only measure allocator traffic.
+        cfg.record_history = false;
+        // The simulator charges a virtual 50 µs per operation; on the
+        // wall-clock runtime that becomes a *real* park per op and the
+        // harness would measure OS timer slack, not the engine. A server
+        // bench models op service as CPU work, which the engine already is.
+        cfg.op_service_time = Duration::ZERO;
+        // Per coordinator site: 3 sites × 8 = 24 globals pipelining at once,
+        // enough to hide the commit round-trips without driving the R1
+        // validation rule into livelock on the shared account space.
+        cfg.admission_window = Some(8);
+        let out = run_open_loop(
+            cfg,
+            std::time::Duration::ZERO,
+            &clients,
+            Duration::secs(600),
+        );
+        if out.achieved_txn_per_sec > best.txn_per_sec {
+            let lat = out.latency();
+            best = ThreadedMeasure {
+                txn_per_sec: out.achieved_txn_per_sec,
+                p50_us: lat.p50(),
+                p99_us: lat.p99(),
+                p999_us: lat.p999(),
             };
-            let mut cfg = SystemConfig::new(wl.sites, ProtocolKind::O2pcP2);
-            cfg.seed = 0x7EED ^ rep;
-            let transport: ThreadedTransport<Msg> = ThreadedTransport::with_policy(
-                LinkPolicy::fixed(std::time::Duration::from_micros(200)),
-            );
-            let rt: ThreadedRuntime<TimerEvent, Msg> =
-                ThreadedRuntime::new(transport, ThreadedRuntimeConfig::default());
-            let mut engine = Engine::with_runtime(cfg, rt);
-            let schedule = wl.generate();
-            schedule.install(&mut engine);
-            let start = Instant::now();
-            let report = engine.run(Duration::secs(600));
-            secs += start.elapsed().as_secs_f64();
-            committed += report.global_committed + report.local_committed;
         }
-        committed as f64 / secs
-    })
+    }
+    best
 }
 
 /// The canned adversarial history: E7's `banking p=0.4` scenario (salt 0) —
@@ -290,6 +344,8 @@ fn parse_pairs(body: &str) -> Vec<(String, f64)> {
 }
 
 /// Compare against a committed baseline; returns false on regression.
+/// Only `*_per_sec` rates are gated — latency metrics (`*_us`) are
+/// lower-is-better and recorded for the report, not for the gate.
 fn gate(baseline_path: &str, metrics: &[(&str, f64)], tolerance: f64) -> bool {
     let content = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
@@ -302,6 +358,9 @@ fn gate(baseline_path: &str, metrics: &[(&str, f64)], tolerance: f64) -> bool {
     let mut ok = true;
     println!("\ngate vs {baseline_path} (tolerance {tolerance}%):");
     for (name, base) in &baseline {
+        if !name.ends_with("_per_sec") {
+            continue;
+        }
         let Some((_, cur)) = metrics.iter().find(|(n, _)| n == name) else {
             continue;
         };
@@ -309,6 +368,26 @@ fn gate(baseline_path: &str, metrics: &[(&str, f64)], tolerance: f64) -> bool {
         let verdict = if *cur >= floor { "ok" } else { "REGRESSION" };
         println!("  {name:<28} baseline {base:>12.3}  current {cur:>12.3}  {verdict}");
         ok &= *cur >= floor;
+    }
+    ok
+}
+
+/// Enforce absolute `--floor NAME=VALUE` minimums; returns false if any
+/// named metric falls below its floor (or is missing entirely).
+fn enforce_floors(floors: &[(String, f64)], metrics: &[(&str, f64)]) -> bool {
+    let mut ok = true;
+    for (name, floor) in floors {
+        match metrics.iter().find(|(n, _)| n == name) {
+            Some((_, cur)) => {
+                let verdict = if cur >= floor { "ok" } else { "BELOW FLOOR" };
+                println!("  floor {name:<22} min {floor:>12.3}  current {cur:>12.3}  {verdict}");
+                ok &= cur >= floor;
+            }
+            None => {
+                println!("  floor {name:<22} min {floor:>12.3}  current      MISSING  BELOW FLOOR");
+                ok = false;
+            }
+        }
     }
     ok
 }
@@ -327,14 +406,29 @@ fn main() {
     let sim = bench_sim(args.quick);
     println!("  sim_txn_per_sec           {sim:>12.3}");
     let threaded = bench_threaded(args.quick);
-    println!("  threaded_txn_per_sec      {threaded:>12.3}");
+    println!("  threaded_txn_per_sec      {:>12.3}", threaded.txn_per_sec);
+    println!(
+        "  threaded_p50_us           {:>12.3}",
+        threaded.p50_us as f64
+    );
+    println!(
+        "  threaded_p99_us           {:>12.3}",
+        threaded.p99_us as f64
+    );
+    println!(
+        "  threaded_p999_us          {:>12.3}",
+        threaded.p999_us as f64
+    );
     let audit_rate = bench_audit(args.quick);
     println!("  audit_per_sec             {audit_rate:>12.3}");
 
     let metrics: Vec<(&str, f64)> = vec![
         ("chaos_schedules_per_sec", chaos),
         ("sim_txn_per_sec", sim),
-        ("threaded_txn_per_sec", threaded),
+        ("threaded_txn_per_sec", threaded.txn_per_sec),
+        ("threaded_p50_us", threaded.p50_us as f64),
+        ("threaded_p99_us", threaded.p99_us as f64),
+        ("threaded_p999_us", threaded.p999_us as f64),
         ("audit_per_sec", audit_rate),
     ];
 
@@ -346,11 +440,19 @@ fn main() {
         print!("\n{json}");
     }
 
+    let mut ok = true;
     if let Some(baseline) = &args.baseline {
-        if !gate(baseline, &metrics, args.tolerance) {
-            eprintln!("perf regression beyond tolerance — failing");
-            std::process::exit(1);
-        }
+        ok &= gate(baseline, &metrics, args.tolerance);
+    }
+    if !args.floors.is_empty() {
+        println!("\nabsolute floors:");
+        ok &= enforce_floors(&args.floors, &metrics);
+    }
+    if !ok {
+        eprintln!("perf regression beyond tolerance — failing");
+        std::process::exit(1);
+    }
+    if args.baseline.is_some() || !args.floors.is_empty() {
         println!("no regression beyond tolerance");
     }
 }

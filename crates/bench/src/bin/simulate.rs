@@ -158,6 +158,9 @@ fn main() {
         "sites={} txns={} abort_prob={} latency={}ms seed={}",
         args.sites, args.txns, args.abort_prob, args.latency_ms, args.seed
     );
+    println!("mode: closed-loop trace replay on the deterministic simulator");
+    println!("      (open-loop client sessions live on the threaded backend:");
+    println!("       `all_experiments --backend threaded`, experiment E10)");
     println!();
     println!("virtual time:          {}", r.end_time);
     println!(

@@ -28,6 +28,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod open_loop;
 pub mod table;
 
+pub use open_loop::{run_open_loop, OpenLoopClients, OpenLoopOutcome};
 pub use table::Table;

@@ -239,6 +239,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile shorthand (tail latency under open-loop load).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -408,6 +413,9 @@ mod tests {
         assert!((450..=550).contains(&p50), "p50={p50}");
         let p99 = h.p99();
         assert!((950..=1000).contains(&p99), "p99={p99}");
+        let p999 = h.p999();
+        assert!(p999 >= p99, "p999={p999} below p99={p99}");
+        assert!(p999 <= 1000);
         assert_eq!(h.max(), 1000);
         assert!((h.mean() - 500.5).abs() < 0.01);
         // Quantile clamping.

@@ -109,6 +109,15 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Safety cap on processed events.
     pub max_events: u64,
+    /// Per-coordinator-site bound on concurrently executing global
+    /// transactions. `None` (the default) admits every arrival immediately —
+    /// the historical behaviour. `Some(w)` pipelines the coordinator:
+    /// arrivals beyond `w` in-flight transactions queue at their coordinator
+    /// site and are admitted as completions free a slot, so an open-loop
+    /// client layer can offer load far above capacity without the engine
+    /// thrashing. Queueing delay stays visible: latency is measured from the
+    /// *scheduled* arrival, not admission.
+    pub admission_window: Option<usize>,
 }
 
 impl SystemConfig {
@@ -136,6 +145,7 @@ impl SystemConfig {
             live_audit_graph: false,
             seed: 0x5EED,
             max_events: 50_000_000,
+            admission_window: None,
         }
     }
 

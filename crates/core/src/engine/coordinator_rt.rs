@@ -12,7 +12,7 @@ use o2pc_site::{Site, SiteConfig};
 use std::collections::BTreeSet;
 
 impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
-    pub(crate) fn on_arrive(&mut self, now: SimTime, req: TxnRequest) {
+    pub(crate) fn on_arrive(&mut self, now: SimTime, scheduled: SimTime, req: TxnRequest) {
         match req {
             TxnRequest::Local { site, ops } => {
                 if !self.site_up(site) {
@@ -23,43 +23,89 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 let s = self.sites[site.index()].as_mut().unwrap();
                 let exec = ExecId::Local(s.next_local_id());
                 s.begin(exec, ops, now, hist);
-                self.local_starts.insert(exec, now);
+                // Latency clocks from the client's submit time, so on a
+                // wall-clock runtime a late-firing arrival timer shows up
+                // as latency instead of silently vanishing.
+                self.local_starts.insert(exec, scheduled);
                 let service = self.cfg.op_service_time;
                 self.rt
                     .schedule(now + service, TimerEvent::OpDone { site, exec });
             }
             TxnRequest::Global { subs, coordinator } => {
-                let id = self.idgen.next_id();
-                let participants: Vec<SiteId> = subs.iter().map(|&(s, _)| s).collect();
-                debug_assert_eq!(
-                    participants.iter().collect::<BTreeSet<_>>().len(),
-                    participants.len(),
-                    "duplicate participant sites"
-                );
-                let coord = TwoPhaseCoordinator::new(id, participants);
-                let gtxn = GTxn {
-                    coord_site: coordinator,
-                    coord,
-                    subs: subs.iter().cloned().collect(),
-                    tm: TransMarks::new(),
-                    start: now,
-                    spawn_retries: Default::default(),
-                    began: BTreeSet::new(),
-                    done: false,
-                    retx_armed: false,
-                };
-                self.txns.insert(id, gtxn);
-                for (site, ops) in subs {
-                    self.send(now, coordinator, site, Msg::SpawnSubtxn { txn: id, ops });
+                if let Some(window) = self.cfg.admission_window {
+                    let inflight = self.admitted.entry(coordinator).or_default();
+                    if *inflight >= window {
+                        // Coordinator at capacity: park the arrival. It is
+                        // admitted (FIFO) when a completion frees a slot,
+                        // still carrying its original submit time.
+                        self.admit_q
+                            .entry(coordinator)
+                            .or_default()
+                            .push_back(super::PendingAdmission { scheduled, subs });
+                        self.report.counters.inc("txn.admit_queued");
+                        return;
+                    }
+                    *inflight += 1;
                 }
-                if let Some(t) = self.cfg.vote_timeout {
-                    // Overall progress timeout: covers a participant that
-                    // never acks (down site) as well as lost votes.
-                    self.rt
-                        .schedule(now + t, TimerEvent::VoteTimeout { txn: id });
-                }
+                self.admit_global(now, scheduled, subs, coordinator);
             }
         }
+    }
+
+    /// Start a global transaction: build its coordinator, fan out the
+    /// subtransaction spawns, arm the progress timeout.
+    fn admit_global(
+        &mut self,
+        now: SimTime,
+        scheduled: SimTime,
+        subs: Vec<(SiteId, Vec<o2pc_common::Op>)>,
+        coordinator: SiteId,
+    ) {
+        let id = self.idgen.next_id();
+        let participants: Vec<SiteId> = subs.iter().map(|&(s, _)| s).collect();
+        debug_assert_eq!(
+            participants.iter().collect::<BTreeSet<_>>().len(),
+            participants.len(),
+            "duplicate participant sites"
+        );
+        let coord = TwoPhaseCoordinator::new(id, participants);
+        let gtxn = GTxn {
+            coord_site: coordinator,
+            coord,
+            subs: subs.iter().cloned().collect(),
+            tm: TransMarks::new(),
+            start: scheduled,
+            spawn_retries: Default::default(),
+            began: BTreeSet::new(),
+            done: false,
+            retx_armed: false,
+        };
+        self.txns.insert(id, gtxn);
+        for (site, ops) in subs {
+            self.send(now, coordinator, site, Msg::SpawnSubtxn { txn: id, ops });
+        }
+        if let Some(t) = self.cfg.vote_timeout {
+            // Overall progress timeout: covers a participant that
+            // never acks (down site) as well as lost votes.
+            self.rt
+                .schedule(now + t, TimerEvent::VoteTimeout { txn: id });
+        }
+    }
+
+    /// Completion-driven admission: a finished transaction frees one slot at
+    /// its coordinator site; the oldest parked arrival (if any) takes it.
+    fn refill_admission(&mut self, now: SimTime, site: SiteId) {
+        if self.cfg.admission_window.is_none() {
+            return;
+        }
+        if let Some(c) = self.admitted.get_mut(&site) {
+            *c = c.saturating_sub(1);
+        }
+        let Some(next) = self.admit_q.get_mut(&site).and_then(|q| q.pop_front()) else {
+            return;
+        };
+        *self.admitted.entry(site).or_default() += 1;
+        self.admit_global(now, next.scheduled, next.subs, site);
     }
 
     pub(crate) fn coord_action(&mut self, now: SimTime, txn: GlobalTxnId, action: CoordAction) {
@@ -107,6 +153,7 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     .global_latency
                     .record((now - g.start).as_micros());
                 self.try_gc(txn);
+                self.refill_admission(now, coord_site);
             }
         }
     }

@@ -52,7 +52,15 @@ use std::collections::BTreeSet;
 #[derive(Clone, Debug)]
 pub enum TimerEvent {
     /// A workload transaction arrives.
-    Arrive(TxnRequest),
+    Arrive {
+        /// The request.
+        req: TxnRequest,
+        /// When the client issued it. On the simulator the timer fires at
+        /// exactly this instant; on a wall-clock runtime under load it may
+        /// fire later, and measuring latency from `scheduled` keeps that
+        /// queueing delay visible (open-loop honesty).
+        scheduled: SimTime,
+    },
     /// An executing (sub)transaction finishes its current operation.
     OpDone {
         /// Site where the execution runs.
@@ -127,6 +135,14 @@ pub(crate) struct GTxn {
     pub(crate) retx_armed: bool,
 }
 
+/// A global arrival parked at its coordinator's admission gate: the client's
+/// scheduled submit time (latency is measured from here, so admission
+/// queueing stays visible) plus the per-site programs.
+pub(crate) struct PendingAdmission {
+    pub(crate) scheduled: SimTime,
+    pub(crate) subs: Vec<(SiteId, Vec<o2pc_common::Op>)>,
+}
+
 /// The runtime `Engine::new` builds: the deterministic simulator.
 pub type DefaultSimRuntime = SimRuntime<TimerEvent, Msg>;
 
@@ -149,6 +165,13 @@ pub struct Engine<R: Runtime<TimerEvent, Msg> = DefaultSimRuntime> {
     /// lost `TermReq`/`TermAnswer` re-fires instead of blocking forever.
     pub(crate) term_armed: BTreeSet<(GlobalTxnId, SiteId)>,
     pub(crate) local_starts: FastHashMap<ExecId, SimTime>,
+    /// Global arrivals awaiting an admission slot at their coordinator site
+    /// (`scheduled`, per-site programs), FIFO. Only populated when
+    /// `SystemConfig::admission_window` is set.
+    pub(crate) admit_q: FastHashMap<SiteId, std::collections::VecDeque<PendingAdmission>>,
+    /// Currently admitted (not yet completed) global transactions per
+    /// coordinator site, against which the window is enforced.
+    pub(crate) admitted: FastHashMap<SiteId, usize>,
     pub(crate) persistence: PersistenceGuard,
     pub(crate) udum: UdumTracker,
     pub(crate) hist: Recorder,
@@ -207,6 +230,8 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             term_rounds: FastHashMap::default(),
             term_armed: BTreeSet::new(),
             local_starts: FastHashMap::default(),
+            admit_q: FastHashMap::default(),
+            admitted: FastHashMap::default(),
             persistence: PersistenceGuard::new(),
             udum: UdumTracker::new(),
             hist,
@@ -222,7 +247,8 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
 
     /// Submit a transaction for arrival at `at`.
     pub fn submit_at(&mut self, at: SimTime, req: TxnRequest) {
-        self.rt.schedule(at, TimerEvent::Arrive(req));
+        self.rt
+            .schedule(at, TimerEvent::Arrive { req, scheduled: at });
     }
 
     /// Read an item's current value (tests / invariants).
@@ -245,6 +271,12 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     /// collected once decided, acked, and unmarked everywhere).
     pub fn live_txn_count(&self) -> usize {
         self.txns.len()
+    }
+
+    /// Arrivals still parked at an admission gate (a clean quiescent run
+    /// admits and decides everything it was offered).
+    pub fn queued_admissions(&self) -> usize {
+        self.admit_q.values().map(|q| q.len()).sum()
     }
 
     /// Transactions whose coordinator never reached `Complete`.
@@ -359,13 +391,18 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     // ----- messaging -------------------------------------------------------
 
     pub(crate) fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
-        let (label, dropped) = (msg.label(), msg.dropped_label());
+        let (label, dropped, unroutable) =
+            (msg.label(), msg.dropped_label(), msg.unroutable_label());
         self.report.counters.inc(label);
-        // A `false` return means the substrate lost the message at send time
-        // (link down or random drop). Account the loss per message type so
-        // E6 and the chaos oracle can reconcile message conservation.
-        if !self.rt.send(now, from, to, msg) {
-            self.report.counters.inc(dropped);
+        // Account send-time losses per message type *and* per cause, so E6
+        // and the chaos oracle can reconcile message conservation: policy
+        // drops (injected link loss) must sum to the network's own dropped
+        // counter, while unroutable refusals (crashed endpoint, shutdown —
+        // threaded transport only) are a different ledger entirely.
+        match self.rt.send(now, from, to, msg) {
+            o2pc_runtime::SendOutcome::Sent => {}
+            o2pc_runtime::SendOutcome::DroppedByPolicy => self.report.counters.inc(dropped),
+            o2pc_runtime::SendOutcome::NoRoute => self.report.counters.inc(unroutable),
         }
     }
 

@@ -111,6 +111,24 @@ impl Msg {
         }
     }
 
+    /// Counter label charged when the substrate refuses this message because
+    /// the destination has no route (crashed endpoint, shutdown) — kept
+    /// separate from [`Msg::dropped_label`] so injected link loss and
+    /// infrastructure unreachability reconcile independently. The simulator
+    /// never produces these; they are a threaded-transport phenomenon.
+    pub fn unroutable_label(&self) -> &'static str {
+        match self {
+            Msg::SpawnSubtxn { .. } => "msg.unroutable.spawn",
+            Msg::SubtxnAck { .. } => "msg.unroutable.subtxn_ack",
+            Msg::VoteReq { .. } => "msg.unroutable.vote_req",
+            Msg::VoteMsg { .. } => "msg.unroutable.vote",
+            Msg::Decision { .. } => "msg.unroutable.decision",
+            Msg::DecisionAck { .. } => "msg.unroutable.decision_ack",
+            Msg::TermReq { .. } => "msg.unroutable.term_req",
+            Msg::TermAnswer { .. } => "msg.unroutable.term_answer",
+        }
+    }
+
     /// Is this one of the four standard 2PC message types?
     pub fn is_2pc(&self) -> bool {
         matches!(

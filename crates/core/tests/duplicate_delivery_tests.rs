@@ -12,7 +12,7 @@
 use o2pc_common::{DetRng, Duration, Key, Op, SimTime, SiteId, Value};
 use o2pc_core::{DefaultSimRuntime, Engine, Msg, RunReport, SystemConfig, TimerEvent, TxnRequest};
 use o2pc_protocol::ProtocolKind;
-use o2pc_runtime::{Clock, Runtime, Step};
+use o2pc_runtime::{Clock, Runtime, SendOutcome, Step};
 use o2pc_sim::{FailurePlan, Network, NetworkConfig};
 
 /// Sends every message twice. The second copy is a faithful duplicate:
@@ -35,7 +35,7 @@ impl Runtime<TimerEvent, Msg> for DuplicatingRuntime {
     fn schedule(&mut self, at: SimTime, timer: TimerEvent) {
         self.inner.schedule(at, timer);
     }
-    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) -> bool {
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) -> SendOutcome {
         let first = self.inner.send(now, from, to, msg.clone());
         let _ = self.inner.send(now, from, to, msg);
         first

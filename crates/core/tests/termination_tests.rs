@@ -189,10 +189,16 @@ impl o2pc_runtime::Runtime<o2pc_core::TimerEvent, o2pc_core::Msg> for DropFirstT
     fn schedule(&mut self, at: SimTime, timer: o2pc_core::TimerEvent) {
         self.inner.schedule(at, timer);
     }
-    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: o2pc_core::Msg) -> bool {
+    fn send(
+        &mut self,
+        now: SimTime,
+        from: SiteId,
+        to: SiteId,
+        msg: o2pc_core::Msg,
+    ) -> o2pc_runtime::SendOutcome {
         if !self.dropped && matches!(msg, o2pc_core::Msg::TermAnswer { .. }) {
             self.dropped = true;
-            return false;
+            return o2pc_runtime::SendOutcome::DroppedByPolicy;
         }
         self.inner.send(now, from, to, msg)
     }

@@ -12,8 +12,8 @@
 //!   [`clock::WallClock`] (microseconds of real elapsed time).
 //! * [`Transport`] — an asynchronous message substrate carrying
 //!   [`transport::Envelope`]s between site endpoints, with per-link latency
-//!   and loss hooks; implemented by [`transport::ThreadedTransport`] (real
-//!   threads over channels).
+//!   and loss hooks; implemented by [`transport::ThreadedTransport`]
+//!   (per-destination delivery workers over batch channels).
 //! * [`Runtime`] — the engine-facing fusion of the two: schedule timers,
 //!   send messages, and pull the next [`Step`] in time order.
 //!
@@ -39,4 +39,6 @@ pub mod transport;
 
 pub use clock::{Clock, WallClock};
 pub use runtime::{Runtime, SimRuntime, Step, ThreadedRuntime, ThreadedRuntimeConfig};
-pub use transport::{recv_timeout, Envelope, LinkPolicy, ThreadedTransport, Transport};
+pub use transport::{
+    Batch, Envelope, Inbox, LinkPolicy, SendOutcome, ThreadedTransport, Transport,
+};

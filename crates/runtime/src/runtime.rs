@@ -1,11 +1,11 @@
 //! The engine-facing runtime: timers + messages in one time-ordered stream.
 
 use crate::clock::{Clock, WallClock};
-use crate::transport::{Envelope, ThreadedTransport, Transport};
+use crate::transport::{Batch, Envelope, Judgement, SendOutcome, ThreadedTransport, Transport};
 use o2pc_common::{SimTime, SiteId};
 use o2pc_sim::{EventQueue, Network};
-use std::collections::BinaryHeap;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration as StdDuration;
 
 /// One unit of work handed to the engine: a timer it scheduled earlier, or a
@@ -38,8 +38,10 @@ pub trait Runtime<T, M>: Clock {
     fn schedule(&mut self, at: SimTime, timer: T);
 
     /// Send `msg` from `from` to `to`; `now` is the sender's current time.
-    /// Returns `false` if the substrate dropped the message at send time.
-    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool;
+    /// The [`SendOutcome`] says how the substrate treated the message at
+    /// send time: accepted, dropped by the link's loss policy, or refused
+    /// because the destination is unreachable.
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> SendOutcome;
 
     /// Pull the next step at or before `deadline`. `None` means the run is
     /// over: the next step (if any) lies beyond the deadline, or the
@@ -125,13 +127,13 @@ impl<T, M: Clone> Runtime<T, M> for SimRuntime<T, M> {
         self.queue.schedule(at, Step::Timer(timer));
     }
 
-    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool {
+    fn send(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: M) -> SendOutcome {
         if from == to {
             // Same-site messages skip the network (no latency, no loss).
             self.local_sends += 1;
             self.in_flight_msgs += 1;
             self.queue.schedule(now, Step::Deliver { to, msg });
-            return true;
+            return SendOutcome::Sent;
         }
         match self.network.transmit(from, to, now) {
             Some(delay) => {
@@ -149,9 +151,12 @@ impl<T, M: Clone> Runtime<T, M> for SimRuntime<T, M> {
                 }
                 self.in_flight_msgs += 1;
                 self.queue.schedule(now + delay, Step::Deliver { to, msg });
-                true
+                SendOutcome::Sent
             }
-            None => false, // lost: link down or random drop (network counts it)
+            // Link down or random drop — the simulated network has no
+            // notion of an unknown destination, so every loss is policy
+            // (and the network's own dropped counter records it).
+            None => SendOutcome::DroppedByPolicy,
         }
     }
 
@@ -224,11 +229,18 @@ impl<T> Ord for TimerEntry<T> {
 /// Wall-clock execution over a [`ThreadedTransport`].
 ///
 /// Timers fire on real elapsed time (via [`WallClock`]); messages travel
-/// through the transport's router thread with real latency. All registered
-/// endpoints funnel into one inbox, so a single engine loop drives every
-/// site while delivery timing stays genuinely concurrent. Outcomes are
-/// schedule-dependent — the wall-clock twin of a simulated run checks
-/// invariants, not byte equality.
+/// through the transport's per-site delivery workers with real latency. All
+/// registered endpoints funnel into one batch inbox, so a single engine
+/// loop drives every site while delivery timing stays genuinely concurrent.
+/// Outcomes are schedule-dependent — the wall-clock twin of a simulated run
+/// checks invariants, not byte equality.
+///
+/// Sends are **coalesced**: `send` judges the message immediately (route
+/// lookup, loss/duplication sampling — so the caller gets an honest
+/// [`SendOutcome`]) but buffers accepted envelopes in a per-destination
+/// outbox; the next call into `next` flushes each destination's burst as a
+/// single transport handoff. A coordinator answering a VOTE-REQ fan-in
+/// therefore pays one channel operation per peer site, not one per message.
 ///
 /// Quiescence: `next` returns `None` once the deadline passes, or when no
 /// timer is pending, the transport reports nothing in flight, and no message
@@ -236,8 +248,17 @@ impl<T> Ord for TimerEntry<T> {
 pub struct ThreadedRuntime<T, M> {
     clock: WallClock,
     transport: ThreadedTransport<M>,
-    inbox_tx: Sender<Envelope<M>>,
-    inbox: Receiver<Envelope<M>>,
+    inbox_tx: Sender<Batch<M>>,
+    inbox: Receiver<Batch<M>>,
+    /// Delivered batches not yet handed to the engine, in arrival order.
+    staged: VecDeque<Envelope<M>>,
+    /// Judged-but-unflushed sends, grouped by destination. The insertion
+    /// order within one destination is send order (per-link FIFO); flush
+    /// order across destinations is round-ordered by first use.
+    outbox: HashMap<SiteId, Vec<(StdDuration, Envelope<M>)>>,
+    /// Destinations in first-send order so flushing is deterministic per
+    /// round and every occupied outbox slot is visited.
+    outbox_order: Vec<SiteId>,
     timers: BinaryHeap<TimerEntry<T>>,
     seq: u64,
     cfg: ThreadedRuntimeConfig,
@@ -261,6 +282,9 @@ impl<T, M: Clone + Send + 'static> ThreadedRuntime<T, M> {
             transport,
             inbox_tx,
             inbox,
+            staged: VecDeque::new(),
+            outbox: HashMap::new(),
+            outbox_order: Vec::new(),
             timers: BinaryHeap::new(),
             seq: 0,
             cfg,
@@ -275,6 +299,34 @@ impl<T, M: Clone + Send + 'static> ThreadedRuntime<T, M> {
     /// Due time of the earliest pending timer.
     fn next_timer_due(&self) -> Option<SimTime> {
         self.timers.peek().map(|e| e.at)
+    }
+
+    /// Hand every buffered burst to the transport — one `deliver_many` per
+    /// destination with traffic.
+    fn flush_outbox(&mut self) {
+        if self.outbox_order.is_empty() {
+            return;
+        }
+        for to in self.outbox_order.drain(..) {
+            if let Some(envs) = self.outbox.remove(&to) {
+                self.transport.deliver_many(to, envs);
+            }
+        }
+    }
+
+    /// Pop the next staged envelope, pulling any already-delivered batches
+    /// off the channel first (without blocking).
+    fn pop_staged(&mut self) -> Option<Envelope<M>> {
+        if let Some(env) = self.staged.pop_front() {
+            return Some(env);
+        }
+        while let Ok(batch) = self.inbox.try_recv() {
+            self.staged.extend(batch);
+            if let Some(env) = self.staged.pop_front() {
+                return Some(env);
+            }
+        }
+        None
     }
 }
 
@@ -295,13 +347,40 @@ impl<T, M: Clone + Send + 'static> Runtime<T, M> for ThreadedRuntime<T, M> {
         self.timers.push(TimerEntry { at, seq, timer });
     }
 
-    fn send(&mut self, _now: SimTime, from: SiteId, to: SiteId, msg: M) -> bool {
+    fn send(&mut self, _now: SimTime, from: SiteId, to: SiteId, msg: M) -> SendOutcome {
         // Unlike the simulator, same-site messages take the transport path
-        // too: a zero-latency link gives the same effect.
-        self.transport.send(from, to, msg)
+        // too: a zero-latency link gives the same effect. The message is
+        // judged now (honest outcome, counters updated) but the accepted
+        // envelope rides the outbox until the next `next()` call, so a
+        // burst to one destination is one transport handoff.
+        match self.transport.judge(from, to) {
+            Judgement::NoRoute => SendOutcome::NoRoute,
+            Judgement::DropPolicy => SendOutcome::DroppedByPolicy,
+            Judgement::Deliver { latency, duplicate } => {
+                let bucket = self.outbox.entry(to).or_insert_with(|| {
+                    self.outbox_order.push(to);
+                    Vec::new()
+                });
+                if duplicate {
+                    bucket.push((
+                        latency,
+                        Envelope {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    ));
+                }
+                bucket.push((latency, Envelope { from, to, msg }));
+                SendOutcome::Sent
+            }
+        }
     }
 
     fn next(&mut self, deadline: SimTime) -> Option<(SimTime, Step<T, M>)> {
+        // Everything the engine sent while handling the previous step goes
+        // out now, one batched handoff per destination.
+        self.flush_outbox();
         loop {
             let now = self.clock.now();
             if now > deadline {
@@ -312,33 +391,49 @@ impl<T, M: Clone + Send + 'static> Runtime<T, M> for ThreadedRuntime<T, M> {
                 let e = self.timers.pop().expect("peeked");
                 return Some((now, Step::Timer(e.timer)));
             }
+            // Drain already-arrived traffic before parking: under load the
+            // staging queue is usually non-empty, so the engine loop spins
+            // without a single syscall.
+            if let Some(env) = self.pop_staged() {
+                return Some((
+                    now,
+                    Step::Deliver {
+                        to: env.to,
+                        msg: env.msg,
+                    },
+                ));
+            }
             let until_deadline = self.clock.until(deadline);
             let wait = match self.next_timer_due() {
                 Some(due) => self.clock.until(due).min(until_deadline),
                 None => self.cfg.idle_grace.min(until_deadline),
             };
             match self.inbox.recv_timeout(wait) {
-                Ok(env) => {
-                    return Some((
-                        self.clock.now(),
-                        Step::Deliver {
-                            to: env.to,
-                            msg: env.msg,
-                        },
-                    ))
+                Ok(batch) => {
+                    self.staged.extend(batch);
+                    if let Some(env) = self.staged.pop_front() {
+                        return Some((
+                            self.clock.now(),
+                            Step::Deliver {
+                                to: env.to,
+                                msg: env.msg,
+                            },
+                        ));
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => return None,
                 Err(RecvTimeoutError::Timeout) => {
                     if self.timers.is_empty() {
                         // Quiescence check. The engine (our only sender) is
-                        // blocked right here, so if the transport has nothing
-                        // in flight and the inbox is empty, no step can ever
-                        // arrive again.
+                        // blocked right here and the outbox was flushed on
+                        // entry, so if the transport has nothing in flight
+                        // and nothing is staged, no step can ever arrive
+                        // again.
                         if self.transport.in_flight() > 0 {
-                            continue; // router still owes us a delivery
+                            continue; // a delivery worker still owes us
                         }
-                        match self.inbox.try_recv() {
-                            Ok(env) => {
+                        match self.pop_staged() {
+                            Some(env) => {
                                 return Some((
                                     self.clock.now(),
                                     Step::Deliver {
@@ -347,9 +442,7 @@ impl<T, M: Clone + Send + 'static> Runtime<T, M> for ThreadedRuntime<T, M> {
                                     },
                                 ))
                             }
-                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
-                                return None
-                            }
+                            None => return None,
                         }
                     }
                     // A timer is (about to be) due: loop and fire it.
@@ -380,7 +473,7 @@ mod tests {
     fn sim_orders_timers_and_deliveries_together() {
         let mut rt = sim();
         rt.schedule(SimTime(5_000), "late");
-        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 7)); // arrives at 1ms
+        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 7).is_sent()); // arrives at 1ms
         rt.schedule(SimTime(500), "early");
         let (t1, s1) = rt.next(SimTime(10_000)).unwrap();
         assert_eq!(t1, SimTime(500));
@@ -403,7 +496,7 @@ mod tests {
     #[test]
     fn sim_same_site_send_bypasses_network() {
         let mut rt = sim();
-        assert!(rt.send(SimTime(100), SiteId(2), SiteId(2), 9));
+        assert!(rt.send(SimTime(100), SiteId(2), SiteId(2), 9).is_sent());
         let (t, s) = rt.next(SimTime(10_000)).unwrap();
         assert_eq!(t, SimTime(100), "no latency on self-sends");
         assert!(matches!(
@@ -438,7 +531,7 @@ mod tests {
         let mut rt = threaded(20);
         let far = SimTime(60_000_000);
         rt.schedule(SimTime(2_000), "timer");
-        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 42));
+        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 42).is_sent());
         // The message is immediate, the timer is 2ms out: message first.
         let (_, s1) = rt.next(far).unwrap();
         assert!(matches!(
@@ -467,6 +560,35 @@ mod tests {
         assert!(start.elapsed() < StdDuration::from_secs(1));
     }
 
+    /// A burst of sends between two `next` calls is coalesced into one
+    /// transport handoff per destination — and still arrives in send order.
+    #[test]
+    fn threaded_send_coalesces_bursts_and_keeps_order() {
+        let mut rt = threaded(20);
+        let far = SimTime(60_000_000);
+        for i in 0..32 {
+            assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), i).is_sent());
+            assert!(rt
+                .send(SimTime::ZERO, SiteId(0), SiteId(2), 100 + i)
+                .is_sent());
+        }
+        // Nothing has touched the transport yet: sends ride the outbox.
+        assert_eq!(rt.transport().in_flight(), 64);
+        let mut to1 = Vec::new();
+        let mut to2 = Vec::new();
+        while let Some((_, step)) = rt.next(far) {
+            if let Step::Deliver { to, msg } = step {
+                if to == SiteId(1) {
+                    to1.push(msg);
+                } else {
+                    to2.push(msg);
+                }
+            }
+        }
+        assert_eq!(to1, (0..32).collect::<Vec<_>>());
+        assert_eq!(to2, (100..132).collect::<Vec<_>>());
+    }
+
     #[test]
     fn threaded_does_not_quiesce_with_message_in_flight() {
         let transport = ThreadedTransport::new(StdDuration::from_millis(40));
@@ -480,7 +602,7 @@ mod tests {
         rt.register_endpoint(SiteId(1));
         // Latency (40ms) far exceeds idle_grace (5ms); in-flight tracking
         // must keep the runtime alive until the delivery lands.
-        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 1));
+        assert!(rt.send(SimTime::ZERO, SiteId(0), SiteId(1), 1).is_sent());
         let got = rt.next(SimTime(60_000_000));
         assert!(matches!(
             got,

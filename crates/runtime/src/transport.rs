@@ -1,14 +1,18 @@
-//! A threaded, wall-clock transport over std channels.
+//! A threaded, wall-clock transport sharded by destination site.
 //!
-//! Every endpoint gets a mailbox. Sends consult a per-link [`LinkPolicy`]
-//! (latency + loss probability); delayed deliveries are sequenced by one
-//! router thread that owns a time-ordered heap, so the transport spawns a
-//! bounded number of threads regardless of traffic and can be shut down
-//! deterministically (`shutdown()` joins the router; `Drop` does the same).
+//! Every endpoint gets a mailbox carrying **batches** of envelopes, so a
+//! burst of traffic to one site is a single channel handoff. Zero-latency
+//! links deliver straight into the destination mailbox from the sender's
+//! thread; links with latency route through a **per-site delivery worker**
+//! that owns its own command channel and timer heap — there is no global
+//! router thread, so delayed traffic to different sites never serializes
+//! behind one heap. Workers are spawned lazily (a transport whose links are
+//! all immediate spawns no threads at all) and joined deterministically on
+//! `shutdown()` / `Drop`.
 
 use o2pc_common::SiteId;
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -25,25 +29,56 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// A batch of envelopes bound for one destination — the unit of mailbox
+/// handoff. Senders coalesce bursts into one `Batch` so the receiving side
+/// pays one channel operation (and at most one wake-up) per burst.
+pub type Batch<M> = Vec<Envelope<M>>;
+
+/// What happened to a message at send time.
+///
+/// The distinction matters for accounting: a *policy* drop is the link's
+/// configured loss behaving as designed (the chaos fault model), while
+/// `NoRoute` means the destination had no mailbox (never registered,
+/// deregistered, or the transport is shut down) — an infrastructure
+/// condition, not injected loss. Conflating the two makes loss-rate
+/// oracles lie under crash schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Accepted; the message will (eventually) reach the mailbox.
+    Sent,
+    /// The link's loss policy dropped it (counted in `policy_dropped`).
+    DroppedByPolicy,
+    /// No mailbox for the destination, or the transport is shut down
+    /// (counted in `unroutable`).
+    NoRoute,
+}
+
+impl SendOutcome {
+    /// Did the substrate accept the message?
+    pub fn is_sent(self) -> bool {
+        matches!(self, SendOutcome::Sent)
+    }
+}
+
 /// An asynchronous message substrate between site endpoints.
 ///
 /// Implementations decide delivery latency, loss, and threading; the
-/// contract is only that an accepted message *may* eventually reach the
+/// contract is only that a `Sent` message *may* eventually reach the
 /// mailbox registered for `to`. Loss is allowed (and counted) — the commit
 /// protocol must tolerate it.
 pub trait Transport<M> {
-    /// Send `msg` from `from` to `to`. Returns `false` if the transport
-    /// dropped the message immediately (unknown destination or loss hook).
-    fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool;
+    /// Send `msg` from `from` to `to`, reporting how the substrate treated
+    /// it at send time.
+    fn send(&self, from: SiteId, to: SiteId, msg: M) -> SendOutcome;
 
-    /// Messages lost so far (unknown destination, loss hook, or shutdown).
+    /// Messages lost so far (policy drops + unroutable).
     fn dropped(&self) -> u64;
 }
 
 /// Latency/loss behaviour of one link (or the default for all links).
 #[derive(Clone, Copy, Debug)]
 pub struct LinkPolicy {
-    /// Delivery delay applied on the router thread.
+    /// Delivery delay applied on the destination's delivery worker.
     pub latency: StdDuration,
     /// Probability in `[0, 1]` that a message is silently dropped.
     pub drop_probability: f64,
@@ -71,32 +106,44 @@ impl LinkPolicy {
     }
 }
 
-/// State shared between the handle, its clones, and the router thread.
+/// State shared between the handle, its clones, and the delivery workers.
 struct Shared<M> {
-    mailboxes: Mutex<HashMap<SiteId, Sender<Envelope<M>>>>,
-    dropped: AtomicU64,
+    mailboxes: Mutex<HashMap<SiteId, Sender<Batch<M>>>>,
+    shutdown: AtomicBool,
+    policy_dropped: AtomicU64,
+    /// Unroutable at send time (never accepted, never in `sent`).
+    unroutable_presend: AtomicU64,
+    /// Accepted, then lost to shutdown/deregistration (retires a `sent`).
+    unroutable_postsend: AtomicU64,
     delivered: AtomicU64,
     sent: AtomicU64,
     duplicated: AtomicU64,
 }
 
 impl<M> Shared<M> {
-    /// Deliver to the destination mailbox, counting a drop on any failure.
-    fn deliver(&self, env: Envelope<M>) {
-        let tx = self.mailboxes.lock().unwrap().get(&env.to).cloned();
+    /// Deliver one batch to its destination mailbox (one channel handoff).
+    /// Counts every envelope; a missing mailbox makes the whole batch
+    /// unroutable, like a send to a crashed site.
+    fn deliver_batch(&self, to: SiteId, batch: Batch<M>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        let tx = self.mailboxes.lock().unwrap().get(&to).cloned();
         match tx {
-            Some(tx) if tx.send(env).is_ok() => {
-                self.delivered.fetch_add(1, Ordering::Relaxed);
+            Some(tx) if tx.send(batch).is_ok() => {
+                self.delivered.fetch_add(n, Ordering::Relaxed);
             }
             _ => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.unroutable_postsend.fetch_add(n, Ordering::Relaxed);
             }
         }
     }
 }
 
-enum RouterCmd<M> {
-    Deliver { due: Instant, env: Envelope<M> },
+enum WorkerCmd<M> {
+    /// Delayed deliveries, each with its absolute due instant.
+    Deliver(Vec<(Instant, Envelope<M>)>),
     Shutdown,
 }
 
@@ -126,22 +173,28 @@ impl<M> Ord for Pending<M> {
     }
 }
 
-/// A threaded in-process network: endpoints register mailboxes; sends are
-/// routed with per-link latency and loss on one dedicated router thread.
+/// One per-site delivery worker: command channel + join handle.
+struct Worker<M> {
+    tx: Sender<WorkerCmd<M>>,
+    handle: JoinHandle<()>,
+}
+
+/// A threaded in-process network sharded by destination: endpoints register
+/// batch mailboxes; zero-latency sends deliver directly, delayed sends go
+/// through the destination site's own delivery worker and timer heap.
 ///
-/// Lifecycle: [`ThreadedTransport::shutdown`] stops and joins the router
-/// (undelivered in-flight messages are counted as dropped); dropping the
+/// Lifecycle: [`ThreadedTransport::shutdown`] stops and joins every worker
+/// (undelivered in-flight messages are counted as unroutable); dropping the
 /// transport does the same. Endpoints can leave at any time via
 /// [`ThreadedTransport::deregister`] — their mailbox sender is removed so
-/// the channel closes as soon as the receiver side is gone too.
+/// later deliveries to them count as unroutable.
 pub struct ThreadedTransport<M> {
     shared: Arc<Shared<M>>,
-    router_tx: Sender<RouterCmd<M>>,
-    router: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<HashMap<SiteId, Worker<M>>>,
     default_link: LinkPolicy,
     links: Mutex<HashMap<(SiteId, SiteId), LinkPolicy>>,
-    /// SplitMix64 state for the loss hook (interior mutability keeps
-    /// `Transport::send` usable through a shared reference).
+    /// SplitMix64 state for the loss/duplication hooks (interior mutability
+    /// keeps `Transport::send` usable through a shared reference).
     loss_rng: Mutex<u64>,
 }
 
@@ -149,6 +202,17 @@ impl<M: Send + 'static> Default for ThreadedTransport<M> {
     fn default() -> Self {
         Self::new(StdDuration::ZERO)
     }
+}
+
+/// Send-time verdict for one message: route + policy sampled together.
+pub(crate) enum Judgement {
+    /// Deliver (once, or twice when `duplicate`) after `latency`.
+    Deliver {
+        latency: StdDuration,
+        duplicate: bool,
+    },
+    DropPolicy,
+    NoRoute,
 }
 
 impl<M: Send + 'static> ThreadedTransport<M> {
@@ -159,23 +223,18 @@ impl<M: Send + 'static> ThreadedTransport<M> {
 
     /// Create a transport with an explicit default link policy.
     pub fn with_policy(default_link: LinkPolicy) -> Self {
-        let shared = Arc::new(Shared {
-            mailboxes: Mutex::new(HashMap::new()),
-            dropped: AtomicU64::new(0),
-            delivered: AtomicU64::new(0),
-            sent: AtomicU64::new(0),
-            duplicated: AtomicU64::new(0),
-        });
-        let (router_tx, router_rx) = channel();
-        let router_shared = Arc::clone(&shared);
-        let router = std::thread::Builder::new()
-            .name("o2pc-transport-router".into())
-            .spawn(move || route(router_rx, router_shared))
-            .expect("spawn router thread");
         ThreadedTransport {
-            shared,
-            router_tx,
-            router: Mutex::new(Some(router)),
+            shared: Arc::new(Shared {
+                mailboxes: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                policy_dropped: AtomicU64::new(0),
+                unroutable_presend: AtomicU64::new(0),
+                unroutable_postsend: AtomicU64::new(0),
+                delivered: AtomicU64::new(0),
+                sent: AtomicU64::new(0),
+                duplicated: AtomicU64::new(0),
+            }),
+            workers: Mutex::new(HashMap::new()),
             default_link,
             links: Mutex::new(HashMap::new()),
             loss_rng: Mutex::new(0x9E37_79B9_7F4A_7C15),
@@ -188,25 +247,25 @@ impl<M: Send + 'static> ThreadedTransport<M> {
     }
 
     /// Register an endpoint, returning its receiving side.
-    pub fn register(&self, id: SiteId) -> Receiver<Envelope<M>> {
+    pub fn register(&self, id: SiteId) -> Inbox<M> {
         let (tx, rx) = channel();
         self.attach(id, tx);
-        rx
+        Inbox {
+            rx,
+            staged: VecDeque::new(),
+        }
     }
 
-    /// Bind an endpoint to an existing sender (lets one consumer — e.g. an
-    /// engine driving every site — funnel all mailboxes into one inbox).
-    pub fn attach(&self, id: SiteId, tx: Sender<Envelope<M>>) {
-        let previous = self.mailboxes_insert(id, tx);
+    /// Bind an endpoint to an existing batch sender (lets one consumer —
+    /// e.g. an engine driving every site — funnel all mailboxes into one
+    /// inbox).
+    pub fn attach(&self, id: SiteId, tx: Sender<Batch<M>>) {
+        let previous = self.shared.mailboxes.lock().unwrap().insert(id, tx);
         assert!(previous.is_none(), "endpoint {id} registered twice");
     }
 
-    fn mailboxes_insert(&self, id: SiteId, tx: Sender<Envelope<M>>) -> Option<Sender<Envelope<M>>> {
-        self.shared.mailboxes.lock().unwrap().insert(id, tx)
-    }
-
     /// Remove an endpoint; subsequent (and in-flight) messages to it are
-    /// counted as dropped, like sends to a crashed site.
+    /// counted as unroutable, like sends to a crashed site.
     pub fn deregister(&self, id: SiteId) {
         self.shared.mailboxes.lock().unwrap().remove(&id);
     }
@@ -221,27 +280,50 @@ impl<M: Send + 'static> ThreadedTransport<M> {
         self.shared.duplicated.load(Ordering::Relaxed)
     }
 
+    /// Messages dropped by link loss policy (the configured fault model).
+    pub fn policy_dropped_count(&self) -> u64 {
+        self.shared.policy_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages lost to infrastructure: unknown destination, deregistered
+    /// endpoint, or shutdown with deliveries still queued.
+    pub fn unroutable_count(&self) -> u64 {
+        self.shared
+            .unroutable_presend
+            .load(Ordering::Relaxed)
+            .saturating_add(self.shared.unroutable_postsend.load(Ordering::Relaxed))
+    }
+
     /// Messages accepted but neither delivered to a mailbox nor dropped yet
-    /// (sitting in the router's delay heap or its command channel). A sender
+    /// (buffered in a delivery worker's heap or command channel). A sender
     /// that observes `in_flight() == 0` *and* an empty mailbox knows the
     /// transport owes it nothing — the basis for quiescence detection.
     pub fn in_flight(&self) -> u64 {
         let sent = self.shared.sent.load(Ordering::Relaxed);
+        // Policy and pre-send unroutable losses never enter `sent`, so only
+        // post-send losses retire an accepted message.
         let done = self
             .shared
             .delivered
             .load(Ordering::Relaxed)
-            .saturating_add(self.shared.dropped.load(Ordering::Relaxed));
+            .saturating_add(self.shared.unroutable_postsend.load(Ordering::Relaxed));
         sent.saturating_sub(done)
     }
 
-    /// Stop the router thread and join it. Idempotent; called by `Drop`.
-    /// Messages still queued for future delivery are counted as dropped.
+    /// Stop every delivery worker and join them. Idempotent; called by
+    /// `Drop`. Messages still queued for future delivery are counted as
+    /// unroutable.
     pub fn shutdown(&self) {
-        let handle = self.router.lock().unwrap().take();
-        if let Some(handle) = handle {
-            let _ = self.router_tx.send(RouterCmd::Shutdown);
-            let _ = handle.join();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let workers: Vec<Worker<M>> = {
+            let mut map = self.workers.lock().unwrap();
+            map.drain().map(|(_, w)| w).collect()
+        };
+        for w in &workers {
+            let _ = w.tx.send(WorkerCmd::Shutdown);
+        }
+        for w in workers {
+            let _ = w.handle.join();
         }
     }
 
@@ -267,103 +349,203 @@ impl<M: Send + 'static> ThreadedTransport<M> {
         ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 
-    /// Hand one accepted envelope to the fast path or the router.
-    fn dispatch(&self, policy: LinkPolicy, env: Envelope<M>) -> bool {
-        if policy.latency.is_zero() {
-            // Fast path: preserve per-link FIFO without a router hop.
-            let before = self.shared.dropped.load(Ordering::Relaxed);
-            self.shared.deliver(env);
-            return self.shared.dropped.load(Ordering::Relaxed) == before;
-        }
-        let due = Instant::now() + policy.latency;
-        if self
-            .router_tx
-            .send(RouterCmd::Deliver { due, env })
-            .is_err()
+    /// Sample route + loss policy for one message and update the send-side
+    /// counters. An accepted message **must** subsequently be handed to
+    /// [`ThreadedTransport::deliver_many`] (batching senders call this
+    /// eagerly, deliver later) — `sent` is already counted, so dropping it
+    /// on the floor would wedge `in_flight`.
+    pub(crate) fn judge(&self, from: SiteId, to: SiteId) -> Judgement {
+        if self.shared.shutdown.load(Ordering::Relaxed)
+            || !self.shared.mailboxes.lock().unwrap().contains_key(&to)
         {
-            // Router already shut down.
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+            self.shared
+                .unroutable_presend
+                .fetch_add(1, Ordering::Relaxed);
+            return Judgement::NoRoute;
         }
-        true
-    }
-}
-
-impl<M: Clone + Send + 'static> Transport<M> for ThreadedTransport<M> {
-    fn send(&self, from: SiteId, to: SiteId, msg: M) -> bool {
-        self.shared.sent.fetch_add(1, Ordering::Relaxed);
         let policy = self.policy(from, to);
         if self.lose(policy.drop_probability) {
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+            self.shared.policy_dropped.fetch_add(1, Ordering::Relaxed);
+            return Judgement::DropPolicy;
         }
-        if policy.duplicate_probability > 0.0 && self.lose(policy.duplicate_probability) {
+        self.shared.sent.fetch_add(1, Ordering::Relaxed);
+        let duplicate =
+            policy.duplicate_probability > 0.0 && self.lose(policy.duplicate_probability);
+        if duplicate {
             // Counted as an extra send so in-flight tracking
             // (sent − delivered − dropped) stays exact.
             self.shared.sent.fetch_add(1, Ordering::Relaxed);
             self.shared.duplicated.fetch_add(1, Ordering::Relaxed);
-            self.dispatch(
-                policy,
-                Envelope {
-                    from,
-                    to,
-                    msg: msg.clone(),
-                },
-            );
         }
-        self.dispatch(policy, Envelope { from, to, msg })
+        Judgement::Deliver {
+            latency: policy.latency,
+            duplicate,
+        }
+    }
+
+    /// Deliver a burst of already-judged envelopes bound for one
+    /// destination, preserving their order per link. Immediate envelopes
+    /// are one mailbox handoff; delayed ones are one command handoff to the
+    /// destination's delivery worker (spawned on first use).
+    pub fn deliver_many(&self, to: SiteId, envs: Vec<(StdDuration, Envelope<M>)>) {
+        let mut immediate: Batch<M> = Vec::new();
+        let mut delayed: Vec<(Instant, Envelope<M>)> = Vec::new();
+        let now = Instant::now();
+        for (latency, env) in envs {
+            if latency.is_zero() {
+                immediate.push(env);
+            } else {
+                delayed.push((now + latency, env));
+            }
+        }
+        self.shared.deliver_batch(to, immediate);
+        if delayed.is_empty() {
+            return;
+        }
+        let n = delayed.len() as u64;
+        let mut workers = self.workers.lock().unwrap();
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            self.shared
+                .unroutable_postsend
+                .fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        let worker = workers.entry(to).or_insert_with(|| {
+            let (tx, rx) = channel();
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("o2pc-deliver-{to}"))
+                .spawn(move || deliver_loop(to, rx, shared))
+                .expect("spawn delivery worker");
+            Worker { tx, handle }
+        });
+        if worker.tx.send(WorkerCmd::Deliver(delayed)).is_err() {
+            self.shared
+                .unroutable_postsend
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> Transport<M> for ThreadedTransport<M> {
+    fn send(&self, from: SiteId, to: SiteId, msg: M) -> SendOutcome {
+        match self.judge(from, to) {
+            Judgement::NoRoute => SendOutcome::NoRoute,
+            Judgement::DropPolicy => SendOutcome::DroppedByPolicy,
+            Judgement::Deliver { latency, duplicate } => {
+                let mut envs = Vec::with_capacity(1 + duplicate as usize);
+                if duplicate {
+                    envs.push((
+                        latency,
+                        Envelope {
+                            from,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    ));
+                }
+                envs.push((latency, Envelope { from, to, msg }));
+                self.deliver_many(to, envs);
+                SendOutcome::Sent
+            }
+        }
     }
 
     fn dropped(&self) -> u64 {
-        self.shared.dropped.load(Ordering::Relaxed)
+        self.shared
+            .policy_dropped
+            .load(Ordering::Relaxed)
+            .saturating_add(self.shared.unroutable_presend.load(Ordering::Relaxed))
+            .saturating_add(self.shared.unroutable_postsend.load(Ordering::Relaxed))
     }
 }
 
 impl<M> Drop for ThreadedTransport<M> {
     fn drop(&mut self) {
-        let handle = self.router.lock().unwrap().take();
-        if let Some(handle) = handle {
-            let _ = self.router_tx.send(RouterCmd::Shutdown);
-            let _ = handle.join();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let workers: Vec<Worker<M>> = {
+            let mut map = self.workers.lock().unwrap();
+            map.drain().map(|(_, w)| w).collect()
+        };
+        for w in &workers {
+            let _ = w.tx.send(WorkerCmd::Shutdown);
+        }
+        for w in workers {
+            let _ = w.handle.join();
         }
     }
 }
 
-/// The router loop: sequence delayed deliveries in due order.
-fn route<M>(rx: Receiver<RouterCmd<M>>, shared: Arc<Shared<M>>) {
+/// One site's delivery loop: sequence its delayed deliveries in due order,
+/// handing everything that is due as a single mailbox batch.
+fn deliver_loop<M>(to: SiteId, rx: Receiver<WorkerCmd<M>>, shared: Arc<Shared<M>>) {
     let mut heap: BinaryHeap<Pending<M>> = BinaryHeap::new();
     let mut seq = 0u64;
     loop {
-        // Deliver everything already due.
+        // Deliver everything already due as one batch (one handoff, at most
+        // one receiver wake-up, regardless of how many messages matured).
         let now = Instant::now();
+        let mut due: Batch<M> = Vec::new();
         while heap.peek().is_some_and(|p| p.due <= now) {
-            let p = heap.pop().expect("peeked");
-            shared.deliver(p.env);
+            due.push(heap.pop().expect("peeked").env);
         }
+        shared.deliver_batch(to, due);
         let wait = match heap.peek() {
             Some(p) => p.due.saturating_duration_since(Instant::now()),
             None => StdDuration::from_secs(3600), // park until traffic
         };
         match rx.recv_timeout(wait) {
-            Ok(RouterCmd::Deliver { due, env }) => {
-                heap.push(Pending { due, seq, env });
-                seq += 1;
+            Ok(WorkerCmd::Deliver(batch)) => {
+                for (due, env) in batch {
+                    heap.push(Pending { due, seq, env });
+                    seq += 1;
+                }
             }
-            Ok(RouterCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(WorkerCmd::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
             Err(RecvTimeoutError::Timeout) => {}
         }
     }
-    // Anything still queued at shutdown is lost.
+    // Anything still queued at shutdown is lost (infrastructure, not policy).
     shared
-        .dropped
+        .unroutable_postsend
         .fetch_add(heap.len() as u64, Ordering::Relaxed);
 }
 
-/// Receive with a timeout, mapping the channel error space onto an Option.
-pub fn recv_timeout<M>(rx: &Receiver<Envelope<M>>, timeout: StdDuration) -> Option<Envelope<M>> {
-    match rx.recv_timeout(timeout) {
-        Ok(env) => Some(env),
-        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+/// The receiving side of one endpoint: a batch channel plus a staging queue
+/// so consumers can still take envelopes one at a time.
+pub struct Inbox<M> {
+    rx: Receiver<Batch<M>>,
+    staged: VecDeque<Envelope<M>>,
+}
+
+impl<M> Inbox<M> {
+    /// Next envelope, waiting up to `timeout` for a batch to arrive. `None`
+    /// on timeout or a disconnected transport.
+    pub fn recv_timeout(&mut self, timeout: StdDuration) -> Option<Envelope<M>> {
+        if let Some(env) = self.staged.pop_front() {
+            return Some(env);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(batch) => {
+                self.staged.extend(batch);
+                self.staged.pop_front()
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Next envelope if one is already available (never blocks).
+    pub fn try_recv(&mut self) -> Option<Envelope<M>> {
+        if let Some(env) = self.staged.pop_front() {
+            return Some(env);
+        }
+        while let Ok(batch) = self.rx.try_recv() {
+            self.staged.extend(batch);
+            if let Some(env) = self.staged.pop_front() {
+                return Some(env);
+            }
+        }
+        None
     }
 }
 
@@ -374,47 +556,46 @@ mod tests {
     #[test]
     fn point_to_point_delivery() {
         let t: ThreadedTransport<&'static str> = ThreadedTransport::default();
-        let rx0 = t.register(SiteId(0));
+        let mut rx0 = t.register(SiteId(0));
         let _rx1 = t.register(SiteId(1));
-        assert!(t.send(SiteId(1), SiteId(0), "hello"));
-        let env = recv_timeout(&rx0, StdDuration::from_secs(1)).unwrap();
+        assert!(t.send(SiteId(1), SiteId(0), "hello").is_sent());
+        let env = rx0.recv_timeout(StdDuration::from_secs(1)).unwrap();
         assert_eq!(env.from, SiteId(1));
         assert_eq!(env.msg, "hello");
     }
 
     #[test]
-    fn send_to_unregistered_is_dropped() {
+    fn send_to_unregistered_is_unroutable() {
         let t: ThreadedTransport<u32> = ThreadedTransport::default();
         let _rx = t.register(SiteId(0));
-        assert!(!t.send(SiteId(0), SiteId(9), 1));
+        assert_eq!(t.send(SiteId(0), SiteId(9), 1), SendOutcome::NoRoute);
         assert_eq!(t.dropped(), 1);
+        assert_eq!(t.unroutable_count(), 1);
+        assert_eq!(t.policy_dropped_count(), 0);
     }
 
     #[test]
     fn deregister_simulates_crash() {
         let t: ThreadedTransport<u32> = ThreadedTransport::default();
         let _rx0 = t.register(SiteId(0));
-        let rx1 = t.register(SiteId(1));
+        let mut rx1 = t.register(SiteId(1));
         t.deregister(SiteId(1));
-        assert!(!t.send(SiteId(0), SiteId(1), 7));
-        assert!(recv_timeout(&rx1, StdDuration::from_millis(20)).is_none());
+        assert!(!t.send(SiteId(0), SiteId(1), 7).is_sent());
+        assert!(rx1.recv_timeout(StdDuration::from_millis(20)).is_none());
         // The slot is free again after deregistration.
-        let rx1b = t.register(SiteId(1));
-        assert!(t.send(SiteId(0), SiteId(1), 8));
-        assert_eq!(
-            recv_timeout(&rx1b, StdDuration::from_secs(1)).unwrap().msg,
-            8
-        );
+        let mut rx1b = t.register(SiteId(1));
+        assert!(t.send(SiteId(0), SiteId(1), 8).is_sent());
+        assert_eq!(rx1b.recv_timeout(StdDuration::from_secs(1)).unwrap().msg, 8);
     }
 
     #[test]
     fn latency_delays_but_delivers() {
         let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(20));
-        let rx = t.register(SiteId(0));
+        let mut rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
         let start = Instant::now();
-        assert!(t.send(SiteId(1), SiteId(0), 42));
-        let env = recv_timeout(&rx, StdDuration::from_secs(2)).unwrap();
+        assert!(t.send(SiteId(1), SiteId(0), 42).is_sent());
+        let env = rx.recv_timeout(StdDuration::from_secs(2)).unwrap();
         assert_eq!(env.msg, 42);
         assert!(start.elapsed() >= StdDuration::from_millis(15));
     }
@@ -422,14 +603,59 @@ mod tests {
     #[test]
     fn latency_preserves_send_order_on_a_link() {
         let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(5));
-        let rx = t.register(SiteId(0));
+        let mut rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
         for i in 0..50 {
-            assert!(t.send(SiteId(1), SiteId(0), i));
+            assert!(t.send(SiteId(1), SiteId(0), i).is_sent());
         }
         for i in 0..50 {
-            assert_eq!(recv_timeout(&rx, StdDuration::from_secs(1)).unwrap().msg, i);
+            assert_eq!(rx.recv_timeout(StdDuration::from_secs(1)).unwrap().msg, i);
         }
+    }
+
+    /// Batched (`deliver_many`) and single (`send`) deliveries interleaved
+    /// on one latency link must still arrive in send order: coalescing is
+    /// an optimization of the handoff, never of the ordering.
+    #[test]
+    fn batched_delivery_preserves_per_link_fifo() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(5));
+        let mut rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        let lat = StdDuration::from_millis(5);
+        let mut expect = Vec::new();
+        let mut next = 0u32;
+        for round in 0..10 {
+            if round % 2 == 0 {
+                // A coalesced burst: one handoff for several envelopes.
+                let mut batch = Vec::new();
+                for _ in 0..4 {
+                    assert!(matches!(
+                        t.judge(SiteId(1), SiteId(0)),
+                        Judgement::Deliver { .. }
+                    ));
+                    batch.push((
+                        lat,
+                        Envelope {
+                            from: SiteId(1),
+                            to: SiteId(0),
+                            msg: next,
+                        },
+                    ));
+                    expect.push(next);
+                    next += 1;
+                }
+                t.deliver_many(SiteId(0), batch);
+            } else {
+                assert!(t.send(SiteId(1), SiteId(0), next).is_sent());
+                expect.push(next);
+                next += 1;
+            }
+        }
+        let got: Vec<u32> = (0..expect.len())
+            .map(|_| rx.recv_timeout(StdDuration::from_secs(1)).unwrap().msg)
+            .collect();
+        assert_eq!(got, expect, "batching broke per-link FIFO");
+        assert_eq!(t.in_flight(), 0);
     }
 
     #[test]
@@ -440,24 +666,18 @@ mod tests {
             SiteId(1),
             LinkPolicy::fixed(StdDuration::from_millis(25)),
         );
-        let rx1 = t.register(SiteId(1));
-        let rx2 = t.register(SiteId(2));
+        let mut rx1 = t.register(SiteId(1));
+        let mut rx2 = t.register(SiteId(2));
         let _ = t.register(SiteId(0));
         let start = Instant::now();
-        assert!(t.send(SiteId(0), SiteId(1), 1)); // slow link
-        assert!(t.send(SiteId(0), SiteId(2), 2)); // default: immediate
-        assert_eq!(
-            recv_timeout(&rx2, StdDuration::from_secs(1)).unwrap().msg,
-            2
-        );
+        assert!(t.send(SiteId(0), SiteId(1), 1).is_sent()); // slow link
+        assert!(t.send(SiteId(0), SiteId(2), 2).is_sent()); // default: immediate
+        assert_eq!(rx2.recv_timeout(StdDuration::from_secs(1)).unwrap().msg, 2);
         assert!(
             start.elapsed() < StdDuration::from_millis(20),
             "fast link must not wait"
         );
-        assert_eq!(
-            recv_timeout(&rx1, StdDuration::from_secs(1)).unwrap().msg,
-            1
-        );
+        assert_eq!(rx1.recv_timeout(StdDuration::from_secs(1)).unwrap().msg, 1);
         assert!(start.elapsed() >= StdDuration::from_millis(20));
     }
 
@@ -468,20 +688,25 @@ mod tests {
             drop_probability: 0.5,
             ..LinkPolicy::default()
         });
-        let rx = t.register(SiteId(0));
+        let mut rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
         let mut accepted = 0;
         for i in 0..2000 {
-            if t.send(SiteId(1), SiteId(0), i) {
+            if t.send(SiteId(1), SiteId(0), i).is_sent() {
                 accepted += 1;
             }
         }
         assert_eq!(accepted + t.dropped() as usize, 2000);
+        assert_eq!(
+            t.dropped(),
+            t.policy_dropped_count(),
+            "all drops are policy"
+        );
         let rate = accepted as f64 / 2000.0;
         assert!((rate - 0.5).abs() < 0.08, "acceptance rate {rate}");
         // Accepted messages all arrive.
         for _ in 0..accepted {
-            assert!(recv_timeout(&rx, StdDuration::from_secs(1)).is_some());
+            assert!(rx.recv_timeout(StdDuration::from_secs(1)).is_some());
         }
     }
 
@@ -492,17 +717,17 @@ mod tests {
             drop_probability: 0.0,
             duplicate_probability: 1.0,
         });
-        let rx = t.register(SiteId(0));
+        let mut rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
         for i in 0..10 {
-            assert!(t.send(SiteId(1), SiteId(0), i));
+            assert!(t.send(SiteId(1), SiteId(0), i).is_sent());
         }
         assert_eq!(t.duplicated_count(), 10);
         // Each duplicate is accounted as an extra send so the in-flight
         // equation (sent − delivered − dropped) still balances.
         assert_eq!(t.sent_count(), 20);
         let mut got = 0;
-        while recv_timeout(&rx, StdDuration::from_millis(100)).is_some() {
+        while rx.recv_timeout(StdDuration::from_millis(100)).is_some() {
             got += 1;
         }
         assert_eq!(got, 20);
@@ -510,27 +735,62 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_joins_router_and_counts_inflight_as_dropped() {
+    fn shutdown_joins_workers_and_counts_inflight_as_unroutable() {
         let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_secs(30));
-        let rx = t.register(SiteId(0));
+        let mut rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
-        assert!(t.send(SiteId(1), SiteId(0), 9)); // due far in the future
+        assert!(t.send(SiteId(1), SiteId(0), 9).is_sent()); // due far in the future
         t.shutdown();
         t.shutdown(); // idempotent
         assert_eq!(t.dropped(), 1, "in-flight message lost at shutdown");
-        assert!(recv_timeout(&rx, StdDuration::from_millis(10)).is_none());
-        // Post-shutdown latency sends are refused and counted.
-        assert!(!t.send(SiteId(1), SiteId(0), 10));
+        assert_eq!(t.unroutable_count(), 1);
+        assert!(rx.recv_timeout(StdDuration::from_millis(10)).is_none());
+        // Post-shutdown sends are refused and counted.
+        assert_eq!(t.send(SiteId(1), SiteId(0), 10), SendOutcome::NoRoute);
         assert_eq!(t.dropped(), 2);
     }
 
     #[test]
-    fn drop_joins_router_without_hanging() {
+    fn drop_joins_workers_without_hanging() {
         let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(1));
         let _rx = t.register(SiteId(0));
         let _ = t.register(SiteId(1));
         t.send(SiteId(1), SiteId(0), 1);
-        drop(t); // must not deadlock or leak the router thread
+        drop(t); // must not deadlock or leak worker threads
+    }
+
+    #[test]
+    fn delayed_traffic_to_distinct_sites_uses_distinct_workers() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::new(StdDuration::from_millis(2));
+        let mut rx0 = t.register(SiteId(0));
+        let mut rx1 = t.register(SiteId(1));
+        let _ = t.register(SiteId(2));
+        for i in 0..20 {
+            assert!(t.send(SiteId(2), SiteId(0), i).is_sent());
+            assert!(t.send(SiteId(2), SiteId(1), 100 + i).is_sent());
+        }
+        assert_eq!(t.workers.lock().unwrap().len(), 2, "one worker per site");
+        for i in 0..20 {
+            assert_eq!(rx0.recv_timeout(StdDuration::from_secs(1)).unwrap().msg, i);
+            assert_eq!(
+                rx1.recv_timeout(StdDuration::from_secs(1)).unwrap().msg,
+                100 + i
+            );
+        }
+    }
+
+    #[test]
+    fn zero_latency_spawns_no_workers() {
+        let t: ThreadedTransport<u32> = ThreadedTransport::default();
+        let mut rx = t.register(SiteId(0));
+        let _ = t.register(SiteId(1));
+        for i in 0..100 {
+            assert!(t.send(SiteId(1), SiteId(0), i).is_sent());
+        }
+        assert_eq!(t.workers.lock().unwrap().len(), 0);
+        for i in 0..100 {
+            assert_eq!(rx.recv_timeout(StdDuration::from_secs(1)).unwrap().msg, i);
+        }
     }
 
     #[test]
