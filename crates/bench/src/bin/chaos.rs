@@ -13,7 +13,8 @@
 //! shrinks the plan to a minimal still-failing fault set, prints it, and
 //! emits the exact `--replay` command line before exiting nonzero.
 
-use o2pc_chaos::{run_plan, shrink, ChaosConfig, ChaosPlan, Hardening};
+use o2pc_chaos::{run_plan_with, shrink, ChaosConfig, ChaosPlan, Hardening};
+use std::path::PathBuf;
 
 #[derive(Debug)]
 struct Args {
@@ -21,6 +22,7 @@ struct Args {
     seed: u64,
     replay: Option<u64>,
     sites: u32,
+    durable: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         replay: None,
         sites: 4,
+        durable: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,8 +57,12 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--sites" => args.sites = take(&mut i)?.parse().map_err(|e| format!("--sites: {e}"))?,
+            "--durable" => args.durable = true,
             "--help" | "-h" => {
-                println!("usage: chaos [--schedules N] [--seed S] [--sites N] [--replay SEED]");
+                println!(
+                    "usage: chaos [--schedules N] [--seed S] [--sites N] [--replay SEED] \
+                     [--durable]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
@@ -72,11 +79,21 @@ fn config_for(sites: u32) -> ChaosConfig {
     }
 }
 
+/// Scratch directory for durable-mode WAL files (per process, wiped on use).
+fn durable_scratch(enabled: bool) -> Option<PathBuf> {
+    enabled.then(|| {
+        let dir = std::env::temp_dir().join(format!("o2pc-chaos-wal-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    })
+}
+
 /// Replay one seed with the full plan and outcome printed.
-fn replay(seed: u64, sites: u32) -> ! {
+fn replay(seed: u64, sites: u32, durable: bool) -> ! {
     let plan = ChaosPlan::generate(seed, &config_for(sites));
     println!("{}", plan.describe());
-    let outcome = run_plan(&plan, Hardening::default());
+    let dir = durable_scratch(durable);
+    let outcome = run_plan_with(&plan, Hardening::default(), dir.as_deref());
     println!(
         "protocol {} | drop p={:.3} dup p={:.3} | {} committed / {} aborted / {} local | \
          {} gc'd, {} live at end",
@@ -97,7 +114,7 @@ fn replay(seed: u64, sites: u32) -> ! {
     for v in &outcome.violations {
         println!("  - {v}");
     }
-    let minimal = shrink(&plan, Hardening::default());
+    let minimal = shrink(&plan, Hardening::default(), dir.as_deref());
     println!(
         "\nminimal failing fault set ({} faults):",
         minimal.faults.len()
@@ -115,10 +132,11 @@ fn main() {
         }
     };
     if let Some(seed) = args.replay {
-        replay(seed, args.sites);
+        replay(seed, args.sites, args.durable);
     }
 
     let cfg = config_for(args.sites);
+    let durable_dir = durable_scratch(args.durable);
     let mut coordinator_crashes = 0u64;
     let mut min_drop = f64::INFINITY;
     let mut min_dup = f64::INFINITY;
@@ -131,7 +149,7 @@ fn main() {
     for n in 0..args.schedules {
         let seed = args.seed.wrapping_add(n);
         let plan = ChaosPlan::generate(seed, &cfg);
-        let outcome = run_plan(&plan, Hardening::default());
+        let outcome = run_plan_with(&plan, Hardening::default(), durable_dir.as_deref());
         min_drop = min_drop.min(outcome.drop_probability);
         min_dup = min_dup.min(outcome.duplicate_probability);
         coordinator_crashes += outcome.crashed_a_coordinator as u64;
@@ -147,7 +165,7 @@ fn main() {
                 println!("  - {v}");
             }
             println!("shrinking to a minimal fault set...");
-            let minimal = shrink(&plan, Hardening::default());
+            let minimal = shrink(&plan, Hardening::default(), durable_dir.as_deref());
             println!(
                 "minimal failing fault set ({} of {} faults):",
                 minimal.faults.len(),
@@ -156,8 +174,9 @@ fn main() {
             println!("{}", minimal.describe());
             println!("replay with:");
             println!(
-                "  cargo run --release --bin chaos -- --replay {seed} --sites {}",
-                args.sites
+                "  cargo run --release --bin chaos -- --replay {seed} --sites {}{}",
+                args.sites,
+                if args.durable { " --durable" } else { "" }
             );
             std::process::exit(1);
         }
@@ -171,9 +190,13 @@ fn main() {
         }
     }
 
+    if let Some(d) = &durable_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
     println!(
-        "{} schedules, 0 violations ({:.1}s)",
+        "{} schedules, 0 violations{} ({:.1}s)",
         args.schedules,
+        if args.durable { " [durable WAL]" } else { "" },
         started.elapsed().as_secs_f64()
     );
     println!(

@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod oracle;
 pub mod plan;
 pub mod runner;
 
+pub use durable::{injected_fault_roundtrip, recover_killed_run, KillRecoveryReport};
 pub use oracle::Violation;
 pub use plan::{ChaosConfig, ChaosPlan, Fault};
-pub use runner::{run_plan, shrink, ChaosOutcome, Hardening};
+pub use runner::{run_plan, run_plan_with, shrink, ChaosOutcome, Hardening};

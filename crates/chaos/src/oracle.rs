@@ -7,6 +7,7 @@
 //! message-accounting checks are simulator-only, where exact counters
 //! exist on one clock).
 
+use o2pc_common::{GlobalTxnId, SiteId};
 use o2pc_core::{Engine, Msg, RunReport, TimerEvent};
 use o2pc_runtime::Runtime;
 use std::fmt;
@@ -58,6 +59,22 @@ pub enum Violation {
     CompensationAtomicity(usize),
     /// Sites whose WAL no longer replays to their live store.
     WalDivergence(usize),
+    /// A durable WAL file could not be reopened after a kill (kill-recover
+    /// resolver only).
+    WalUnreadable {
+        /// Site whose log failed to reopen.
+        site: SiteId,
+        /// The I/O error.
+        detail: String,
+    },
+    /// Two sites durably logged conflicting outcomes for one transaction
+    /// (kill-recover resolver only) — the cardinal 2PC violation.
+    ConflictingOutcomes {
+        /// The transaction with disagreeing durable decisions.
+        txn: GlobalTxnId,
+        /// The site whose log exposed the disagreement.
+        site: SiteId,
+    },
     /// `sent + local + duplicated ≠ delivered + dropped + in-flight`.
     MessageConservation {
         /// Network sends (including duplicates).
@@ -110,6 +127,12 @@ impl fmt::Display for Violation {
                 write!(f, "{n} atomicity-of-compensation violation(s)")
             }
             Violation::WalDivergence(n) => write!(f, "{n} site(s) with WAL/store divergence"),
+            Violation::WalUnreadable { site, detail } => {
+                write!(f, "site {site}: WAL unreadable after kill: {detail}")
+            }
+            Violation::ConflictingOutcomes { txn, site } => {
+                write!(f, "conflicting durable outcomes for {txn} (seen at {site})")
+            }
             Violation::MessageConservation {
                 sent,
                 local,

@@ -90,6 +90,21 @@ pub fn protocol_for(seed: u64) -> ProtocolKind {
 /// occasional autonomous abort probability so the schedule space crosses
 /// the configuration space.
 pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
+    run_plan_with(plan, harden, None)
+}
+
+/// [`run_plan`], optionally in durable-WAL mode: with `durable_dir` set,
+/// every site logs through the file-backed backend under
+/// `durable_dir/seed-<seed>/` (wiped first — each schedule starts from an
+/// empty log). The run stays deterministic — flush points are virtual-time
+/// events and fsync latency is never observed — so `--replay` and shrinking
+/// work unchanged; what durable mode adds is the real write/fsync/recover
+/// code under every crash the plan injects.
+pub fn run_plan_with(
+    plan: &ChaosPlan,
+    harden: Hardening,
+    durable_dir: Option<&std::path::Path>,
+) -> ChaosOutcome {
     let protocol = protocol_for(plan.seed);
     let wl = BankingWorkload {
         sites: plan.num_sites,
@@ -128,6 +143,11 @@ pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
     if plan.seed.is_multiple_of(7) {
         cfg.vote_abort_probability = 0.1;
     }
+    if let Some(base) = durable_dir {
+        let run_dir = base.join(format!("seed-{}", plan.seed));
+        let _ = std::fs::remove_dir_all(&run_dir);
+        cfg.durable_wal_dir = Some(run_dir);
+    }
 
     let mut engine = Engine::new(cfg);
     schedule.install(&mut engine);
@@ -149,13 +169,21 @@ pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
 /// Shrink a failing plan: greedily drop one fault at a time, keeping each
 /// removal that still fails the oracle, until no single removal does. The
 /// result is a (locally) minimal fault set reproducing the violation.
-pub fn shrink(plan: &ChaosPlan, harden: Hardening) -> ChaosPlan {
+///
+/// Candidate runs replay in the same mode as the original failure
+/// (`durable_dir` forwarded), so a durable-only violation shrinks against
+/// the durable engine instead of vacuously "passing" in memory.
+pub fn shrink(
+    plan: &ChaosPlan,
+    harden: Hardening,
+    durable_dir: Option<&std::path::Path>,
+) -> ChaosPlan {
     let mut current = plan.clone();
     loop {
         let mut improved = false;
         for idx in 0..current.faults.len() {
             let candidate = current.without(idx);
-            if !run_plan(&candidate, harden).survived() {
+            if !run_plan_with(&candidate, harden, durable_dir).survived() {
                 current = candidate;
                 improved = true;
                 break;

@@ -118,6 +118,24 @@ pub struct SystemConfig {
     /// thrashing. Queueing delay stays visible: latency is measured from the
     /// *scheduled* arrival, not admission.
     pub admission_window: Option<usize>,
+    /// Directory for per-site durable WAL files (`site-<id>.wal`). `None`
+    /// (the default) keeps the historical in-memory WAL with simulated
+    /// durability. When set, every site logs through the file-backed
+    /// backend: externally visible promises (yes-votes, decision acks,
+    /// fate-bearing termination answers) are held until the records they
+    /// depend on are fsynced — the group-commit protocol.
+    pub durable_wal_dir: Option<std::path::PathBuf>,
+    /// Group-commit window: how long a site batches appended records before
+    /// the next flush (inline fsync on the simulator, a sealed batch to the
+    /// background flusher on the threaded substrate). Longer windows
+    /// amortise fsync across more transactions at the cost of commit
+    /// latency. Ignored unless [`SystemConfig::durable_wal_dir`] is set.
+    pub wal_flush_interval: Duration,
+    /// Flush sealed batches on a background thread instead of fsyncing
+    /// inline when the flush timer fires. The simulator keeps this off so
+    /// durable runs stay deterministic; the threaded substrate turns it on
+    /// so fsync latency never blocks the engine loop.
+    pub wal_background_flush: bool,
 }
 
 impl SystemConfig {
@@ -146,12 +164,38 @@ impl SystemConfig {
             seed: 0x5EED,
             max_events: 50_000_000,
             admission_window: None,
+            durable_wal_dir: None,
+            wal_flush_interval: Duration::millis(1),
+            wal_background_flush: false,
         }
     }
 
     /// All site ids.
     pub fn sites(&self) -> impl Iterator<Item = SiteId> {
         (0..self.num_sites).map(SiteId)
+    }
+
+    /// Liveness footguns in this configuration, as human-readable warnings.
+    ///
+    /// The one that bit PR 6: crashes scheduled while `vote_timeout` is
+    /// `None`. A coordinator whose SPAWN lands on a crashed site then waits
+    /// forever for a vote that cannot come — the transaction hangs, and a
+    /// conservation check at the horizon sees money pinned in limbo. The
+    /// default stays `None` (the paper's pure blocking protocol, and the
+    /// blocking-window experiments depend on it), so the engine surfaces the
+    /// combination loudly instead of silently changing behaviour.
+    pub fn liveness_warnings(&self) -> Vec<String> {
+        let mut w = Vec::new();
+        if self.vote_timeout.is_none() && self.failures.crashes().next().is_some() {
+            w.push(
+                "config: site crashes are scheduled but vote_timeout is None — \
+                 a coordinator that spawns onto a crashed site has no liveness \
+                 path and its transaction never terminates (set vote_timeout, \
+                 e.g. SystemConfig::vote_timeout = Some(Duration::millis(40)))"
+                    .to_string(),
+            );
+        }
+        w
     }
 }
 

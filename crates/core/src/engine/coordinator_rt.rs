@@ -296,20 +296,68 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         }
     }
 
-    pub(crate) fn on_crash(&mut self, site: SiteId) {
+    pub(crate) fn on_crash(&mut self, now: SimTime, site: SiteId) {
         if let Some(s) = self.sites[site.index()].take() {
-            self.crashed_wals.insert(site, s.crash());
+            // Promises parked on unflushed records die with the site — the
+            // records backing them never became durable, and the crash
+            // transform below discards them from the log too.
+            self.wal_parked.remove(&site);
+            self.flush_armed.remove(&site);
+            let seq_floor = s.local_seq_watermark();
+            // Remember which records each compensation owns: the crash
+            // transform truncates a durable WAL to its watermark, and any
+            // compensation whose records ride the lost tail was undone by
+            // that loss (its commit record is the exec's last, so a lost
+            // record implies no durable commit) and will re-execute under
+            // the same id. The history must void its pre-crash accesses,
+            // or the audit would merge two physical executions into one
+            // node and see cycles that never existed on any disk.
+            let comp_of = |rec: &o2pc_storage::LogRecord| -> Option<GlobalTxnId> {
+                use o2pc_common::ExecId;
+                use o2pc_storage::LogRecord as LR;
+                let exec = match rec {
+                    LR::Begin(e) | LR::Commit(e) | LR::Abort(e) | LR::Prepared(e) => e,
+                    LR::Update { exec, .. } => exec,
+                    LR::LocalCommit { exec, .. } => exec,
+                    LR::Outcome { .. } | LR::Checkpoint { .. } => return None,
+                };
+                match exec {
+                    ExecId::CompSub(g) => Some(*g),
+                    _ => None,
+                }
+            };
+            let pre_comps: Vec<Option<GlobalTxnId>> = s.wal_records().iter().map(comp_of).collect();
+            let wal = s.crash();
+            let voided: std::collections::BTreeSet<GlobalTxnId> = pre_comps
+                .get(wal.len()..)
+                .unwrap_or(&[])
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            for g in voided {
+                self.hist.record(o2pc_common::HistEvent {
+                    site,
+                    txn: o2pc_common::TxnId::Compensation(g),
+                    kind: o2pc_common::HistEventKind::RolledBack,
+                    time: now,
+                });
+            }
+            self.crashed_wals.insert(site, (wal, seq_floor));
         }
     }
 
     pub(crate) fn on_recover(&mut self, now: SimTime, site: SiteId) {
-        let Some(wal) = self.crashed_wals.remove(&site) else {
+        let Some((wal, seq_floor)) = self.crashed_wals.remove(&site) else {
             return;
         };
         let site_cfg = SiteConfig {
             compensation_model: self.cfg.compensation_model,
         };
         let mut recovered_site = Site::recover(site, site_cfg, wal);
+        // Durable crashes can truncate the log below ids already issued;
+        // the engine's id-range reservation keeps the counter monotone.
+        recovered_site.reserve_local_seq(seq_floor);
         // The WAL resurrects every logged decision (peers in doubt may
         // still ask), but decisions for transactions GC already retired
         // can never be queried again — drop them so recovery does not

@@ -15,17 +15,34 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             for s in self.sites.iter_mut().flatten() {
                 s.checkpoint();
             }
+            // Durable mode: make the base image durable before any traffic,
+            // so a kill at any later point recovers the loaded accounts.
+            self.sync_all_wals(SimTime::ZERO);
             self.checkpointed = true;
         }
         let deadline = SimTime::ZERO + horizon;
+        let durable = self.cfg.durable_wal_dir.is_some();
         let mut events = 0u64;
+        let mut last_now = SimTime::ZERO;
         while events < self.cfg.max_events {
             let Some((now, step)) = self.rt.next(deadline) else {
                 break;
             };
             events += 1;
+            last_now = now;
             self.step(now, step);
+            if durable {
+                // Any step may have appended to a WAL; a dirty WAL must
+                // always have a flush timer pending, else parked promises
+                // (and the records themselves) would wait forever.
+                for i in 0..self.cfg.num_sites {
+                    self.arm_wal_flush(now, o2pc_common::SiteId(i));
+                }
+            }
         }
+        // End of run: whatever is still buffered becomes durable now, so the
+        // on-disk logs are complete for post-run inspection and kill tests.
+        self.sync_all_wals(last_now);
         self.report.events_processed += events;
         self.finalize()
     }
@@ -46,8 +63,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             TimerEvent::VoteTimeout { txn } => self.on_vote_timeout(now, txn),
             TimerEvent::Retransmit { txn, attempt } => self.on_retransmit(now, txn, attempt),
             TimerEvent::TermTimeout { txn, site } => self.on_term_timeout(now, txn, site),
-            TimerEvent::Crash { site } => self.on_crash(site),
+            TimerEvent::Crash { site } => self.on_crash(now, site),
             TimerEvent::Recover { site } => self.on_recover(now, site),
+            TimerEvent::WalFlush { site } => self.on_wal_flush(now, site),
         }
     }
 }

@@ -39,10 +39,11 @@ use o2pc_common::{
 use o2pc_compensation::{CompensationPlan, PersistenceGuard};
 use o2pc_marking::{MarkingProtocol, TransMarks, UdumTracker};
 use o2pc_protocol::{TerminationRound, TwoPhaseCoordinator};
+use o2pc_runtime::FlushScheduler;
 use o2pc_runtime::{Runtime, SimRuntime};
 use o2pc_sim::Network;
 use o2pc_site::{LockPolicy, Site, SiteConfig};
-use o2pc_storage::Wal;
+use o2pc_storage::{DurableWal, WalBackend};
 use recorder::Recorder;
 use std::collections::BTreeSet;
 
@@ -113,6 +114,14 @@ pub enum TimerEvent {
         /// Recovering site.
         site: SiteId,
     },
+    /// Group-commit flush point for a site's durable WAL: everything
+    /// appended since the last flush becomes durable and the messages parked
+    /// on its tickets are released. Armed only in durable mode, and only
+    /// while the site's WAL is dirty.
+    WalFlush {
+        /// Site whose WAL flushes.
+        site: SiteId,
+    },
 }
 
 /// Book-keeping for one global transaction.
@@ -153,7 +162,9 @@ pub type DefaultSimRuntime = SimRuntime<TimerEvent, Msg>;
 pub struct Engine<R: Runtime<TimerEvent, Msg> = DefaultSimRuntime> {
     pub(crate) cfg: SystemConfig,
     pub(crate) sites: Vec<Option<Site>>,
-    pub(crate) crashed_wals: FastHashMap<SiteId, Wal>,
+    /// WALs of down sites, with the pre-crash local-id watermark (the
+    /// engine's durable id-range reservation — see `Site::reserve_local_seq`).
+    pub(crate) crashed_wals: FastHashMap<SiteId, (WalBackend, u64)>,
     pub(crate) rt: R,
     pub(crate) rng: DetRng,
     pub(crate) idgen: GlobalTxnIdGen,
@@ -177,6 +188,17 @@ pub struct Engine<R: Runtime<TimerEvent, Msg> = DefaultSimRuntime> {
     pub(crate) hist: Recorder,
     pub(crate) report: RunReport,
     pub(crate) checkpointed: bool,
+    /// Durable mode only: messages held back until their site's WAL is
+    /// durable past the recorded byte ticket, as `(ticket, to, msg)` in
+    /// append order per sender.
+    pub(crate) wal_parked: FastHashMap<SiteId, Vec<(u64, SiteId, Msg)>>,
+    /// Sites with a live `WalFlush` timer (at most one per site).
+    pub(crate) flush_armed: BTreeSet<SiteId>,
+    /// Background flusher (durable mode with `wal_background_flush` only).
+    pub(crate) flusher: Option<FlushScheduler>,
+    /// Configuration footguns detected at assembly (see
+    /// [`SystemConfig::liveness_warnings`]).
+    pub(crate) warnings: Vec<String>,
 }
 
 impl Engine {
@@ -212,11 +234,18 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         };
         let sites = cfg
             .sites()
-            .map(|id| Some(Site::new(id, site_cfg)))
+            .map(|id| Some(Site::with_wal(id, site_cfg, Self::make_wal(&cfg, id))))
             .collect();
         for (site, from, to) in cfg.failures.crashes() {
             rt.schedule(from, TimerEvent::Crash { site });
             rt.schedule(to, TimerEvent::Recover { site });
+        }
+        let flusher =
+            (cfg.durable_wal_dir.is_some() && cfg.wal_background_flush).then(FlushScheduler::new);
+        let warnings = cfg.liveness_warnings();
+        #[cfg(debug_assertions)]
+        for w in &warnings {
+            eprintln!("warning: {w}");
         }
         Engine {
             cfg,
@@ -237,7 +266,31 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             hist,
             report: RunReport::default(),
             checkpointed: false,
+            wal_parked: FastHashMap::default(),
+            flush_armed: BTreeSet::new(),
+            flusher,
+            warnings,
         }
+    }
+
+    /// Build one site's WAL backend per the configuration: durable when a
+    /// WAL directory is set (reopening an existing file — recovery across
+    /// *process* restarts — is exactly the open path), in-memory otherwise.
+    fn make_wal(cfg: &SystemConfig, id: SiteId) -> WalBackend {
+        match &cfg.durable_wal_dir {
+            None => WalBackend::default(),
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("create durable WAL dir");
+                let path = dir.join(format!("site-{}.wal", id.0));
+                WalBackend::from(DurableWal::open(&path).expect("open durable WAL"))
+            }
+        }
+    }
+
+    /// Warnings about liveness footguns in the active configuration,
+    /// computed once at assembly (see [`SystemConfig::liveness_warnings`]).
+    pub fn config_warnings(&self) -> &[String] {
+        &self.warnings
     }
 
     /// Pre-load a data item at a site.
@@ -403,6 +456,138 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             o2pc_runtime::SendOutcome::Sent => {}
             o2pc_runtime::SendOutcome::DroppedByPolicy => self.report.counters.inc(dropped),
             o2pc_runtime::SendOutcome::NoRoute => self.report.counters.inc(unroutable),
+        }
+    }
+
+    /// Send a message whose content *promises* durability of records `from`
+    /// has logged — a yes-vote (the local commit / prepare record), a
+    /// decision ack (the `Outcome` record), a fate-bearing termination
+    /// answer. In durable mode such a message is parked until the sender's
+    /// WAL is durable past its current append ticket; the next group-commit
+    /// flush releases it. On the in-memory backend (and for messages that
+    /// promise nothing — a no-vote, a SPAWN) this is just [`Engine::send`]:
+    /// the WAL reports clean and nothing parks.
+    ///
+    /// The write-before-promise ordering this enforces is the only explicit
+    /// barrier the protocol needs. Everything else is covered by prefix
+    /// durability: the log is written and fsynced strictly in order, so a
+    /// durable record implies every earlier record is durable too, and
+    /// strict 2PL guarantees no later writer's record precedes the commit
+    /// record it depends on.
+    pub(crate) fn send_gated(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
+        let dirty = self.sites[from.index()]
+            .as_ref()
+            .is_some_and(|s| s.wal_is_dirty());
+        if !dirty {
+            self.send(now, from, to, msg);
+            return;
+        }
+        let ticket = self.sites[from.index()]
+            .as_ref()
+            .unwrap()
+            .wal_append_ticket();
+        self.wal_parked
+            .entry(from)
+            .or_default()
+            .push((ticket, to, msg));
+        self.report.counters.inc("wal.parked_msgs");
+        self.arm_wal_flush(now, from);
+    }
+
+    /// Arm the group-commit flush timer for a dirty durable WAL (at most
+    /// one live timer per site; re-armed from `on_wal_flush` while dirt
+    /// remains).
+    pub(crate) fn arm_wal_flush(&mut self, now: SimTime, site: SiteId) {
+        if !self.site_up(site) || !self.sites[site.index()].as_ref().unwrap().wal_is_dirty() {
+            return;
+        }
+        if self.flush_armed.insert(site) {
+            self.rt.schedule(
+                now + self.cfg.wal_flush_interval,
+                TimerEvent::WalFlush { site },
+            );
+        }
+    }
+
+    /// Group-commit flush point: make the site's appended records durable
+    /// (inline fsync, or a sealed batch to the background flusher) and
+    /// release every parked message whose ticket the durable watermark has
+    /// passed. One fsync here covers every transaction that logged since the
+    /// last flush — that batching *is* group commit.
+    pub(crate) fn on_wal_flush(&mut self, now: SimTime, site: SiteId) {
+        self.flush_armed.remove(&site);
+        if !self.site_up(site) {
+            return;
+        }
+        {
+            let s = self.sites[site.index()].as_mut().unwrap();
+            match &self.flusher {
+                None => {
+                    if s.wal_sync().is_err() {
+                        // The log device failed (an injected fault): the
+                        // site can no longer make durable promises. Treat it
+                        // exactly like a crash — volatile state gone, disk
+                        // state as the fault left it.
+                        self.report.counters.inc("wal.fault_crashes");
+                        self.on_crash(now, site);
+                        return;
+                    }
+                }
+                Some(f) => {
+                    if let Some(batch) = s.wal_seal_batch() {
+                        f.submit(batch);
+                    }
+                }
+            }
+            self.report.counters.inc("wal.flushes");
+        }
+        self.release_parked(now, site);
+        // Background mode: the watermark advances asynchronously, so keep a
+        // short timer chain alive until every parked message drains.
+        if (self.sites[site.index()]
+            .as_ref()
+            .is_some_and(|s| s.wal_is_dirty())
+            || self.wal_parked.get(&site).is_some_and(|q| !q.is_empty()))
+            && self.flush_armed.insert(site)
+        {
+            self.rt.schedule(
+                now + self.cfg.wal_flush_interval,
+                TimerEvent::WalFlush { site },
+            );
+        }
+    }
+
+    /// Release parked messages covered by the site's durable watermark.
+    fn release_parked(&mut self, now: SimTime, site: SiteId) {
+        let Some(queue) = self.wal_parked.get_mut(&site) else {
+            return;
+        };
+        let durable = self.sites[site.index()]
+            .as_ref()
+            .map(|s| s.wal_durable_ticket())
+            .unwrap_or(0);
+        let ready = queue.partition_point(|&(t, _, _)| t <= durable);
+        if ready == 0 {
+            return;
+        }
+        let release: Vec<(u64, SiteId, Msg)> = queue.drain(..ready).collect();
+        for (_, to, msg) in release {
+            self.send(now, site, to, msg);
+        }
+    }
+
+    /// Make every live site's WAL fully durable (end of run / shutdown) and
+    /// release whatever that unparks. Inline even in background mode: the
+    /// run is over, latency no longer matters, completeness does.
+    pub(crate) fn sync_all_wals(&mut self, now: SimTime) {
+        if self.cfg.durable_wal_dir.is_none() {
+            return;
+        }
+        for id in self.cfg.sites().collect::<Vec<_>>() {
+            if let Some(s) = self.sites[id.index()].as_mut() {
+                let _ = s.wal_sync();
+                self.release_parked(now, id);
+            }
         }
     }
 

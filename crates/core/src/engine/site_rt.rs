@@ -49,16 +49,19 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     self.arm_term_timer(now, txn, to);
                 }
                 let coord_site = self.txns[&txn].coord_site;
-                self.send(
-                    now,
-                    to,
-                    coord_site,
-                    Msg::VoteMsg {
-                        txn,
-                        from: to,
-                        vote: out.vote,
-                    },
-                );
+                let reply = Msg::VoteMsg {
+                    txn,
+                    from: to,
+                    vote: out.vote,
+                };
+                if out.vote == o2pc_site::Vote::Yes {
+                    // A yes-vote promises the local-commit / prepare record
+                    // is durable; hold it for the next group-commit flush. A
+                    // no-vote promises nothing — recovery re-produces it.
+                    self.send_gated(now, to, coord_site, reply);
+                } else {
+                    self.send(now, to, coord_site, reply);
+                }
             }
             Msg::VoteMsg { txn, from, vote } => {
                 let Some(g) = self.txns.get_mut(&txn) else {
@@ -89,7 +92,11 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                     self.invalidate_incompatible_subs(now, to);
                 }
                 let coord_site = self.txns[&txn].coord_site;
-                self.send(now, to, coord_site, Msg::DecisionAck { txn, from: to });
+                // The ack promises the Outcome record is durable: after it,
+                // the coordinator may retire the transaction, so this site
+                // must never again be in doubt about the fate — not even
+                // across a crash.
+                self.send_gated(now, to, coord_site, Msg::DecisionAck { txn, from: to });
             }
             Msg::DecisionAck { txn, from } => {
                 let Some(g) = self.txns.get_mut(&txn) else {
@@ -107,16 +114,22 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
                 let site = self.sites[to.index()].as_mut().unwrap();
                 let (state, woken) = site.answer_termination_query(txn, now, hist);
                 self.wake(now, to, woken);
-                self.send(
-                    now,
-                    to,
-                    from,
-                    Msg::TermAnswer {
-                        txn,
-                        from: to,
-                        state,
-                    },
-                );
+                let reply = Msg::TermAnswer {
+                    txn,
+                    from: to,
+                    state,
+                };
+                if matches!(
+                    state,
+                    o2pc_site::PeerState::KnowsCommit | o2pc_site::PeerState::KnowsAbort
+                ) {
+                    // A fate answer lets the asker finalize; the Outcome
+                    // record behind it must be durable first, or a crash
+                    // here could leave this site presuming the other way.
+                    self.send_gated(now, to, from, reply);
+                } else {
+                    self.send(now, to, from, reply);
+                }
             }
             Msg::TermAnswer { txn, from, state } => {
                 let Some(round) = self.term_rounds.get_mut(&(txn, to)) else {

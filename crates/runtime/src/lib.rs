@@ -34,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod flush;
 pub mod runtime;
 pub mod transport;
 
 pub use clock::{Clock, WallClock};
+pub use flush::FlushScheduler;
 pub use runtime::{Runtime, SimRuntime, Step, ThreadedRuntime, ThreadedRuntimeConfig};
 pub use transport::{
     Batch, Envelope, Inbox, LinkPolicy, SendOutcome, ThreadedTransport, Transport,

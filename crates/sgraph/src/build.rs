@@ -38,9 +38,16 @@ pub fn build_exposed_sgs(history: &History) -> GlobalSg {
 fn build_with(history: &History, exposure_filter: bool) -> GlobalSg {
     // Which local transactions committed, and where global transactions
     // were exposed (locally committed / committed) or merely rolled back.
+    // For compensations, the event index of the last roll-back per site:
+    // a `RolledBack` for a compensation only ever comes from crash recovery
+    // (CTs never vote), meaning its earlier accesses at the site were
+    // cleanly undone — and were observed by nothing durable — before the
+    // compensation re-executes under the same id. Keeping them would merge
+    // two physical executions into one node and manufacture cycles.
     let mut local_committed: HashMap<TxnId, bool> = HashMap::new();
     let mut exposed: HashMap<(TxnId, SiteId), bool> = HashMap::new();
-    for e in history.events() {
+    let mut comp_void: HashMap<(TxnId, SiteId), usize> = HashMap::new();
+    for (idx, e) in history.events().iter().enumerate() {
         match e.txn {
             TxnId::Local(_) => {
                 let entry = local_committed.entry(e.txn).or_insert(false);
@@ -57,7 +64,11 @@ fn build_with(history: &History, exposure_filter: bool) -> GlobalSg {
                 }
                 _ => {}
             },
-            TxnId::Compensation(_) => {}
+            TxnId::Compensation(_) => {
+                if matches!(e.kind, HistEventKind::RolledBack) {
+                    comp_void.insert((e.txn, e.site), idx);
+                }
+            }
         }
     }
     let include = |txn: TxnId, site: SiteId| -> bool {
@@ -77,10 +88,15 @@ fn build_with(history: &History, exposure_filter: bool) -> GlobalSg {
     let mut gsg = GlobalSg::new();
     // Per site, per key: accesses in order (txn, kind).
     let mut per_site_key: HashMap<(SiteId, Key), Vec<(TxnId, OpKind)>> = HashMap::new();
-    for e in history.events() {
+    for (idx, e) in history.events().iter().enumerate() {
         if let HistEventKind::Access { kind, key, .. } = e.kind {
             if !include(e.txn, e.site) {
                 continue;
+            }
+            if matches!(e.txn, TxnId::Compensation(_))
+                && comp_void.get(&(e.txn, e.site)).is_some_and(|&rb| idx < rb)
+            {
+                continue; // voided by a crash before the re-execution
             }
             gsg.site_mut(e.site).add_node(e.txn);
             per_site_key

@@ -38,6 +38,18 @@ impl LocalSg {
         }
     }
 
+    /// Remove a node and every edge incident to it. Used by crash voiding:
+    /// a compensation whose log records were wiped with the un-durable WAL
+    /// tail re-executes later under the same id, and its pre-crash accesses
+    /// (cleanly undone, observed by nothing durable) must leave the graph.
+    pub fn remove_node(&mut self, n: TxnId) {
+        self.nodes.remove(&n);
+        self.adj.remove(&n);
+        for succs in self.adj.values_mut() {
+            succs.retain(|&s| s != n);
+        }
+    }
+
     /// Does the node appear at this site?
     pub fn contains(&self, n: TxnId) -> bool {
         self.nodes.contains(&n)

@@ -126,6 +126,10 @@ pub struct IncrementalSg {
     status: FastHashMap<(TxnId, SiteId), Inclusion>,
     /// Keys (per (txn, site)) holding buffered accesses, for flushing.
     pending_keys: FastHashMap<(TxnId, SiteId), Vec<Key>>,
+    /// Keys (per (compensation, site)) holding *linked* accesses, so a
+    /// crash-voiding roll-back can remove them again (see
+    /// [`IncrementalSg::observe`] on `RolledBack`).
+    comp_keys: FastHashMap<(TxnId, SiteId), Vec<Key>>,
 }
 
 impl IncrementalSg {
@@ -148,6 +152,7 @@ impl IncrementalSg {
             lanes: FastHashMap::default(),
             status: FastHashMap::default(),
             pending_keys: FastHashMap::default(),
+            comp_keys: FastHashMap::default(),
         }
     }
 
@@ -172,16 +177,26 @@ impl IncrementalSg {
                 TxnId::Compensation(_) => {}
             },
             HistEventKind::RolledBack => {
-                // Roll-back excludes unless exposure was (or is later)
-                // observed — `Included` is absorbing.
-                if matches!(ev.txn, TxnId::Global(_) | TxnId::Local(_)) {
-                    let s = self
-                        .status
-                        .entry((ev.txn, ev.site))
-                        .or_insert(Inclusion::Undecided);
-                    if *s != Inclusion::Included {
-                        *s = Inclusion::Excluded;
+                match ev.txn {
+                    // Roll-back excludes unless exposure was (or is later)
+                    // observed — `Included` is absorbing.
+                    TxnId::Global(_) | TxnId::Local(_) => {
+                        let s = self
+                            .status
+                            .entry((ev.txn, ev.site))
+                            .or_insert(Inclusion::Undecided);
+                        if *s != Inclusion::Included {
+                            *s = Inclusion::Excluded;
+                        }
                     }
+                    // A rolled-back compensation only happens on crash
+                    // recovery: its earlier accesses at the site were wiped
+                    // with the un-durable log tail and cleanly undone, and
+                    // the compensation will re-execute under the same id.
+                    // Void what was linked (matching the batch builder,
+                    // which skips compensation accesses that precede the
+                    // last roll-back).
+                    TxnId::Compensation(_) => self.void_compensation(ev.txn, ev.site),
                 }
             }
             HistEventKind::Begin | HistEventKind::Compensated => {}
@@ -201,10 +216,31 @@ impl IncrementalSg {
         };
         if included {
             link(&mut self.gsg, lane, site, txn, kind, pos);
+            if matches!(txn, TxnId::Compensation(_)) {
+                self.comp_keys.entry((txn, site)).or_default().push(key);
+            }
         } else {
             lane.pending.push((txn, kind, pos));
             self.pending_keys.entry((txn, site)).or_default().push(key);
         }
+    }
+
+    /// Remove every linked access of a compensation at one site: node and
+    /// incident edges from the site graph, plus its lane entries, so a later
+    /// re-execution links from a clean slate. Crash-voiding is rare, so the
+    /// incident-edge scan in [`LocalSg::remove_node`] is off the hot path.
+    ///
+    /// [`LocalSg::remove_node`]: crate::graph::LocalSg::remove_node
+    fn void_compensation(&mut self, txn: TxnId, site: SiteId) {
+        let Some(keys) = self.comp_keys.remove(&(txn, site)) else {
+            return;
+        };
+        for key in keys {
+            if let Some(lane) = self.lanes.get_mut(&(site, key)) {
+                lane.included.retain(|lt| lt.txn != txn);
+            }
+        }
+        self.gsg.site_mut(site).remove_node(txn);
     }
 
     fn set_included(&mut self, txn: TxnId, site: SiteId) {
@@ -520,5 +556,90 @@ mod tests {
         let sg = g.site(SiteId(0)).unwrap();
         assert!(sg.successors(t(1)).contains(&lx));
         assert!(sg.successors(lx).contains(&t(2)));
+    }
+
+    #[test]
+    fn crash_voiding_removes_compensation_accesses_before_rollback() {
+        // CT1 runs, its log records ride an un-fsynced tail, the site
+        // crashes: the engine emits RolledBack for CT1 and the physical
+        // execution is undone. CT1 later re-executes under the same id.
+        // Only the post-voiding accesses may conflict.
+        let ct1 = ct(1);
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: ct1,
+            kind: HistEventKind::RolledBack,
+            time: SimTime(3),
+        });
+        h.access(SiteId(0), t(2), OpKind::Write, Key(2), None, SimTime(4));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        let sg = g.site(SiteId(0)).unwrap();
+        assert!(!sg.contains(ct1), "voided compensation leaves the graph");
+        assert!(
+            sg.successors(t(1)).is_empty(),
+            "edge to the wiped execution must not survive"
+        );
+    }
+
+    #[test]
+    fn crash_voiding_keeps_reexecution_accesses() {
+        // Same shape, but CT1 re-executes after the voiding event: the
+        // second physical execution's conflicts are real and must stay.
+        let ct1 = ct(1);
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(2));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: ct1,
+            kind: HistEventKind::RolledBack,
+            time: SimTime(3),
+        });
+        h.access(SiteId(0), ct1, OpKind::Write, Key(1), None, SimTime(4));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        let sg = g.site(SiteId(0)).unwrap();
+        assert!(sg.contains(ct1));
+        assert!(
+            sg.successors(t(1)).contains(&ct1),
+            "re-executed compensation conflicts normally"
+        );
+        assert!(
+            !sg.successors(ct1).contains(&t(1)),
+            "no phantom back-edge from the wiped first execution"
+        );
+    }
+
+    #[test]
+    fn global_and_local_rollback_semantics_unchanged_by_voiding() {
+        // RolledBack on a Global/Local txn still means exposure-exclusion,
+        // not positional voiding: an exposed (locally committed) global's
+        // accesses survive its later rollback event.
+        let mut h = History::new();
+        h.access(SiteId(0), t(1), OpKind::Write, Key(1), None, SimTime(1));
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::LocallyCommitted,
+            time: SimTime(2),
+        });
+        h.push(HistEvent {
+            site: SiteId(0),
+            txn: t(1),
+            kind: HistEventKind::RolledBack,
+            time: SimTime(3),
+        });
+        h.access(SiteId(0), t(2), OpKind::Write, Key(1), None, SimTime(4));
+        assert_equivalent(&h);
+        let g = replay(&h, true);
+        let sg = g.site(SiteId(0)).unwrap();
+        assert!(
+            sg.successors(t(1)).contains(&t(2)),
+            "exposed global stays despite rollback (Included absorbs)"
+        );
     }
 }

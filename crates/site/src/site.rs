@@ -9,7 +9,7 @@ use o2pc_common::{
 use o2pc_compensation::{plan_compensation, CompensationModel, CompensationPlan};
 use o2pc_locking::{LockManager, RequestOutcome};
 use o2pc_marking::{MarkEvent, MarkState, SiteMarks};
-use o2pc_storage::{CommitRecord, LogRecord, Store, Wal};
+use o2pc_storage::{CommitRecord, FlushBatch, LogRecord, Store, WalBackend};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -80,12 +80,12 @@ pub struct DecideOutcome {
 }
 
 /// One autonomous local DBMS.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Site {
     id: SiteId,
     config: SiteConfig,
     store: Store,
-    wal: Wal,
+    wal: WalBackend,
     locks: LockManager,
     marks: SiteMarks,
     last_writer: FastHashMap<Key, TxnId>,
@@ -113,13 +113,18 @@ pub struct Site {
 }
 
 impl Site {
-    /// New empty site.
+    /// New empty site with an in-memory WAL.
     pub fn new(id: SiteId, config: SiteConfig) -> Self {
+        Self::with_wal(id, config, WalBackend::default())
+    }
+
+    /// New empty site logging to the given WAL backend.
+    pub fn with_wal(id: SiteId, config: SiteConfig, wal: WalBackend) -> Self {
         Site {
             id,
             config,
             store: Store::new(),
-            wal: Wal::new(),
+            wal,
             locks: LockManager::new(),
             marks: SiteMarks::new(),
             last_writer: FastHashMap::default(),
@@ -173,6 +178,23 @@ impl Site {
         };
         self.local_seq += 1;
         id
+    }
+
+    /// High-water mark of the local-transaction id counter: every seq below
+    /// it may already have been issued.
+    pub fn local_seq_watermark(&self) -> u64 {
+        self.local_seq
+    }
+
+    /// Raise the local id counter to at least `floor`. A durable WAL can
+    /// lose its unflushed tail in a crash, including the `Begin` of a local
+    /// transaction the rest of the system already observed — recovery from
+    /// the truncated log alone would then reissue that id and merge two
+    /// distinct transactions into one history node. Real systems reserve id
+    /// ranges durably ahead of use; the engine models that reservation by
+    /// restoring the pre-crash watermark here.
+    pub fn reserve_local_seq(&mut self, floor: u64) {
+        self.local_seq = self.local_seq.max(floor);
     }
 
     /// The site's marking state (R1 checks read it).
@@ -808,9 +830,44 @@ impl Site {
         self.locks.release_all(exec, now)
     }
 
-    /// Simulated crash: the volatile state is lost; the WAL survives.
-    pub fn crash(self) -> Wal {
-        self.wal
+    /// Simulated crash: the volatile state is lost; the WAL survives —
+    /// entirely on the in-memory backend, and up to its durable watermark on
+    /// the durable backend (the unsynced tail is gone, as on a real disk).
+    pub fn crash(self) -> WalBackend {
+        self.wal.crash().expect("wal crash transform")
+    }
+
+    // ----- durability surface (delegated; trivial on the in-memory WAL) -----
+
+    /// True when this site logs to the durable (file-backed) backend.
+    pub fn wal_is_durable(&self) -> bool {
+        self.wal.is_durable()
+    }
+
+    /// True when the site's WAL has appended records not yet durable.
+    pub fn wal_is_dirty(&self) -> bool {
+        self.wal.is_dirty()
+    }
+
+    /// Ticket covering everything this site has logged so far.
+    pub fn wal_append_ticket(&self) -> u64 {
+        self.wal.append_ticket()
+    }
+
+    /// The site's durable watermark.
+    pub fn wal_durable_ticket(&self) -> u64 {
+        self.wal.durable_ticket()
+    }
+
+    /// Group commit: flush the site's WAL inline (sim substrate).
+    pub fn wal_sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Seal buffered WAL frames for a background flusher (threaded
+    /// substrate). `None` when nothing is pending.
+    pub fn wal_seal_batch(&mut self) -> Option<FlushBatch> {
+        self.wal.seal_batch()
     }
 
     /// Restart from a surviving WAL: committed and locally-committed state
@@ -818,7 +875,7 @@ impl Site {
     /// subtransactions keep their updates and re-acquire their write locks;
     /// locally-committed subtransactions with an unknown decision keep
     /// their commit records so they can still compensate.
-    pub fn recover(id: SiteId, config: SiteConfig, wal: Wal) -> Site {
+    pub fn recover(id: SiteId, config: SiteConfig, wal: WalBackend) -> Site {
         let recovered = wal.recover();
         let mut wal = wal;
         // Log the restart rollback (ARIES-style compensation records):

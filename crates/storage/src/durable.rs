@@ -1,0 +1,604 @@
+//! On-disk write-ahead log with group commit and torn-tail-tolerant
+//! recovery.
+//!
+//! [`DurableWal`] keeps the same logical surface as the in-memory
+//! [`Wal`] — `append`, `checkpoint`, `truncate_to_checkpoint`, `recover` —
+//! by maintaining a full in-memory *mirror* of the decoded log alongside the
+//! file. Recovery therefore runs the exact same `Wal::recover` code on the
+//! same record sequence the file holds, which is what makes the
+//! durable-vs-in-memory differential tests byte-for-byte meaningful.
+//!
+//! ## Durability model
+//!
+//! Appends are buffered in memory and become durable only at [`sync`]
+//! (write + fsync) or when a sealed [`FlushBatch`] completes on a background
+//! flusher. Progress is tracked in *byte tickets*: [`append_ticket`] after an
+//! append names the byte offset that must become durable before any promise
+//! depending on that record (a yes-vote, a decision ack) may leave the site;
+//! [`durable_ticket`] is the current durable watermark. Because the log is
+//! written strictly sequentially and fsynced in order, durability is
+//! *prefix-closed*: a durable ticket covers every earlier record. Group
+//! commit falls out of the ticket scheme — one fsync advances the watermark
+//! past every record buffered since the last flush, amortising the sync
+//! across all transactions that appended in the window.
+//!
+//! [`sync`]: DurableWal::sync
+//! [`append_ticket`]: DurableWal::append_ticket
+//! [`durable_ticket`]: DurableWal::durable_ticket
+//!
+//! ## Crash model
+//!
+//! A simulated crash ([`DurableWal::crash`]) is *adversarial*: the unsynced
+//! buffer is discarded and the file is truncated to the durable watermark —
+//! the maximum data loss an fsync-honouring disk permits. An injected
+//! [`WriteFault`] is harsher still: it can tear a frame mid-write (short
+//! write), fail the write outright, or drop the file handle, leaving a tail
+//! that only checksum validation can reject. Reopening with
+//! [`DurableWal::open`] discards any torn or corrupt tail and replays the
+//! rest.
+
+use crate::codec::{decode_all, encode_frame};
+use crate::store::{Store, UndoRecord};
+use crate::wal::{LogRecord, RecoveredState, Wal};
+use o2pc_common::ExecId;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared durable-watermark cell: the engine parks outgoing messages against
+/// it and a background flusher advances it. Byte tickets are monotone, so a
+/// single `fetch_max` + broadcast is enough.
+#[derive(Debug, Default)]
+pub struct FlushProgress {
+    durable: AtomicU64,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl FlushProgress {
+    fn new(durable: u64) -> Arc<Self> {
+        Arc::new(FlushProgress {
+            durable: AtomicU64::new(durable),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Current durable byte watermark.
+    pub fn durable(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Advance the watermark (monotone) and wake waiters.
+    pub fn advance(&self, to: u64) {
+        let _g = self.lock.lock().unwrap();
+        self.durable.fetch_max(to, Ordering::AcqRel);
+        self.cond.notify_all();
+    }
+
+    /// Block until the watermark reaches `ticket`.
+    pub fn wait_for(&self, ticket: u64) {
+        if self.durable() >= ticket {
+            return;
+        }
+        let mut g = self.lock.lock().unwrap();
+        while self.durable() < ticket {
+            g = self.cond.wait(g).unwrap();
+        }
+    }
+}
+
+/// How an injected I/O fault manifests mid-append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Short write: the frame is cut at the fault offset (torn tail on disk).
+    Torn,
+    /// The write fails outright; nothing past the fault offset reaches disk.
+    Error,
+    /// The file handle vanishes (e.g. the device disappeared).
+    DropHandle,
+}
+
+/// A seeded write fault: the first physical write that would carry the byte
+/// stream past `fail_after` bytes triggers `kind`. After a fault fires the
+/// WAL is dead — every further durability operation fails — modelling a site
+/// whose log device failed mid-run.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteFault {
+    /// Physical byte offset at which the fault fires.
+    pub fail_after: u64,
+    /// Fault flavour.
+    pub kind: FaultKind,
+}
+
+/// A sealed batch of appended bytes for a background flusher: write + fsync,
+/// then advance the shared watermark. Batches sealed from one WAL must be
+/// executed in seal order (the flusher is FIFO), preserving prefix
+/// durability.
+#[derive(Debug)]
+pub struct FlushBatch {
+    file: File,
+    bytes: Vec<u8>,
+    ticket: u64,
+    progress: Arc<FlushProgress>,
+}
+
+impl FlushBatch {
+    /// Byte ticket this batch advances the watermark to.
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+
+    /// Write, fsync, and publish the new durable watermark.
+    pub fn execute(mut self) -> io::Result<()> {
+        self.file.write_all(&self.bytes)?;
+        self.file.sync_data()?;
+        self.progress.advance(self.ticket);
+        Ok(())
+    }
+}
+
+/// An append-only, checksummed, file-backed WAL (see module docs).
+#[derive(Debug)]
+pub struct DurableWal {
+    path: PathBuf,
+    file: Option<File>,
+    /// In-memory mirror of every appended record, including not-yet-durable
+    /// ones — the live log a running site recovers and audits against.
+    mem: Wal,
+    /// Encoded frames appended since the last seal/sync.
+    buf: Vec<u8>,
+    /// Logical bytes appended over the WAL's lifetime (ticket space).
+    appended: u64,
+    /// Logical offset of physical byte 0 (advances when truncation rewrites
+    /// the file, so tickets stay monotone across log reclamation).
+    base: u64,
+    /// Physical bytes successfully handed to the OS (fault accounting).
+    written: u64,
+    progress: Arc<FlushProgress>,
+    fault: Option<WriteFault>,
+    dead: bool,
+}
+
+impl DurableWal {
+    /// Open (or create) the WAL at `path`, discarding any torn or
+    /// checksum-failing tail, and mirror the surviving records in memory.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with(path, None)
+    }
+
+    /// [`open`](Self::open) with an injected write fault armed.
+    pub fn open_with(path: impl Into<PathBuf>, fault: Option<WriteFault>) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, good) = decode_all(&bytes);
+        if good < bytes.len() {
+            // Torn tail: cut it off so future appends start at a clean
+            // frame boundary.
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        Ok(DurableWal {
+            path,
+            file: Some(file),
+            mem: Wal::from_records(records),
+            buf: Vec::new(),
+            appended: good as u64,
+            base: 0,
+            written: good as u64,
+            progress: FlushProgress::new(good as u64),
+            fault,
+            dead: false,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a record (buffered; durable at the next flush).
+    pub fn append(&mut self, rec: LogRecord) {
+        let n = encode_frame(&rec, &mut self.buf);
+        self.mem.append(rec);
+        self.appended += n as u64;
+    }
+
+    /// Convenience mirror of [`Wal::append_update`].
+    pub fn append_update(&mut self, exec: ExecId, rec: &UndoRecord) {
+        self.append(LogRecord::Update {
+            exec,
+            key: rec.key,
+            before: rec.before,
+            after: rec.after,
+        });
+    }
+
+    /// Ticket covering everything appended so far.
+    pub fn append_ticket(&self) -> u64 {
+        self.appended
+    }
+
+    /// Current durable watermark.
+    pub fn durable_ticket(&self) -> u64 {
+        self.progress.durable()
+    }
+
+    /// True when appended bytes are not yet durable (a flush is owed).
+    pub fn is_dirty(&self) -> bool {
+        self.appended > self.progress.durable()
+    }
+
+    /// True once an injected fault has fired (the log device is gone).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Shared watermark cell (for flusher wiring and tests).
+    pub fn progress(&self) -> Arc<FlushProgress> {
+        Arc::clone(&self.progress)
+    }
+
+    fn fault_check(&mut self, len: usize) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::other("wal is dead"));
+        }
+        let Some(f) = self.fault else {
+            return Ok(len);
+        };
+        if self.written + len as u64 <= f.fail_after {
+            return Ok(len);
+        }
+        self.dead = true;
+        match f.kind {
+            FaultKind::Torn => Ok(f.fail_after.saturating_sub(self.written) as usize),
+            FaultKind::Error => Err(io::Error::other("injected write error")),
+            FaultKind::DropHandle => {
+                self.file = None;
+                Err(io::Error::other("injected handle loss"))
+            }
+        }
+    }
+
+    /// Write buffered frames and fsync: one group commit. Advances the
+    /// durable watermark past every record appended since the last flush.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            // A dead WAL never advances its watermark — waiting would hang.
+            return Err(io::Error::other("wal is dead"));
+        }
+        // Sealed batches must land before these bytes: the file is strictly
+        // append-ordered and an inline write overtaking a queued batch would
+        // interleave frames out of order.
+        self.progress
+            .wait_for(self.appended - self.buf.len() as u64);
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let allowed = self.fault_check(self.buf.len())?;
+        let torn = allowed < self.buf.len();
+        let file = self
+            .file
+            .as_mut()
+            .ok_or_else(|| io::Error::other("wal handle lost"))?;
+        file.write_all(&self.buf[..allowed])?;
+        file.sync_data()?;
+        self.written += allowed as u64;
+        if torn {
+            // The torn prefix reached disk but no complete frame boundary
+            // did: the watermark does not move, and the WAL is dead.
+            self.buf.clear();
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected torn write",
+            ));
+        }
+        self.buf.clear();
+        self.progress.advance(self.appended);
+        Ok(())
+    }
+
+    /// Seal the buffered frames into a [`FlushBatch`] for a background
+    /// flusher. Returns `None` when there is nothing to flush or the WAL can
+    /// no longer write.
+    pub fn seal_batch(&mut self) -> Option<FlushBatch> {
+        if self.buf.is_empty() || self.dead {
+            return None;
+        }
+        let file = self.file.as_ref()?.try_clone().ok()?;
+        let bytes = std::mem::take(&mut self.buf);
+        self.written += bytes.len() as u64;
+        Some(FlushBatch {
+            file,
+            bytes,
+            ticket: self.appended,
+            progress: Arc::clone(&self.progress),
+        })
+    }
+
+    /// Mirror of [`Wal::checkpoint`].
+    pub fn checkpoint(&mut self, store: &Store) {
+        let mut items: Vec<_> = store.iter().collect();
+        items.sort_unstable_by_key(|&(k, _)| k);
+        self.append(LogRecord::Checkpoint { items });
+    }
+
+    /// Log reclamation: drop records before the last checkpoint and compact
+    /// the file. The compacted log is written to a temp file, fsynced, and
+    /// atomically renamed over the live log, so a crash at any point leaves
+    /// either the old complete log or the new complete log — never a hybrid.
+    /// Byte tickets remain monotone across the rewrite.
+    pub fn truncate_to_checkpoint(&mut self) -> io::Result<()> {
+        // Everything must be durable before the old log is replaced: a
+        // sealed-but-unflushed batch would otherwise target the unlinked
+        // inode.
+        self.sync()?;
+        self.progress.wait_for(self.appended);
+        self.mem.truncate_to_checkpoint();
+        let mut bytes = Vec::new();
+        for rec in self.mem.records() {
+            encode_frame(rec, &mut bytes);
+        }
+        let tmp = self.path.with_extension("waltmp");
+        let mut tf = File::create(&tmp)?;
+        tf.write_all(&bytes)?;
+        tf.sync_all()?;
+        drop(tf);
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            // Make the rename itself durable.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.file = Some(
+            OpenOptions::new()
+                .read(true)
+                .append(true)
+                .open(&self.path)?,
+        );
+        self.base = self.appended - bytes.len() as u64;
+        self.written = bytes.len() as u64;
+        self.progress.advance(self.appended);
+        Ok(())
+    }
+
+    /// Simulated crash: lose the unsynced buffer, truncate the file to the
+    /// durable watermark (adversarial: maximum permitted loss), and reopen.
+    /// A dead WAL (injected fault) skips the truncation — whatever the fault
+    /// left on disk, including a torn frame, is what recovery must cope
+    /// with.
+    pub fn crash(mut self) -> io::Result<DurableWal> {
+        let sealed = self.appended - self.buf.len() as u64;
+        if !self.dead {
+            // Let in-flight background batches land, then cut at the
+            // watermark; without this a late flusher write could resurrect
+            // bytes the truncation already declared lost.
+            self.progress.wait_for(sealed);
+            let phys = self.progress.durable() - self.base;
+            drop(self.file.take());
+            if let Ok(f) = OpenOptions::new().write(true).open(&self.path) {
+                f.set_len(phys)?;
+                f.sync_data()?;
+            }
+        }
+        DurableWal::open(self.path)
+    }
+
+    // ----- logical surface (delegates to the mirror) -----
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// All records (tests / audits).
+    pub fn records(&self) -> &[LogRecord] {
+        self.mem.records()
+    }
+
+    /// Crash recovery over the mirrored records — same code, same result as
+    /// the in-memory backend on the same history.
+    pub fn recover(&self) -> RecoveredState {
+        self.mem.recover()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2pc_common::{GlobalTxnId, Key, Op, Value};
+
+    fn sub(i: u64) -> ExecId {
+        ExecId::Sub(GlobalTxnId(i))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("o2pc-dwal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("site.wal")
+    }
+
+    fn sample_workload(w: &mut DurableWal) {
+        let mut store = Store::new();
+        store.load(Key(1), Value(10));
+        store.load(Key(2), Value(20));
+        w.checkpoint(&store);
+        w.append(LogRecord::Begin(sub(0)));
+        store.apply(sub(0), Op::Add(Key(1), 5)).unwrap();
+        let u = *store.last_undo(sub(0)).unwrap();
+        w.append_update(sub(0), &u);
+        w.append(LogRecord::Commit(sub(0)));
+    }
+
+    #[test]
+    fn reopen_replays_synced_records() {
+        let path = tmp("reopen");
+        let mut w = DurableWal::open(&path).unwrap();
+        sample_workload(&mut w);
+        w.sync().unwrap();
+        let recs = w.records().to_vec();
+        drop(w);
+        let w2 = DurableWal::open(&path).unwrap();
+        assert_eq!(w2.records(), &recs[..]);
+        assert_eq!(
+            w2.recover().items,
+            vec![(Key(1), Value(15)), (Key(2), Value(20))]
+        );
+    }
+
+    #[test]
+    fn tickets_and_dirtiness() {
+        let path = tmp("tickets");
+        let mut w = DurableWal::open(&path).unwrap();
+        assert!(!w.is_dirty());
+        w.append(LogRecord::Begin(sub(1)));
+        let t = w.append_ticket();
+        assert!(w.is_dirty());
+        assert!(w.durable_ticket() < t);
+        w.sync().unwrap();
+        assert!(!w.is_dirty());
+        assert_eq!(w.durable_ticket(), t);
+    }
+
+    #[test]
+    fn crash_loses_unsynced_tail_only() {
+        let path = tmp("crash");
+        let mut w = DurableWal::open(&path).unwrap();
+        sample_workload(&mut w);
+        w.sync().unwrap();
+        let durable_len = w.len();
+        w.append(LogRecord::Begin(sub(9))); // never synced
+        let w2 = w.crash().unwrap();
+        assert_eq!(w2.len(), durable_len, "unsynced record gone");
+        assert!(!w2
+            .records()
+            .iter()
+            .any(|r| matches!(r, LogRecord::Begin(e) if *e == sub(9))));
+    }
+
+    #[test]
+    fn seal_batch_advances_watermark_on_execute() {
+        let path = tmp("seal");
+        let mut w = DurableWal::open(&path).unwrap();
+        w.append(LogRecord::Begin(sub(2)));
+        let t = w.append_ticket();
+        let batch = w.seal_batch().unwrap();
+        assert!(w.is_dirty());
+        assert_eq!(batch.ticket(), t);
+        batch.execute().unwrap();
+        assert_eq!(w.durable_ticket(), t);
+        assert!(!w.is_dirty());
+        // Nothing left to seal.
+        assert!(w.seal_batch().is_none());
+        drop(w);
+        assert_eq!(DurableWal::open(&path).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn truncate_to_checkpoint_compacts_file_and_keeps_tickets_monotone() {
+        let path = tmp("trunc");
+        let mut w = DurableWal::open(&path).unwrap();
+        sample_workload(&mut w);
+        let mut store = w.recover().into_store();
+        store.load(Key(1), Value(15));
+        w.checkpoint(&store);
+        w.append(LogRecord::Begin(sub(5)));
+        let before = w.append_ticket();
+        w.truncate_to_checkpoint().unwrap();
+        assert!(w.append_ticket() >= before, "tickets monotone");
+        assert!(!w.is_dirty());
+        let disk = std::fs::metadata(&path).unwrap().len();
+        assert!(disk < before, "file physically compacted");
+        // First record is now the checkpoint; recovery unchanged.
+        assert!(matches!(w.records()[0], LogRecord::Checkpoint { .. }));
+        let w2 = DurableWal::open(&path).unwrap();
+        assert_eq!(w2.records(), w.records());
+    }
+
+    #[test]
+    fn torn_fault_leaves_recoverable_prefix() {
+        let path = tmp("torn");
+        let mut w = DurableWal::open(&path).unwrap();
+        sample_workload(&mut w);
+        w.sync().unwrap();
+        let good = w.records().to_vec();
+        let cut = w.append_ticket() + 5; // tear 5 bytes into the next frame
+        let mut w = DurableWal::open_with(
+            &path,
+            Some(WriteFault {
+                fail_after: cut,
+                kind: FaultKind::Torn,
+            }),
+        )
+        .unwrap();
+        w.append(LogRecord::Begin(sub(7)));
+        assert!(w.sync().is_err());
+        assert!(w.is_dead());
+        drop(w);
+        // The file now ends in a torn frame; open discards it.
+        assert!(std::fs::metadata(&path).unwrap().len() > 0);
+        let w2 = DurableWal::open(&path).unwrap();
+        assert_eq!(w2.records(), &good[..]);
+    }
+
+    #[test]
+    fn error_and_drop_handle_faults_kill_the_wal() {
+        for kind in [FaultKind::Error, FaultKind::DropHandle] {
+            let path = tmp(match kind {
+                FaultKind::Error => "err",
+                _ => "drop",
+            });
+            let mut w = DurableWal::open_with(
+                &path,
+                Some(WriteFault {
+                    fail_after: 0,
+                    kind,
+                }),
+            )
+            .unwrap();
+            w.append(LogRecord::Begin(sub(1)));
+            assert!(w.sync().is_err());
+            assert!(w.is_dead());
+            assert!(w.sync().is_err(), "dead wal stays dead");
+            // Nothing reached disk.
+            assert_eq!(DurableWal::open(&path).unwrap().len(), 0);
+        }
+    }
+
+    #[test]
+    fn crash_of_dead_wal_recovers_durable_prefix() {
+        let path = tmp("deadcrash");
+        let mut w = DurableWal::open(&path).unwrap();
+        sample_workload(&mut w);
+        w.sync().unwrap();
+        let good = w.records().to_vec();
+        let cut = w.append_ticket() + 3;
+        let mut w = DurableWal::open_with(
+            &path,
+            Some(WriteFault {
+                fail_after: cut,
+                kind: FaultKind::Torn,
+            }),
+        )
+        .unwrap();
+        w.append(LogRecord::Begin(sub(8)));
+        let _ = w.sync();
+        let w2 = w.crash().unwrap();
+        assert_eq!(w2.records(), &good[..]);
+    }
+}

@@ -16,8 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod codec;
+pub mod durable;
 pub mod store;
 pub mod wal;
 
+pub use backend::WalBackend;
+pub use durable::{DurableWal, FaultKind, FlushBatch, FlushProgress, WriteFault};
 pub use store::{CommitRecord, Store, UndoRecord};
 pub use wal::{LogRecord, RecoveredState, Wal};

@@ -72,7 +72,7 @@ pub enum LogRecord {
 }
 
 /// The state reconstructed by [`Wal::recover`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RecoveredState {
     /// Recovered store contents.
     pub items: Vec<(Key, Value)>,
@@ -135,6 +135,18 @@ impl Wal {
     /// New empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a log from an already-decoded record sequence (used by the
+    /// durable backend to mirror the on-disk log in memory).
+    pub fn from_records(records: Vec<LogRecord>) -> Self {
+        let last_checkpoint = records
+            .iter()
+            .rposition(|r| matches!(r, LogRecord::Checkpoint { .. }));
+        Wal {
+            records,
+            last_checkpoint,
+        }
     }
 
     /// Append a record.
@@ -673,5 +685,94 @@ mod tests {
         let st = h.wal.recover();
         assert!(st.unresolved_local_commits.is_empty());
         assert_eq!(st.items, vec![(Key(1), Value(10))]);
+    }
+
+    #[test]
+    fn recover_checkpoint_only_log() {
+        // A freshly-checkpointed idle site: recovery is exactly the image.
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.load(Key(2), Value(-3));
+        h.wal.checkpoint(&h.store);
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(10)), (Key(2), Value(-3))]);
+        assert!(st.rolled_back.is_empty());
+        assert!(st.committed.is_empty());
+        assert!(st.prepared.is_empty());
+        assert!(st.unresolved_local_commits.is_empty());
+        assert_eq!(st.next_local_seq, 0);
+    }
+
+    #[test]
+    fn truncate_to_checkpoint_is_idempotent() {
+        let mut h = Logged::new();
+        h.load(Key(1), Value(1));
+        h.begin(sub(0));
+        h.apply(sub(0), Op::Add(Key(1), 4));
+        h.commit(sub(0));
+        // No checkpoint yet: truncation must be a no-op.
+        let before = h.wal.len();
+        h.wal.truncate_to_checkpoint();
+        assert_eq!(h.wal.len(), before, "no checkpoint → nothing to drop");
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(1));
+        h.apply(sub(1), Op::Add(Key(1), 2));
+        h.wal.truncate_to_checkpoint();
+        let once = h.wal.records().to_vec();
+        let st_once = h.wal.recover();
+        h.wal.truncate_to_checkpoint();
+        assert_eq!(h.wal.records(), &once[..], "second truncation is a no-op");
+        assert_eq!(h.wal.recover(), st_once);
+        assert!(matches!(h.wal.records()[0], LogRecord::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn double_abort_replay_is_harmless() {
+        // A crash between logging Abort and acking it can make the engine
+        // re-log it after recovery; replaying both must not double-undo.
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(local(0));
+        h.apply(local(0), Op::Write(Key(1), Value(50)));
+        h.abort(local(0));
+        h.wal.append(LogRecord::Abort(local(0)));
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(10))]);
+        assert!(st.rolled_back.is_empty());
+        // And a Begin replayed after termination must not resurrect it.
+        h.wal.append(LogRecord::Begin(local(0)));
+        let st = h.wal.recover();
+        assert_eq!(st.items, vec![(Key(1), Value(10))]);
+        assert!(
+            st.rolled_back.is_empty(),
+            "terminated exec stays terminated"
+        );
+    }
+
+    #[test]
+    fn duplicate_outcome_replay_keeps_one_decision() {
+        // Decision retransmission across a crash duplicates Outcome records;
+        // recovery must collapse them (latest wins) rather than report two.
+        let mut h = Logged::new();
+        h.load(Key(1), Value(10));
+        h.wal.checkpoint(&h.store);
+        h.begin(sub(3));
+        h.apply(sub(3), Op::Add(Key(1), 5));
+        let record = Arc::new(h.store.commit(sub(3)));
+        h.wal.append(LogRecord::LocalCommit {
+            exec: sub(3),
+            record,
+        });
+        for _ in 0..3 {
+            h.wal.append(LogRecord::Outcome {
+                txn: GlobalTxnId(3),
+                commit: true,
+            });
+        }
+        let st = h.wal.recover();
+        assert_eq!(st.outcomes, vec![(GlobalTxnId(3), true)]);
+        assert!(st.unresolved_local_commits.is_empty());
+        assert_eq!(st.items, vec![(Key(1), Value(15))]);
     }
 }
