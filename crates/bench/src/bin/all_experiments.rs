@@ -1,20 +1,34 @@
 //! Run the full experiment suite (F1, F2, E1–E9) in order.
 //!
 //! ```sh
-//! all_experiments [--backend {sim,threaded}]
+//! all_experiments [--backend {sim,threaded}] [--cores N]
 //! ```
 //!
 //! `--backend sim` (the default) runs every experiment on the deterministic
 //! simulator. `--backend threaded` runs the experiments ported to the
 //! wall-clock runtime (currently E1); the others only exist on the
 //! simulator and are skipped with a note.
+//!
+//! `--cores N` fans each simulator sweep's points out over N worker
+//! threads (default: all available; `--cores 1` is fully sequential). Rows
+//! are merged back in sweep order, so the emitted tables and CSVs are
+//! byte-identical at any core count. The threaded backend ignores the flag:
+//! its experiments measure wall-clock latency and must own the machine.
 use o2pc_bench::experiments as ex;
 use o2pc_bench::experiments::Backend;
 use std::process::exit;
 
-fn parse_backend() -> Backend {
+struct Args {
+    backend: Backend,
+    cores: usize,
+}
+
+fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let mut backend = Backend::Sim;
+    let mut parsed = Args {
+        backend: Backend::Sim,
+        cores: 0, // all available
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--backend" => {
@@ -22,7 +36,7 @@ fn parse_backend() -> Backend {
                     eprintln!("error: --backend requires a value (`sim` or `threaded`)");
                     exit(2);
                 };
-                backend = match value.parse() {
+                parsed.backend = match value.parse() {
                     Ok(b) => b,
                     Err(e) => {
                         eprintln!("error: {e}");
@@ -30,23 +44,38 @@ fn parse_backend() -> Backend {
                     }
                 };
             }
+            "--cores" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --cores requires a value");
+                    exit(2);
+                };
+                parsed.cores = match value.parse() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: --cores: {e}");
+                        exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: all_experiments [--backend {{sim,threaded}}]");
+                println!("usage: all_experiments [--backend {{sim,threaded}}] [--cores N]");
                 exit(0);
             }
             other => {
                 eprintln!("error: unexpected argument `{other}`");
-                eprintln!("usage: all_experiments [--backend {{sim,threaded}}]");
+                eprintln!("usage: all_experiments [--backend {{sim,threaded}}] [--cores N]");
                 exit(2);
             }
         }
     }
-    backend
+    parsed
 }
 
 fn main() {
-    match parse_backend() {
+    let args = parse_args();
+    match args.backend {
         Backend::Sim => {
+            ex::set_cores(args.cores);
             println!("# O2PC reproduction — full experiment suite (deterministic sim)");
             println!("# mode: closed-loop trace replay (pre-generated arrival schedule)\n");
             ex::fig1();

@@ -3,7 +3,10 @@
 //!
 //! ```sh
 //! cargo run --release --bin chaos -- --schedules 1000 --seed 42
+//! cargo run --release --bin chaos -- --schedules 2000 --cores 8
 //! cargo run --release --bin chaos -- --replay 65          # one seed, verbose
+//! cargo run --release --bin chaos -- --swarm --minutes 10 # mine a corpus
+//! cargo run --release --bin chaos -- --replay-corpus corpus
 //! ```
 //!
 //! Each schedule derives (from one seed) a composed plan of site crashes,
@@ -12,9 +15,26 @@
 //! the chaos oracle. On the first violated seed the harness greedily
 //! shrinks the plan to a minimal still-failing fault set, prints it, and
 //! emits the exact `--replay` command line before exiting nonzero.
+//!
+//! Schedules fan out over `--cores N` worker threads (default: all). Each
+//! run is an isolated deterministic engine, and results are merged back in
+//! seed order, so everything on **stdout** is byte-identical at any core
+//! count — including which seed a run stops on. Progress and wall-clock
+//! timing (which can never be byte-identical) go to **stderr**.
+//!
+//! Swarm mode (`--swarm --minutes M`) mines seeds continuously instead of
+//! stopping at a fixed count, and persists *interesting* schedules —
+//! violations, near-misses where the hardening machinery had to fire, and
+//! high-event-count outliers — as flat JSON entries under `--corpus DIR`
+//! (default `corpus/`). `--replay-corpus DIR` re-judges every saved entry
+//! as a regression gate: the current engine must survive them all.
 
-use o2pc_chaos::{run_plan_with, shrink, ChaosConfig, ChaosPlan, Hardening};
-use std::path::PathBuf;
+use o2pc_chaos::{
+    classify, corpus, run_plan_with, shrink_with_cores, ChaosConfig, ChaosPlan, CorpusEntry,
+    Hardening, InterestKind,
+};
+use o2pc_common::pool;
+use std::path::{Path, PathBuf};
 
 #[derive(Debug)]
 struct Args {
@@ -23,6 +43,11 @@ struct Args {
     replay: Option<u64>,
     sites: u32,
     durable: bool,
+    cores: usize,
+    swarm: bool,
+    minutes: f64,
+    corpus: Option<PathBuf>,
+    replay_corpus: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +57,11 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         sites: 4,
         durable: false,
+        cores: 0, // all available
+        swarm: false,
+        minutes: 1.0,
+        corpus: None,
+        replay_corpus: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -58,10 +88,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sites" => args.sites = take(&mut i)?.parse().map_err(|e| format!("--sites: {e}"))?,
             "--durable" => args.durable = true,
+            "--cores" => args.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
+            "--swarm" => args.swarm = true,
+            "--minutes" => {
+                args.minutes = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--minutes: {e}"))?
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(take(&mut i)?)),
+            "--replay-corpus" => args.replay_corpus = Some(PathBuf::from(take(&mut i)?)),
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--schedules N] [--seed S] [--sites N] [--replay SEED] \
-                     [--durable]"
+                    "usage: chaos [--schedules N] [--seed S] [--sites N] [--cores N] \
+                     [--replay SEED] [--durable]\n       chaos --swarm [--minutes M] \
+                     [--corpus DIR]\n       chaos --replay-corpus DIR"
                 );
                 std::process::exit(0);
             }
@@ -88,8 +128,62 @@ fn durable_scratch(enabled: bool) -> Option<PathBuf> {
     })
 }
 
+/// Everything the merged report needs from one schedule, compact enough to
+/// ship across the worker-pool channel (the full `ChaosOutcome` drags the
+/// run's history archive along).
+struct SeedSummary {
+    seed: u64,
+    violations: Vec<String>,
+    drop_p: f64,
+    dup_p: f64,
+    coord_crash: bool,
+    committed: u64,
+    aborted: u64,
+    retired: u64,
+    live: usize,
+    protocol: String,
+    interest: Option<(InterestKind, String, u64)>,
+}
+
+impl SeedSummary {
+    fn survived(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn corpus_entry(&self, sites: u32, durable: bool) -> Option<CorpusEntry> {
+        let (kind, detail, score) = self.interest.clone()?;
+        Some(CorpusEntry {
+            seed: self.seed,
+            sites,
+            durable,
+            kind,
+            protocol: self.protocol.clone(),
+            detail,
+            score,
+        })
+    }
+}
+
+fn run_seed(seed: u64, cfg: &ChaosConfig, durable_dir: Option<&Path>) -> SeedSummary {
+    let plan = ChaosPlan::generate(seed, cfg);
+    let outcome = run_plan_with(&plan, Hardening::default(), durable_dir);
+    SeedSummary {
+        seed,
+        violations: outcome.violations.iter().map(|v| v.to_string()).collect(),
+        drop_p: outcome.drop_probability,
+        dup_p: outcome.duplicate_probability,
+        coord_crash: outcome.crashed_a_coordinator,
+        committed: outcome.report.global_committed,
+        aborted: outcome.report.global_aborted,
+        retired: outcome.gc_retired,
+        live: outcome.live_at_end,
+        protocol: outcome.protocol.to_string(),
+        interest: classify(&outcome),
+    }
+}
+
 /// Replay one seed with the full plan and outcome printed.
-fn replay(seed: u64, sites: u32, durable: bool) -> ! {
+fn replay(seed: u64, sites: u32, durable: bool, cores: usize) -> ! {
     let plan = ChaosPlan::generate(seed, &config_for(sites));
     println!("{}", plan.describe());
     let dir = durable_scratch(durable);
@@ -114,13 +208,174 @@ fn replay(seed: u64, sites: u32, durable: bool) -> ! {
     for v in &outcome.violations {
         println!("  - {v}");
     }
-    let minimal = shrink(&plan, Hardening::default(), dir.as_deref());
+    let minimal = shrink_with_cores(&plan, Hardening::default(), dir.as_deref(), cores);
     println!(
         "\nminimal failing fault set ({} faults):",
         minimal.faults.len()
     );
     println!("{}", minimal.describe());
     std::process::exit(1);
+}
+
+/// Re-judge every corpus entry against the current engine. The corpus is a
+/// set of historically hard schedules; the regression gate is that the
+/// current engine survives all of them.
+fn replay_corpus(dir: &Path, cores: usize) -> ! {
+    let entries = match corpus::load_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot load corpus {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    if entries.is_empty() {
+        println!("corpus {} is empty — nothing to replay", dir.display());
+        std::process::exit(0);
+    }
+    let durable_dir = durable_scratch(entries.iter().any(|e| e.durable));
+    let summaries = pool::map_ordered(entries.len(), cores, |i| {
+        let e = &entries[i];
+        run_seed(
+            e.seed,
+            &config_for(e.sites),
+            e.durable.then_some(durable_dir.as_deref()).flatten(),
+        )
+    });
+    let mut violations = 0usize;
+    for (e, s) in entries.iter().zip(&summaries) {
+        let was = match e.kind {
+            InterestKind::Violation => "was: violation",
+            InterestKind::NearMiss => "was: near-miss",
+            InterestKind::Coverage => "was: coverage",
+        };
+        if s.survived() {
+            println!(
+                "seed {} [{}] ({}, {}) — survives",
+                e.seed, was, e.protocol, e.detail
+            );
+        } else {
+            violations += 1;
+            println!(
+                "seed {} [{}] ({}, {}) — VIOLATES:",
+                e.seed, was, e.protocol, e.detail
+            );
+            for v in &s.violations {
+                println!("  - {v}");
+            }
+            println!(
+                "  replay with: cargo run --release --bin chaos -- --replay {} --sites {}{}",
+                e.seed,
+                e.sites,
+                if e.durable { " --durable" } else { "" }
+            );
+        }
+    }
+    println!(
+        "{} corpus entries replayed, {} violations",
+        entries.len(),
+        violations
+    );
+    std::process::exit(if violations > 0 { 1 } else { 0 });
+}
+
+/// Merged-in-seed-order accounting for a block of schedules.
+#[derive(Default)]
+struct Aggregate {
+    coordinator_crashes: u64,
+    min_drop: f64,
+    min_dup: f64,
+    committed: u64,
+    aborted: u64,
+    retired: u64,
+    live: usize,
+}
+
+impl Aggregate {
+    fn new() -> Self {
+        Aggregate {
+            min_drop: f64::INFINITY,
+            min_dup: f64::INFINITY,
+            ..Default::default()
+        }
+    }
+
+    fn fold(&mut self, s: &SeedSummary) {
+        self.min_drop = self.min_drop.min(s.drop_p);
+        self.min_dup = self.min_dup.min(s.dup_p);
+        self.coordinator_crashes += s.coord_crash as u64;
+        self.committed += s.committed;
+        self.aborted += s.aborted;
+        self.retired += s.retired;
+        self.live += s.live;
+    }
+}
+
+/// Mine seeds continuously until the wall-clock deadline, persisting every
+/// interesting schedule to the corpus directory.
+fn swarm(args: &Args, cores: usize) -> ! {
+    let cfg = config_for(args.sites);
+    let durable_dir = durable_scratch(args.durable);
+    let corpus_dir = args
+        .corpus
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("corpus"));
+    let deadline =
+        std::time::Instant::now() + std::time::Duration::from_secs_f64(args.minutes * 60.0);
+    let started = std::time::Instant::now();
+    let mut next_seed = args.seed;
+    let mut mined = 0u64;
+    let mut near_misses = 0u64;
+    let mut coverage = 0u64;
+    let mut violating_seeds: Vec<u64> = Vec::new();
+    let batch = (cores * 16).max(64);
+    while std::time::Instant::now() < deadline {
+        pool::for_each_ordered(
+            batch,
+            cores,
+            |i| run_seed(next_seed + i as u64, &cfg, durable_dir.as_deref()),
+            |_, s: SeedSummary| {
+                mined += 1;
+                if let Some(entry) = s.corpus_entry(args.sites, args.durable) {
+                    match entry.kind {
+                        InterestKind::Violation => violating_seeds.push(s.seed),
+                        InterestKind::NearMiss => near_misses += 1,
+                        InterestKind::Coverage => coverage += 1,
+                    }
+                    if let Err(e) = entry.save(&corpus_dir) {
+                        eprintln!("error: cannot write corpus entry: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                true
+            },
+        );
+        next_seed += batch as u64;
+        eprintln!(
+            "  swarm: {mined} seeds mined, {} interesting ({:.0}s elapsed, {:.0} seeds/s)",
+            near_misses + coverage + violating_seeds.len() as u64,
+            started.elapsed().as_secs_f64(),
+            mined as f64 / started.elapsed().as_secs_f64().max(1e-9),
+        );
+    }
+    println!(
+        "swarm: {mined} seeds mined from {} — {} violations, {near_misses} near-misses, \
+         {coverage} coverage outliers → {}",
+        args.seed,
+        violating_seeds.len(),
+        corpus_dir.display(),
+    );
+    for seed in &violating_seeds {
+        println!(
+            "  VIOLATION at seed {seed} — replay with: cargo run --release --bin chaos -- \
+             --replay {seed} --sites {}{}",
+            args.sites,
+            if args.durable { " --durable" } else { "" }
+        );
+    }
+    if let Some(d) = &durable_dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    std::process::exit(if violating_seeds.is_empty() { 0 } else { 1 });
 }
 
 fn main() {
@@ -131,88 +386,113 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let cores = pool::resolve_cores(args.cores);
+    if let Some(dir) = &args.replay_corpus {
+        replay_corpus(dir, cores);
+    }
     if let Some(seed) = args.replay {
-        replay(seed, args.sites, args.durable);
+        replay(seed, args.sites, args.durable, cores);
+    }
+    if args.swarm {
+        swarm(&args, cores);
     }
 
     let cfg = config_for(args.sites);
     let durable_dir = durable_scratch(args.durable);
-    let mut coordinator_crashes = 0u64;
-    let mut min_drop = f64::INFINITY;
-    let mut min_dup = f64::INFINITY;
-    let mut committed = 0u64;
-    let mut aborted = 0u64;
-    let mut retired = 0u64;
-    let mut live = 0usize;
     let started = std::time::Instant::now();
-
-    for n in 0..args.schedules {
-        let seed = args.seed.wrapping_add(n);
-        let plan = ChaosPlan::generate(seed, &cfg);
-        let outcome = run_plan_with(&plan, Hardening::default(), durable_dir.as_deref());
-        min_drop = min_drop.min(outcome.drop_probability);
-        min_dup = min_dup.min(outcome.duplicate_probability);
-        coordinator_crashes += outcome.crashed_a_coordinator as u64;
-        committed += outcome.report.global_committed;
-        aborted += outcome.report.global_aborted;
-        retired += outcome.gc_retired;
-        live += outcome.live_at_end;
-
-        if !outcome.survived() {
-            println!("seed {seed} VIOLATED invariants under:");
-            println!("{}", plan.describe());
-            for v in &outcome.violations {
-                println!("  - {v}");
+    let mut agg = Aggregate::new();
+    let mut failing: Option<SeedSummary> = None;
+    let schedules = args.schedules as usize;
+    pool::for_each_ordered(
+        schedules,
+        cores,
+        |i| {
+            run_seed(
+                args.seed.wrapping_add(i as u64),
+                &cfg,
+                durable_dir.as_deref(),
+            )
+        },
+        |i, s: SeedSummary| {
+            agg.fold(&s);
+            if let Some(dir) = &args.corpus {
+                if let Some(entry) = s.corpus_entry(args.sites, args.durable) {
+                    if let Err(e) = entry.save(dir) {
+                        eprintln!("error: cannot write corpus entry: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
-            println!("shrinking to a minimal fault set...");
-            let minimal = shrink(&plan, Hardening::default(), durable_dir.as_deref());
-            println!(
-                "minimal failing fault set ({} of {} faults):",
-                minimal.faults.len(),
-                plan.faults.len()
-            );
-            println!("{}", minimal.describe());
-            println!("replay with:");
-            println!(
-                "  cargo run --release --bin chaos -- --replay {seed} --sites {}{}",
-                args.sites,
-                if args.durable { " --durable" } else { "" }
-            );
-            std::process::exit(1);
+            if !s.survived() {
+                failing = Some(s);
+                return false; // cancel the remaining schedules
+            }
+            if (i + 1) % 100 == 0 {
+                eprintln!(
+                    "  {:>5}/{} schedules clean ({:.1}s)",
+                    i + 1,
+                    args.schedules,
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            true
+        },
+    );
+
+    if let Some(s) = failing {
+        let plan = ChaosPlan::generate(s.seed, &cfg);
+        println!("seed {} VIOLATED invariants under:", s.seed);
+        println!("{}", plan.describe());
+        for v in &s.violations {
+            println!("  - {v}");
         }
-        if (n + 1) % 100 == 0 {
-            println!(
-                "  {:>5}/{} schedules clean ({:.1}s)",
-                n + 1,
-                args.schedules,
-                started.elapsed().as_secs_f64()
-            );
-        }
+        println!("shrinking to a minimal fault set...");
+        let minimal = shrink_with_cores(&plan, Hardening::default(), durable_dir.as_deref(), cores);
+        println!(
+            "minimal failing fault set ({} of {} faults):",
+            minimal.faults.len(),
+            plan.faults.len()
+        );
+        println!("{}", minimal.describe());
+        println!("replay with:");
+        println!(
+            "  cargo run --release --bin chaos -- --replay {} --sites {}{}",
+            s.seed,
+            args.sites,
+            if args.durable { " --durable" } else { "" }
+        );
+        std::process::exit(1);
     }
 
     if let Some(d) = &durable_dir {
         let _ = std::fs::remove_dir_all(d);
     }
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "  done in {elapsed:.1}s on {cores} core(s) ({:.1} schedules/s)",
+        args.schedules as f64 / elapsed.max(1e-9)
+    );
     println!(
-        "{} schedules, 0 violations{} ({:.1}s)",
+        "{} schedules, 0 violations{}",
         args.schedules,
         if args.durable { " [durable WAL]" } else { "" },
-        started.elapsed().as_secs_f64()
     );
     println!(
-        "coverage: min drop p={min_drop:.3}, min dup p={min_dup:.3}, \
-         {coordinator_crashes} schedules crashed a coordinator-hosting site"
+        "coverage: min drop p={:.3}, min dup p={:.3}, \
+         {} schedules crashed a coordinator-hosting site",
+        agg.min_drop, agg.min_dup, agg.coordinator_crashes
     );
     println!(
-        "totals: {committed} committed, {aborted} aborted, {retired} gc'd, {live} live at end"
+        "totals: {} committed, {} aborted, {} gc'd, {} live at end",
+        agg.committed, agg.aborted, agg.retired, agg.live
     );
     assert!(
-        min_drop >= 0.05,
+        agg.min_drop >= 0.05,
         "coverage: drop probability fell below the 0.05 floor"
     );
-    assert!(min_dup > 0.0, "coverage: duplication was never enabled");
+    assert!(agg.min_dup > 0.0, "coverage: duplication was never enabled");
     assert!(
-        coordinator_crashes > 0,
+        agg.coordinator_crashes > 0,
         "coverage: no schedule ever crashed a coordinator-hosting site"
     );
 }

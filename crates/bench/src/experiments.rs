@@ -1,6 +1,7 @@
 //! Experiment implementations (one per figure / claim; see crate docs).
 
 use crate::table::{f, Table};
+use o2pc_common::pool;
 use o2pc_common::{Duration, GlobalTxnId, Key, Op, SimTime, SiteId, TxnId, Value};
 use o2pc_core::{Engine, Msg, RunReport, SystemConfig, TimerEvent, TxnRequest};
 use o2pc_marking::state::transition_table;
@@ -13,6 +14,7 @@ use o2pc_sgraph::regular::{classify_all_cycles, CycleClass};
 use o2pc_sgraph::{audit, holds_s1, holds_s2};
 use o2pc_sim::{FailurePlan, NetworkConfig};
 use o2pc_workload::{BankingWorkload, GenericWorkload, MultidbWorkload, Schedule, TravelWorkload};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which substrate an experiment runs on.
 ///
@@ -38,6 +40,31 @@ impl std::str::FromStr for Backend {
                 "unknown backend `{other}` (expected `sim` or `threaded`)"
             )),
         }
+    }
+}
+
+/// Worker threads used by the simulator sweeps (default 1 — sequential).
+/// Every sweep point is an isolated deterministic engine, and
+/// [`sweep_rows`] appends rows in point order, so the emitted tables are
+/// byte-identical at any setting.
+static SWEEP_CORES: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the sweep worker count (called once by `all_experiments --cores`).
+/// `0` means "all available cores".
+pub fn set_cores(n: usize) {
+    SWEEP_CORES.store(pool::resolve_cores(n), Ordering::SeqCst);
+}
+
+/// Current sweep worker count.
+pub fn cores() -> usize {
+    SWEEP_CORES.load(Ordering::SeqCst).max(1)
+}
+
+/// Evaluate one table row per sweep point on the worker pool and append
+/// the rows in point order.
+fn sweep_rows<P: Sync>(table: &mut Table, points: &[P], row: impl Fn(&P) -> Vec<String> + Sync) {
+    for r in pool::map_ordered(points.len(), cores(), |i| row(&points[i])) {
+        table.row(&r);
     }
 }
 
@@ -222,31 +249,33 @@ pub fn e1() {
         "mean txn latency(ms)",
         "committed",
     ]);
-    for lat_ms in [0u64, 1, 2, 5, 10, 20, 50] {
-        for proto in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc] {
-            let wl = BankingWorkload {
-                sites: 4,
-                accounts_per_site: 32,
-                transfers: 300,
-                mean_interarrival: Duration::millis(4),
-                seed: 0xE1,
-                ..Default::default()
-            };
-            let mut cfg = SystemConfig::new(wl.sites, proto);
-            cfg.network = NetworkConfig::fixed(Duration::millis(lat_ms));
-            cfg.seed = 0xE1;
-            cfg.record_history = false;
-            let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            table.row(&[
-                lat_ms.to_string(),
-                proto.to_string(),
-                f(r.locks.exclusive_hold.mean() / 1000.0),
-                f(r.locks.exclusive_hold.p99() as f64 / 1000.0),
-                f(r.global_latency.mean() / 1000.0),
-                r.global_committed.to_string(),
-            ]);
-        }
-    }
+    let points: Vec<(u64, ProtocolKind)> = [0u64, 1, 2, 5, 10, 20, 50]
+        .into_iter()
+        .flat_map(|lat| [ProtocolKind::D2pl2pc, ProtocolKind::O2pc].map(|p| (lat, p)))
+        .collect();
+    sweep_rows(&mut table, &points, |&(lat_ms, proto)| {
+        let wl = BankingWorkload {
+            sites: 4,
+            accounts_per_site: 32,
+            transfers: 300,
+            mean_interarrival: Duration::millis(4),
+            seed: 0xE1,
+            ..Default::default()
+        };
+        let mut cfg = SystemConfig::new(wl.sites, proto);
+        cfg.network = NetworkConfig::fixed(Duration::millis(lat_ms));
+        cfg.seed = 0xE1;
+        cfg.record_history = false;
+        let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
+        vec![
+            lat_ms.to_string(),
+            proto.to_string(),
+            f(r.locks.exclusive_hold.mean() / 1000.0),
+            f(r.locks.exclusive_hold.p99() as f64 / 1000.0),
+            f(r.global_latency.mean() / 1000.0),
+            r.global_committed.to_string(),
+        ]
+    });
     table.emit(
         "E1 — exclusive-lock hold time vs network latency",
         "e1_lock_hold_time",
@@ -384,43 +413,45 @@ pub fn e2() {
         "mean wait(ms)",
         "waits",
     ]);
-    for (inter_us, theta) in [
+    let points: Vec<(u64, f64, ProtocolKind)> = [
         (2000u64, 0.0),
         (1000, 0.0),
         (500, 0.0),
         (500, 0.8),
         (250, 0.8),
         (250, 0.99),
-    ] {
-        for proto in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc] {
-            let wl = GenericWorkload {
-                sites: 4,
-                keys_per_site: 24,
-                txns: 400,
-                ops_per_sub: 4,
-                sites_per_txn: 2,
-                write_fraction: 0.5,
-                zipf_theta: theta,
-                mean_interarrival: Duration::micros(inter_us),
-                seed: 0xE2,
-                ..Default::default()
-            };
-            let mut cfg = SystemConfig::new(wl.sites, proto);
-            cfg.network = NetworkConfig::fixed(Duration::millis(5));
-            cfg.seed = 0xE2;
-            cfg.record_history = false;
-            let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            table.row(&[
-                inter_us.to_string(),
-                format!("{theta:.2}"),
-                proto.to_string(),
-                f(r.throughput()),
-                f(r.global_latency.mean() / 1000.0),
-                f(r.locks.wait_time.mean() / 1000.0),
-                r.locks.wait_time.count().to_string(),
-            ]);
-        }
-    }
+    ]
+    .into_iter()
+    .flat_map(|(i, t)| [ProtocolKind::D2pl2pc, ProtocolKind::O2pc].map(|p| (i, t, p)))
+    .collect();
+    sweep_rows(&mut table, &points, |&(inter_us, theta, proto)| {
+        let wl = GenericWorkload {
+            sites: 4,
+            keys_per_site: 24,
+            txns: 400,
+            ops_per_sub: 4,
+            sites_per_txn: 2,
+            write_fraction: 0.5,
+            zipf_theta: theta,
+            mean_interarrival: Duration::micros(inter_us),
+            seed: 0xE2,
+            ..Default::default()
+        };
+        let mut cfg = SystemConfig::new(wl.sites, proto);
+        cfg.network = NetworkConfig::fixed(Duration::millis(5));
+        cfg.seed = 0xE2;
+        cfg.record_history = false;
+        let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
+        vec![
+            inter_us.to_string(),
+            format!("{theta:.2}"),
+            proto.to_string(),
+            f(r.throughput()),
+            f(r.global_latency.mean() / 1000.0),
+            f(r.locks.wait_time.mean() / 1000.0),
+            r.locks.wait_time.count().to_string(),
+        ]
+    });
     table.emit(
         "E2 — throughput and waiting under contention",
         "e2_contention_throughput",
@@ -445,36 +476,38 @@ pub fn e3() {
         "compensations",
         "mean wait(ms)",
     ]);
-    for p in [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
-        for proto in [ProtocolKind::D2pl2pc, ProtocolKind::O2pc] {
-            // Moderate contention: enough conflicts for early release to
-            // matter, few enough that deadlock aborts do not drown the
-            // autonomy-abort signal being swept.
-            let wl = BankingWorkload {
-                sites: 4,
-                accounts_per_site: 24,
-                transfers: 400,
-                mean_interarrival: Duration::micros(1500),
-                seed: 0xE3,
-                ..Default::default()
-            };
-            let mut cfg = SystemConfig::new(wl.sites, proto);
-            cfg.network = NetworkConfig::fixed(Duration::millis(5));
-            cfg.vote_abort_probability = p;
-            cfg.seed = 0xE3;
-            cfg.record_history = false;
-            let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            table.row(&[
-                format!("{p:.2}"),
-                proto.to_string(),
-                f(r.abort_rate()),
-                f(r.throughput()),
-                f(r.global_latency.mean() / 1000.0),
-                r.compensations_completed.to_string(),
-                f(r.locks.wait_time.mean() / 1000.0),
-            ]);
-        }
-    }
+    let points: Vec<(f64, ProtocolKind)> = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .flat_map(|p| [ProtocolKind::D2pl2pc, ProtocolKind::O2pc].map(|proto| (p, proto)))
+        .collect();
+    sweep_rows(&mut table, &points, |&(p, proto)| {
+        // Moderate contention: enough conflicts for early release to
+        // matter, few enough that deadlock aborts do not drown the
+        // autonomy-abort signal being swept.
+        let wl = BankingWorkload {
+            sites: 4,
+            accounts_per_site: 24,
+            transfers: 400,
+            mean_interarrival: Duration::micros(1500),
+            seed: 0xE3,
+            ..Default::default()
+        };
+        let mut cfg = SystemConfig::new(wl.sites, proto);
+        cfg.network = NetworkConfig::fixed(Duration::millis(5));
+        cfg.vote_abort_probability = p;
+        cfg.seed = 0xE3;
+        cfg.record_history = false;
+        let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
+        vec![
+            format!("{p:.2}"),
+            proto.to_string(),
+            f(r.abort_rate()),
+            f(r.throughput()),
+            f(r.global_latency.mean() / 1000.0),
+            r.compensations_completed.to_string(),
+            f(r.locks.wait_time.mean() / 1000.0),
+        ]
+    });
     table.emit(
         "E3 — abort-probability sweep (optimism crossover)",
         "e3_abort_crossover",
@@ -496,66 +529,70 @@ pub fn e4() {
         "mean X-hold(ms)",
         "outcome",
     ]);
-    for down_ms in [10u64, 50, 200, 1000, 5000] {
-        for (proto, termination) in [
-            (ProtocolKind::D2pl2pc, false),
-            (ProtocolKind::D2pl2pc, true),
-            (ProtocolKind::O2pc, false),
-        ] {
-            let mut cfg = SystemConfig::new(3, proto);
-            cfg.network = NetworkConfig::fixed(Duration::millis(1));
-            if termination {
-                // Cooperative termination: both participants are prepared
-                // and uncertain, so the peer queries cannot unblock them —
-                // the impossibility result, measured.
-                cfg.termination_timeout = Some(Duration::millis(25));
-            }
-            cfg.seed = 0xE4;
-            let mut failures = FailurePlan::new();
-            // VOTE-REQs go out ~2 ms in; crash at 3 ms, after they are on
-            // the wire but before any vote returns.
-            failures.site_crash(
-                SiteId(0),
-                SimTime::ZERO + Duration::millis(3),
-                SimTime::ZERO + Duration::millis(3 + down_ms),
-            );
-            cfg.failures = failures;
-            let mut e = Engine::new(cfg);
-            e.load(SiteId(1), Key(0), Value(100));
-            e.load(SiteId(2), Key(0), Value(100));
-            e.submit_at(
-                SimTime::ZERO,
-                TxnRequest::global_with_coordinator(
-                    SiteId(0),
-                    vec![
-                        (SiteId(1), vec![Op::Add(Key(0), -5)]),
-                        (SiteId(2), vec![Op::Add(Key(0), 5)]),
-                    ],
-                ),
-            );
-            let r = e.run(Duration::secs(60));
-            let outcome = if r.global_committed > 0 {
-                "commit"
-            } else {
-                "abort"
-            };
-            let name = if termination {
-                format!(
-                    "{proto}+coop-term ({} rounds)",
-                    r.counters.get("term.rounds")
-                )
-            } else {
-                proto.to_string()
-            };
-            table.row(&[
-                down_ms.to_string(),
-                name,
-                f(r.locks.exclusive_hold.max() as f64 / 1000.0),
-                f(r.locks.exclusive_hold.mean() / 1000.0),
-                outcome.into(),
-            ]);
+    let points: Vec<(u64, ProtocolKind, bool)> = [10u64, 50, 200, 1000, 5000]
+        .into_iter()
+        .flat_map(|down| {
+            [
+                (down, ProtocolKind::D2pl2pc, false),
+                (down, ProtocolKind::D2pl2pc, true),
+                (down, ProtocolKind::O2pc, false),
+            ]
+        })
+        .collect();
+    sweep_rows(&mut table, &points, |&(down_ms, proto, termination)| {
+        let mut cfg = SystemConfig::new(3, proto);
+        cfg.network = NetworkConfig::fixed(Duration::millis(1));
+        if termination {
+            // Cooperative termination: both participants are prepared
+            // and uncertain, so the peer queries cannot unblock them —
+            // the impossibility result, measured.
+            cfg.termination_timeout = Some(Duration::millis(25));
         }
-    }
+        cfg.seed = 0xE4;
+        let mut failures = FailurePlan::new();
+        // VOTE-REQs go out ~2 ms in; crash at 3 ms, after they are on
+        // the wire but before any vote returns.
+        failures.site_crash(
+            SiteId(0),
+            SimTime::ZERO + Duration::millis(3),
+            SimTime::ZERO + Duration::millis(3 + down_ms),
+        );
+        cfg.failures = failures;
+        let mut e = Engine::new(cfg);
+        e.load(SiteId(1), Key(0), Value(100));
+        e.load(SiteId(2), Key(0), Value(100));
+        e.submit_at(
+            SimTime::ZERO,
+            TxnRequest::global_with_coordinator(
+                SiteId(0),
+                vec![
+                    (SiteId(1), vec![Op::Add(Key(0), -5)]),
+                    (SiteId(2), vec![Op::Add(Key(0), 5)]),
+                ],
+            ),
+        );
+        let r = e.run(Duration::secs(60));
+        let outcome = if r.global_committed > 0 {
+            "commit"
+        } else {
+            "abort"
+        };
+        let name = if termination {
+            format!(
+                "{proto}+coop-term ({} rounds)",
+                r.counters.get("term.rounds")
+            )
+        } else {
+            proto.to_string()
+        };
+        vec![
+            down_ms.to_string(),
+            name,
+            f(r.locks.exclusive_hold.max() as f64 / 1000.0),
+            f(r.locks.exclusive_hold.mean() / 1000.0),
+            outcome.into(),
+        ]
+    });
     table.emit(
         "E4 — blocking window while the coordinator is down",
         "e4_blocking_window",
@@ -580,47 +617,52 @@ pub fn e5() {
         "R1 forced aborts",
         "UDUM fired",
     ]);
-    for p in [0.0, 0.1, 0.3, 0.5] {
-        for proto in [
-            ProtocolKind::O2pc,
-            ProtocolKind::O2pcP1,
-            ProtocolKind::O2pcSimple,
-        ] {
-            // A multidatabase-style mix: local traffic both contends with
-            // the globals and supplies the UDUM1 fences that let undone
-            // markings be forgotten.
-            let wl = BankingWorkload {
-                sites: 4,
-                accounts_per_site: 24,
-                transfers: 400,
-                local_fraction: 0.4,
-                mean_interarrival: Duration::millis(1),
-                seed: 0xE5,
-                ..Default::default()
-            };
-            let mut cfg = SystemConfig::new(wl.sites, proto);
-            cfg.network = NetworkConfig::fixed(Duration::millis(2));
-            cfg.vote_abort_probability = p;
-            // "It can be retried later" (§6.2): patience matters — quick
-            // retry budgets convert rejections into forced aborts, whose
-            // markings cause further rejections (a positive feedback loop).
-            cfg.r1_max_retries = 25;
-            cfg.r1_retry_delay = Duration::millis(4);
-            cfg.seed = 0xE5;
-            cfg.record_history = false;
-            let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            table.row(&[
-                format!("{p:.2}"),
-                proto.to_string(),
-                f(r.throughput()),
-                r.counters.get("r1.checks").to_string(),
-                r.counters.get("r1.rejections").to_string(),
-                r.counters.get("r1.retries").to_string(),
-                r.counters.get("r1.forced_aborts").to_string(),
-                r.counters.get("udum.fired").to_string(),
-            ]);
-        }
-    }
+    let points: Vec<(f64, ProtocolKind)> = [0.0, 0.1, 0.3, 0.5]
+        .into_iter()
+        .flat_map(|p| {
+            [
+                ProtocolKind::O2pc,
+                ProtocolKind::O2pcP1,
+                ProtocolKind::O2pcSimple,
+            ]
+            .map(|proto| (p, proto))
+        })
+        .collect();
+    sweep_rows(&mut table, &points, |&(p, proto)| {
+        // A multidatabase-style mix: local traffic both contends with
+        // the globals and supplies the UDUM1 fences that let undone
+        // markings be forgotten.
+        let wl = BankingWorkload {
+            sites: 4,
+            accounts_per_site: 24,
+            transfers: 400,
+            local_fraction: 0.4,
+            mean_interarrival: Duration::millis(1),
+            seed: 0xE5,
+            ..Default::default()
+        };
+        let mut cfg = SystemConfig::new(wl.sites, proto);
+        cfg.network = NetworkConfig::fixed(Duration::millis(2));
+        cfg.vote_abort_probability = p;
+        // "It can be retried later" (§6.2): patience matters — quick
+        // retry budgets convert rejections into forced aborts, whose
+        // markings cause further rejections (a positive feedback loop).
+        cfg.r1_max_retries = 25;
+        cfg.r1_retry_delay = Duration::millis(4);
+        cfg.seed = 0xE5;
+        cfg.record_history = false;
+        let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
+        vec![
+            format!("{p:.2}"),
+            proto.to_string(),
+            f(r.throughput()),
+            r.counters.get("r1.checks").to_string(),
+            r.counters.get("r1.rejections").to_string(),
+            r.counters.get("r1.retries").to_string(),
+            r.counters.get("r1.forced_aborts").to_string(),
+            r.counters.get("udum.fired").to_string(),
+        ]
+    });
     table.emit(
         "E5 — admission (P1) overhead vs abort probability",
         "e5_p1_overhead",
@@ -640,40 +682,42 @@ pub fn e5b() {
         "R1 forced aborts",
         "abort rate",
     ]);
-    for enable_udum in [true, false] {
-        for p in [0.1, 0.3] {
-            let wl = BankingWorkload {
-                sites: 4,
-                accounts_per_site: 24,
-                transfers: 400,
-                local_fraction: 0.4,
-                mean_interarrival: Duration::millis(1),
-                seed: 0xE5B,
-                ..Default::default()
-            };
-            let mut cfg = SystemConfig::new(wl.sites, ProtocolKind::O2pcP1);
-            cfg.network = NetworkConfig::fixed(Duration::millis(2));
-            cfg.vote_abort_probability = p;
-            cfg.enable_udum = enable_udum;
-            cfg.r1_max_retries = 25;
-            cfg.r1_retry_delay = Duration::millis(4);
-            cfg.seed = 0xE5B;
-            cfg.record_history = false;
-            let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            table.row(&[
-                if enable_udum {
-                    "on".into()
-                } else {
-                    "off".to_string()
-                },
-                format!("{p:.2}"),
-                f(r.throughput()),
-                r.counters.get("r1.rejections").to_string(),
-                r.counters.get("r1.forced_aborts").to_string(),
-                f(r.abort_rate()),
-            ]);
-        }
-    }
+    let points: Vec<(bool, f64)> = [true, false]
+        .into_iter()
+        .flat_map(|u| [0.1, 0.3].map(|p| (u, p)))
+        .collect();
+    sweep_rows(&mut table, &points, |&(enable_udum, p)| {
+        let wl = BankingWorkload {
+            sites: 4,
+            accounts_per_site: 24,
+            transfers: 400,
+            local_fraction: 0.4,
+            mean_interarrival: Duration::millis(1),
+            seed: 0xE5B,
+            ..Default::default()
+        };
+        let mut cfg = SystemConfig::new(wl.sites, ProtocolKind::O2pcP1);
+        cfg.network = NetworkConfig::fixed(Duration::millis(2));
+        cfg.vote_abort_probability = p;
+        cfg.enable_udum = enable_udum;
+        cfg.r1_max_retries = 25;
+        cfg.r1_retry_delay = Duration::millis(4);
+        cfg.seed = 0xE5B;
+        cfg.record_history = false;
+        let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
+        vec![
+            if enable_udum {
+                "on".into()
+            } else {
+                "off".to_string()
+            },
+            format!("{p:.2}"),
+            f(r.throughput()),
+            r.counters.get("r1.rejections").to_string(),
+            r.counters.get("r1.forced_aborts").to_string(),
+            f(r.abort_rate()),
+        ]
+    });
     table.emit(
         "E5b — ablation: UDUM1 safe forgetting on/off (O2PC+P1)",
         "e5b_udum_ablation",
@@ -698,7 +742,8 @@ pub fn e6() {
         "decision_ack",
         "2PC msgs/txn",
     ]);
-    for proto in ProtocolKind::all() {
+    let points: Vec<ProtocolKind> = ProtocolKind::all().to_vec();
+    sweep_rows(&mut table, &points, |&proto| {
         let wl = BankingWorkload {
             sites: 4,
             accounts_per_site: 32,
@@ -713,7 +758,7 @@ pub fn e6() {
         cfg.record_history = false;
         let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
         let txns = r.global_committed + r.global_aborted;
-        table.row(&[
+        vec![
             proto.to_string(),
             txns.to_string(),
             r.counters.get("msg.spawn").to_string(),
@@ -723,8 +768,8 @@ pub fn e6() {
             r.counters.get("msg.decision").to_string(),
             r.counters.get("msg.decision_ack").to_string(),
             f(r.msgs_2pc_per_txn()),
-        ]);
-    }
+        ]
+    });
     table.emit(
         "E6 — message counts (O2PC/P1 add no message types or rounds)",
         "e6_message_counts",
@@ -761,13 +806,10 @@ pub fn e7() {
     ];
     for (name, p, proto, seed) in scenarios {
         // Aggregate over several seeds to give cycles a chance to form.
-        let mut total_sccs = 0usize;
-        let mut regular = 0usize;
-        let mut dismissed = 0usize;
-        let mut aoc = 0usize;
-        let mut aborted = 0u64;
-        let mut all_correct = true;
-        for salt in 0..8u64 {
+        // Each salt is an independent run; fan them out and fold the
+        // returned partials in salt order.
+        let partials = pool::map_ordered(8, cores(), |salt| {
+            let salt = salt as u64;
             let wl = BankingWorkload {
                 sites: 4,
                 accounts_per_site: 2,
@@ -784,15 +826,29 @@ pub fn e7() {
             // bound each run so a P1 rejection storm cannot stall the sweep.
             cfg.max_events = 2_000_000;
             let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            aborted += r.global_aborted;
             let report = audit(&r.history, 10_000, 8);
-            total_sccs += report.cyclic_sccs;
-            dismissed += report.sccs_dismissed;
-            if report.regular_cycle.is_some() {
-                regular += 1;
-            }
-            aoc += report.compensation_atomicity_violations.len();
-            all_correct &= report.is_correct();
+            (
+                r.global_aborted,
+                report.cyclic_sccs,
+                report.sccs_dismissed,
+                report.regular_cycle.is_some(),
+                report.compensation_atomicity_violations.len(),
+                report.is_correct(),
+            )
+        });
+        let mut total_sccs = 0usize;
+        let mut regular = 0usize;
+        let mut dismissed = 0usize;
+        let mut aoc = 0usize;
+        let mut aborted = 0u64;
+        let mut all_correct = true;
+        for (ab, sccs, dis, reg, a, correct) in partials {
+            aborted += ab;
+            total_sccs += sccs;
+            dismissed += dis;
+            regular += reg as usize;
+            aoc += a;
+            all_correct &= correct;
         }
         table.row(&[
             name.into(),
@@ -832,7 +888,8 @@ pub fn e8() {
         "committed",
         "aborted",
     ]);
-    for real_sites in 0..=3u32 {
+    let points: Vec<u32> = (0..=3u32).collect();
+    sweep_rows(&mut table, &points, |&real_sites| {
         let wl = TravelWorkload {
             sites: 3,
             items_per_site: 16,
@@ -850,15 +907,15 @@ pub fn e8() {
             cfg.real_action_sites.insert(SiteId(s));
         }
         let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-        table.row(&[
+        vec![
             real_sites.to_string(),
             f(r.locks.exclusive_hold.mean() / 1000.0),
             f(r.locks.exclusive_hold.max() as f64 / 1000.0),
             f(r.locks.exclusive_hold.p50() as f64 / 1000.0),
             r.global_committed.to_string(),
             r.global_aborted.to_string(),
-        ]);
-    }
+        ]
+    });
     table.emit(
         "E8 — real actions: blocking confined to non-compensatable sites",
         "e8_real_actions",
@@ -882,43 +939,49 @@ pub fn e9() {
         "local mean(ms)",
         "locals done",
     ]);
-    for (scenario, crash) in [("healthy", false), ("coordinator crash 2s", true)] {
-        for proto in [
-            ProtocolKind::D2pl2pc,
-            ProtocolKind::O2pc,
-            ProtocolKind::O2pcP1,
-        ] {
-            let wl = MultidbWorkload {
-                seed: 0xE9,
-                ..Default::default()
-            };
-            let mut cfg = SystemConfig::new(wl.sites, proto);
-            cfg.network = NetworkConfig::fixed(Duration::millis(5));
-            cfg.vote_abort_probability = 0.15;
-            cfg.seed = 0xE9;
-            cfg.record_history = false;
-            if crash {
-                // Globals are coordinated from their first participant;
-                // crash site 0 mid-run: its hosted coordinators go silent.
-                let mut fp = FailurePlan::new();
-                fp.site_crash(
-                    SiteId(0),
-                    SimTime::ZERO + Duration::millis(40),
-                    SimTime::ZERO + Duration::millis(2_040),
-                );
-                cfg.failures = fp;
-            }
-            let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
-            table.row(&[
-                scenario.into(),
-                proto.to_string(),
-                f(r.local_latency.p50() as f64 / 1000.0),
-                f(r.local_latency.p99() as f64 / 1000.0),
-                f(r.local_latency.mean() / 1000.0),
-                r.local_committed.to_string(),
-            ]);
+    let points: Vec<(&str, bool, ProtocolKind)> =
+        [("healthy", false), ("coordinator crash 2s", true)]
+            .into_iter()
+            .flat_map(|(s, c)| {
+                [
+                    ProtocolKind::D2pl2pc,
+                    ProtocolKind::O2pc,
+                    ProtocolKind::O2pcP1,
+                ]
+                .map(|p| (s, c, p))
+            })
+            .collect();
+    sweep_rows(&mut table, &points, |&(scenario, crash, proto)| {
+        let wl = MultidbWorkload {
+            seed: 0xE9,
+            ..Default::default()
+        };
+        let mut cfg = SystemConfig::new(wl.sites, proto);
+        cfg.network = NetworkConfig::fixed(Duration::millis(5));
+        cfg.vote_abort_probability = 0.15;
+        cfg.seed = 0xE9;
+        cfg.record_history = false;
+        if crash {
+            // Globals are coordinated from their first participant;
+            // crash site 0 mid-run: its hosted coordinators go silent.
+            let mut fp = FailurePlan::new();
+            fp.site_crash(
+                SiteId(0),
+                SimTime::ZERO + Duration::millis(40),
+                SimTime::ZERO + Duration::millis(2_040),
+            );
+            cfg.failures = fp;
         }
-    }
+        let r = run_schedule(cfg, &wl.generate(), Duration::secs(600));
+        vec![
+            scenario.into(),
+            proto.to_string(),
+            f(r.local_latency.p50() as f64 / 1000.0),
+            f(r.local_latency.p99() as f64 / 1000.0),
+            f(r.local_latency.mean() / 1000.0),
+            r.local_committed.to_string(),
+        ]
+    });
     table.emit(
         "E9 — multidatabase autonomy: local latency under global traffic",
         "e9_autonomy",

@@ -1,0 +1,290 @@
+//! A persisted corpus of *interesting* chaos schedules.
+//!
+//! Swarm mode mines seeds continuously; most schedules are boring (the
+//! hardened engine shrugs them off without breaking a sweat). The corpus
+//! keeps the ones worth re-running on every future change:
+//!
+//! * **violations** — a seed that broke an invariant (regression seed);
+//! * **near misses** — the run survived, but only because the hardening
+//!   machinery fired (cooperative termination resolved an in-doubt
+//!   participant, a global deadlock was broken, a marking protocol skipped
+//!   compensation ops, a crash landed mid-WAL-write);
+//! * **coverage outliers** — schedules whose event count is far above the
+//!   population (long fault cascades, retransmission storms).
+//!
+//! Because a [`ChaosPlan`](crate::ChaosPlan) is a pure function of
+//! `(seed, ChaosConfig)`, an entry does not need to serialize the fault
+//! list — it records the seed plus the generation parameters and a little
+//! human-facing metadata, as one flat JSON file per seed under the corpus
+//! directory. `chaos --replay-corpus DIR` regenerates and re-judges every
+//! entry.
+
+use crate::runner::ChaosOutcome;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a schedule earned its place in the corpus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterestKind {
+    /// The run violated an invariant.
+    Violation,
+    /// The run survived, but hardening machinery had to intervene.
+    NearMiss,
+    /// The run's event count is an outlier (heavy schedule).
+    Coverage,
+}
+
+impl InterestKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            InterestKind::Violation => "violation",
+            InterestKind::NearMiss => "near_miss",
+            InterestKind::Coverage => "coverage",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "violation" => Some(InterestKind::Violation),
+            "near_miss" => Some(InterestKind::NearMiss),
+            "coverage" => Some(InterestKind::Coverage),
+            _ => None,
+        }
+    }
+}
+
+/// One corpus entry: everything needed to regenerate and re-judge the
+/// schedule, plus metadata describing why it was kept.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Chaos seed (the schedule is `ChaosPlan::generate(seed, cfg)`).
+    pub seed: u64,
+    /// `ChaosConfig::num_sites` the schedule was generated for.
+    pub sites: u32,
+    /// Whether the run used the durable (file-backed) WAL.
+    pub durable: bool,
+    /// Why the schedule is interesting.
+    pub kind: InterestKind,
+    /// Protocol variant the seed selects (informational; derived from the
+    /// seed on replay).
+    pub protocol: String,
+    /// Which signals fired, e.g. `term_resolved=2 deadlock_global=1`.
+    pub detail: String,
+    /// Ranking score (higher = more interesting); used to keep the corpus
+    /// bounded.
+    pub score: u64,
+}
+
+/// Events-processed threshold above which a surviving schedule counts as a
+/// coverage outlier. The chaos population sits around 2–3k events per
+/// schedule; 5k is several standard deviations out.
+pub const COVERAGE_EVENTS_THRESHOLD: u64 = 5_000;
+
+/// Judge an outcome: `Some((kind, detail, score))` if the schedule belongs
+/// in the corpus, `None` if it is boring.
+pub fn classify(outcome: &ChaosOutcome) -> Option<(InterestKind, String, u64)> {
+    if !outcome.survived() {
+        let detail = format!("violations={}", outcome.violations.len());
+        // Violations outrank everything else.
+        return Some((
+            InterestKind::Violation,
+            detail,
+            1_000_000 + outcome.violations.len() as u64,
+        ));
+    }
+    let c = &outcome.report.counters;
+    let term_resolved = c.get("term.resolved_commit") + c.get("term.resolved_abort");
+    let deadlock_global = c.get("deadlock.global");
+    let comp_skipped = c.get("comp.skipped_ops");
+    let wal_fault_crashes = c.get("wal.fault_crashes");
+    let mut detail = String::new();
+    let mut score = 0u64;
+    let push = |name: &str, v: u64, detail: &mut String, score: &mut u64| {
+        if v > 0 {
+            if !detail.is_empty() {
+                detail.push(' ');
+            }
+            detail.push_str(&format!("{name}={v}"));
+            *score += v;
+        }
+    };
+    push("term_resolved", term_resolved, &mut detail, &mut score);
+    push("deadlock_global", deadlock_global, &mut detail, &mut score);
+    push("comp_skipped_ops", comp_skipped, &mut detail, &mut score);
+    push(
+        "wal_fault_crashes",
+        wal_fault_crashes,
+        &mut detail,
+        &mut score,
+    );
+    if score > 0 {
+        return Some((InterestKind::NearMiss, detail, score));
+    }
+    let events = outcome.report.events_processed;
+    if events >= COVERAGE_EVENTS_THRESHOLD {
+        return Some((InterestKind::Coverage, format!("events={events}"), events));
+    }
+    None
+}
+
+impl CorpusEntry {
+    /// The entry's file name within a corpus directory. One file per seed:
+    /// re-finding a seed overwrites (keeping the latest classification)
+    /// rather than duplicating.
+    pub fn file_name(&self) -> String {
+        format!("seed-{}.json", self.seed)
+    }
+
+    /// Render as a flat JSON object (keys in fixed order, one per line).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"seed\": {},\n  \"sites\": {},\n  \"durable\": {},\n  \"kind\": \"{}\",\n  \"protocol\": \"{}\",\n  \"detail\": \"{}\",\n  \"score\": {}\n}}\n",
+            self.seed,
+            self.sites,
+            self.durable,
+            self.kind.as_str(),
+            sanitize(&self.protocol),
+            sanitize(&self.detail),
+            self.score,
+        )
+    }
+
+    /// Parse [`CorpusEntry::to_json`] output (tolerant of whitespace and
+    /// key order; unknown keys are ignored).
+    pub fn from_json(text: &str) -> Option<CorpusEntry> {
+        let mut seed = None;
+        let mut sites = None;
+        let mut durable = None;
+        let mut kind = None;
+        let mut protocol = None;
+        let mut detail = None;
+        let mut score = None;
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            let unquoted = value.trim_matches('"');
+            match key {
+                "seed" => seed = value.parse().ok(),
+                "sites" => sites = value.parse().ok(),
+                "durable" => durable = value.parse().ok(),
+                "kind" => kind = InterestKind::parse(unquoted),
+                "protocol" => protocol = Some(unquoted.to_string()),
+                "detail" => detail = Some(unquoted.to_string()),
+                "score" => score = value.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(CorpusEntry {
+            seed: seed?,
+            sites: sites?,
+            durable: durable?,
+            kind: kind?,
+            protocol: protocol?,
+            detail: detail?,
+            score: score?,
+        })
+    }
+
+    /// Write this entry into `dir` (created if missing). Returns the path
+    /// written.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Load every `*.json` entry in `dir`, sorted by seed (deterministic replay
+/// order regardless of directory iteration order). Files that fail to parse
+/// are reported as errors — a corrupt corpus should be loud, not silently
+/// thinner.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut entries = Vec::new();
+    for dirent in std::fs::read_dir(dir)? {
+        let path = dirent?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let entry = CorpusEntry::from_json(&text).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable corpus entry: {}", path.display()),
+            )
+        })?;
+        entries.push(entry);
+    }
+    entries.sort_by_key(|e| e.seed);
+    Ok(entries)
+}
+
+/// Strip characters that would break the flat JSON encoding (quotes,
+/// backslashes, control characters). Corpus metadata is plain ASCII
+/// counters and protocol names, so this never fires in practice.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            seed: 0xDEAD_BEEF,
+            sites: 4,
+            durable: true,
+            kind: InterestKind::NearMiss,
+            protocol: "O2pcP2".into(),
+            detail: "term_resolved=2 deadlock_global=1".into(),
+            score: 3,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let e = entry();
+        let parsed = CorpusEntry::from_json(&e.to_json()).unwrap();
+        assert_eq!(parsed.seed, e.seed);
+        assert_eq!(parsed.sites, e.sites);
+        assert_eq!(parsed.durable, e.durable);
+        assert_eq!(parsed.kind, e.kind);
+        assert_eq!(parsed.protocol, e.protocol);
+        assert_eq!(parsed.detail, e.detail);
+        assert_eq!(parsed.score, e.score);
+    }
+
+    #[test]
+    fn save_and_load_dir_sorted_by_seed() {
+        let dir = std::env::temp_dir().join(format!("o2pc-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for seed in [30u64, 10, 20] {
+            let mut e = entry();
+            e.seed = seed;
+            e.save(&dir).unwrap();
+        }
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(
+            loaded.iter().map(|e| e.seed).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_errors() {
+        let dir = std::env::temp_dir().join(format!("o2pc-corpus-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("seed-1.json"), "{ not json at all").unwrap();
+        assert!(load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod durable;
 pub mod oracle;
 pub mod plan;
 pub mod runner;
 
+pub use corpus::{classify, CorpusEntry, InterestKind};
 pub use durable::{injected_fault_roundtrip, recover_killed_run, KillRecoveryReport};
 pub use oracle::Violation;
 pub use plan::{ChaosConfig, ChaosPlan, Fault};
-pub use runner::{run_plan, run_plan_with, shrink, ChaosOutcome, Hardening};
+pub use runner::{run_plan, run_plan_with, shrink, shrink_with_cores, ChaosOutcome, Hardening};

@@ -93,6 +93,18 @@ pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
     run_plan_with(plan, harden, None)
 }
 
+/// Remove a schedule's scratch WAL directory. `NotFound` is the normal
+/// first-run case; any *other* error (permissions, a file held open, a
+/// non-directory in the way) means later runs would silently log into a
+/// dirty or unwritable tree, so it is fatal rather than swallowed.
+fn clear_run_dir(run_dir: &std::path::Path) {
+    if let Err(e) = std::fs::remove_dir_all(run_dir) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            panic!("chaos: cannot clear WAL dir {}: {e}", run_dir.display());
+        }
+    }
+}
+
 /// [`run_plan`], optionally in durable-WAL mode: with `durable_dir` set,
 /// every site logs through the file-backed backend under
 /// `durable_dir/seed-<seed>/` (wiped first — each schedule starts from an
@@ -100,6 +112,10 @@ pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
 /// events and fsync latency is never observed — so `--replay` and shrinking
 /// work unchanged; what durable mode adds is the real write/fsync/recover
 /// code under every crash the plan injects.
+///
+/// Surviving runs clean their `seed-<N>` dir back up afterwards (a large
+/// sweep would otherwise leak one directory per schedule); a failing run
+/// keeps its logs on disk for post-mortem inspection.
 pub fn run_plan_with(
     plan: &ChaosPlan,
     harden: Hardening,
@@ -143,10 +159,10 @@ pub fn run_plan_with(
     if plan.seed.is_multiple_of(7) {
         cfg.vote_abort_probability = 0.1;
     }
-    if let Some(base) = durable_dir {
-        let run_dir = base.join(format!("seed-{}", plan.seed));
-        let _ = std::fs::remove_dir_all(&run_dir);
-        cfg.durable_wal_dir = Some(run_dir);
+    let run_dir = durable_dir.map(|base| base.join(format!("seed-{}", plan.seed)));
+    if let Some(dir) = &run_dir {
+        clear_run_dir(dir);
+        cfg.durable_wal_dir = Some(dir.clone());
     }
 
     let mut engine = Engine::new(cfg);
@@ -154,7 +170,7 @@ pub fn run_plan_with(
     let horizon = Duration::micros(plan.heal_at.micros()) + Duration::secs(5);
     let report = engine.run(horizon);
     let violations = oracle::check(&engine, &report, wl.expected_total());
-    ChaosOutcome {
+    let outcome = ChaosOutcome {
         gc_retired: report.counters.get("txn.gc"),
         live_at_end: engine.live_txn_count(),
         violations,
@@ -163,7 +179,15 @@ pub fn run_plan_with(
         drop_probability: plan.drop_probability(),
         duplicate_probability: plan.duplicate_probability(),
         crashed_a_coordinator,
+    };
+    if let Some(dir) = &run_dir {
+        if outcome.survived() {
+            drop(engine); // release the WAL file handles before deleting
+            clear_run_dir(dir);
+        }
+        // A failing seed keeps its logs for post-mortem / --replay --durable.
     }
+    outcome
 }
 
 /// Shrink a failing plan: greedily drop one fault at a time, keeping each
@@ -178,19 +202,61 @@ pub fn shrink(
     harden: Hardening,
     durable_dir: Option<&std::path::Path>,
 ) -> ChaosPlan {
+    shrink_with_cores(plan, harden, durable_dir, 1)
+}
+
+/// [`shrink`] with the candidate scan fanned out over `cores` worker
+/// threads. Each round evaluates the single-removal candidates starting at
+/// the current scan position and accepts the **lowest-index** failure
+/// ([`o2pc_common::pool::min_where`] reproduces the sequential
+/// first-failure scan exactly), so the shrunk plan is identical at every
+/// core count.
+///
+/// After accepting removal `idx` the next round resumes scanning at `idx`
+/// rather than index 0. Indices `< idx` were each just rejected against a
+/// *superset* of the current fault set; fault injection is monotone (every
+/// fault only adds adversity — a drop window, a crash, a partition — so a
+/// schedule that survives some fault set survives every subset of it).
+/// Hence a removal that left a surviving plan before still leaves a
+/// surviving plan now, re-checking those prefixes is pure waste, and the
+/// result remains 1-minimal: when a full pass from the final resume point
+/// plus the accumulated prefix rejections finds no failing removal, no
+/// single removal can fail. This turns the worst case from O(n²) engine
+/// runs into O(n) beyond the accepted removals.
+pub fn shrink_with_cores(
+    plan: &ChaosPlan,
+    harden: Hardening,
+    durable_dir: Option<&std::path::Path>,
+    cores: usize,
+) -> ChaosPlan {
     let mut current = plan.clone();
+    let mut from = 0usize;
     loop {
-        let mut improved = false;
-        for idx in 0..current.faults.len() {
-            let candidate = current.without(idx);
-            if !run_plan_with(&candidate, harden, durable_dir).survived() {
-                current = candidate;
-                improved = true;
-                break;
-            }
-        }
-        if !improved {
+        let n = current.faults.len();
+        if from >= n {
             return current;
+        }
+        let hit = o2pc_common::pool::min_where(n - from, cores, |i| {
+            let candidate = current.without(from + i);
+            // Every candidate keeps the plan's seed, so concurrent durable
+            // candidates would collide on one `seed-<N>` dir — give each
+            // candidate slot its own scratch subtree.
+            let scratch = durable_dir.map(|d| d.join(format!("shrink-{i}")));
+            let failed = !run_plan_with(&candidate, harden, scratch.as_deref()).survived();
+            if let Some(dir) = &scratch {
+                clear_run_dir(dir); // scratch only; the original seed dir is the post-mortem
+            }
+            failed
+        });
+        match hit {
+            Some(i) => {
+                // Removing index `from + i` keeps the failure; the element
+                // that shifted down into that slot has not been tried yet,
+                // so the next scan resumes at the same position.
+                current = current.without(from + i);
+                from += i;
+            }
+            None => return current,
         }
     }
 }

@@ -13,6 +13,9 @@
 //!   whole system is reproducible bit-for-bit from a seed.
 //! * [`stats`] — streaming statistics (Welford mean/variance, log-bucketed
 //!   percentile histograms) and named counters used by the experiment harness.
+//! * [`pool`] — a deterministic-merge worker pool for the harnesses: jobs
+//!   run on N threads, results are consumed in job order, so parallel runs
+//!   print byte-identical output to sequential ones.
 //! * [`history`] — the recorded execution history consumed by `o2pc-sgraph`.
 //! * [`error`] — shared error types.
 
@@ -24,6 +27,7 @@ pub mod hash;
 pub mod history;
 pub mod ids;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,241 @@
+//! A small worker pool for embarrassingly parallel, deterministic jobs.
+//!
+//! Every harness in this repo (chaos schedules, experiment sweep points,
+//! shrink candidates) runs many *isolated* deterministic engine executions:
+//! each job is a pure function of its index, so the only thing parallelism
+//! could perturb is the order results come back. The pool therefore makes
+//! one promise: **results are consumed strictly in job-index order**, no
+//! matter which worker finished first. A harness that folds the consumed
+//! results into its summary produces byte-identical output at any core
+//! count — `--cores 8` is just `--cores 1` with the waiting removed.
+//!
+//! With `cores <= 1` (or a single job) every entry point degrades to the
+//! plain sequential loop — zero threads, zero channels — so single-core
+//! perf baselines measure the workload, not the pool.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of hardware threads available to this process (`1` if unknown).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a `--cores` argument: `0` (or an absent flag mapped to `0`)
+/// means "all available".
+pub fn resolve_cores(requested: usize) -> usize {
+    if requested == 0 {
+        available_cores()
+    } else {
+        requested
+    }
+}
+
+/// Run `run(i)` for every `i in 0..jobs` on `cores` worker threads and hand
+/// each result to `consume(i, result)` **in index order**. `consume`
+/// returns `true` to keep going; returning `false` cancels the remaining
+/// jobs (workers stop claiming new indices; results already in flight are
+/// discarded). This mirrors a sequential `for` loop with `break` exactly —
+/// including which job indices `consume` observes before stopping.
+///
+/// Out-of-order completions are buffered until their predecessors arrive,
+/// so peak buffering is bounded by the number of in-flight workers.
+pub fn for_each_ordered<T, F, C>(jobs: usize, cores: usize, run: F, mut consume: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T) -> bool,
+{
+    if jobs == 0 {
+        return;
+    }
+    let workers = cores.min(jobs);
+    if workers <= 1 {
+        for i in 0..jobs {
+            if !consume(i, run(i)) {
+                return;
+            }
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let cancelled = &cancelled;
+            let run = &run;
+            scope.spawn(move || loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    return;
+                }
+                let out = run(i);
+                // A closed channel means the consumer stopped: just exit.
+                if tx.send((i, out)).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx); // the channel closes once every worker exits
+
+        let mut pending: std::collections::HashMap<usize, T> = std::collections::HashMap::new();
+        let mut want = 0usize;
+        while want < jobs {
+            let Ok((i, out)) = rx.recv() else {
+                break; // all workers gone (only after cancellation)
+            };
+            pending.insert(i, out);
+            while let Some(out) = pending.remove(&want) {
+                if !consume(want, out) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    // Drop the receiver so in-flight sends fail fast, then
+                    // let the scope join the workers.
+                    return;
+                }
+                want += 1;
+            }
+        }
+    });
+}
+
+/// Parallel map with a deterministic result order: `out[i] == run(i)`.
+pub fn map_ordered<T, F>(jobs: usize, cores: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(jobs);
+    out.resize_with(jobs, || None);
+    for_each_ordered(jobs, cores, run, |i, t| {
+        out[i] = Some(t);
+        true
+    });
+    out.into_iter().map(|t| t.expect("job completed")).collect()
+}
+
+/// Smallest `i in 0..jobs` with `pred(i)`, evaluated on `cores` threads.
+///
+/// Matches the sequential scan-and-stop result exactly: a worker that finds
+/// `pred(i)` true publishes `i` as the current best, and workers skip any
+/// index at or above the best (such an index can never be the minimum once
+/// a smaller hit exists). Indices *below* the best keep being evaluated, so
+/// the final value is the true minimum, not merely the first found.
+pub fn min_where<F>(jobs: usize, cores: usize, pred: F) -> Option<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if jobs == 0 {
+        return None;
+    }
+    let workers = cores.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).find(|&i| pred(i));
+    }
+    let next = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let best = &best;
+            let pred = &pred;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs || i >= best.load(Ordering::Relaxed) {
+                    return;
+                }
+                if pred(i) {
+                    best.fetch_min(i, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let found = best.load(Ordering::Relaxed);
+    (found != usize::MAX).then_some(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_arrive_in_order_at_any_core_count() {
+        for cores in [1, 2, 4, 8] {
+            let mut seen = Vec::new();
+            for_each_ordered(
+                50,
+                cores,
+                |i| {
+                    // Stagger completion order: later jobs finish sooner.
+                    if cores > 1 {
+                        std::thread::sleep(std::time::Duration::from_micros((50 - i as u64) * 10));
+                    }
+                    i * 3
+                },
+                |i, v| {
+                    seen.push((i, v));
+                    true
+                },
+            );
+            let expect: Vec<(usize, usize)> = (0..50).map(|i| (i, i * 3)).collect();
+            assert_eq!(seen, expect, "cores = {cores}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_consumption_at_the_same_index() {
+        for cores in [1, 3] {
+            let mut seen = Vec::new();
+            for_each_ordered(
+                100,
+                cores,
+                |i| i,
+                |i, v| {
+                    seen.push(v);
+                    i < 9 // stop after consuming index 9
+                },
+            );
+            assert_eq!(seen, (0..10).collect::<Vec<_>>(), "cores = {cores}");
+        }
+    }
+
+    #[test]
+    fn map_ordered_matches_sequential() {
+        let seq: Vec<u64> = (0..37).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for cores in [1, 4] {
+            assert_eq!(
+                map_ordered(37, cores, |i| (i as u64).wrapping_mul(0x9E37)),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn min_where_finds_the_true_minimum() {
+        // Hits at 13, 7, 29 — with 7 the minimum; staggered timings let a
+        // larger hit publish first so the skip logic is actually exercised.
+        let hits = [13usize, 7, 29];
+        for cores in [1, 2, 4] {
+            let evaluated = Mutex::new(Vec::new());
+            let found = min_where(40, cores, |i| {
+                evaluated.lock().unwrap().push(i);
+                if i == 13 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                hits.contains(&i)
+            });
+            assert_eq!(found, Some(7), "cores = {cores}");
+        }
+        assert_eq!(min_where(10, 4, |_| false), None);
+        assert_eq!(min_where(0, 4, |_| true), None);
+    }
+}

@@ -475,17 +475,15 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     /// strict 2PL guarantees no later writer's record precedes the commit
     /// record it depends on.
     pub(crate) fn send_gated(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
-        let dirty = self.sites[from.index()]
-            .as_ref()
-            .is_some_and(|s| s.wal_is_dirty());
-        if !dirty {
-            self.send(now, from, to, msg);
-            return;
-        }
-        let ticket = self.sites[from.index()]
-            .as_ref()
-            .unwrap()
-            .wal_append_ticket();
+        let ticket = match self.sites[from.index()].as_ref() {
+            Some(s) if s.wal_is_dirty() => s.wal_append_ticket(),
+            // Clean WAL (always true in-memory) or site down: nothing to
+            // gate on.
+            _ => {
+                self.send(now, from, to, msg);
+                return;
+            }
+        };
         self.wal_parked
             .entry(from)
             .or_default()

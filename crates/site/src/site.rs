@@ -837,24 +837,30 @@ impl Site {
         self.wal.crash().expect("wal crash transform")
     }
 
-    // ----- durability surface (delegated; trivial on the in-memory WAL) -----
+    // ----- durability surface (delegated; trivial on the in-memory WAL;
+    // #[inline] because the engine queries these per gated send and the
+    // workspace builds without LTO) -----
 
     /// True when this site logs to the durable (file-backed) backend.
+    #[inline]
     pub fn wal_is_durable(&self) -> bool {
         self.wal.is_durable()
     }
 
     /// True when the site's WAL has appended records not yet durable.
+    #[inline]
     pub fn wal_is_dirty(&self) -> bool {
         self.wal.is_dirty()
     }
 
     /// Ticket covering everything this site has logged so far.
+    #[inline]
     pub fn wal_append_ticket(&self) -> u64 {
         self.wal.append_ticket()
     }
 
     /// The site's durable watermark.
+    #[inline]
     pub fn wal_durable_ticket(&self) -> u64 {
         self.wal.durable_ticket()
     }

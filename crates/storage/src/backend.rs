@@ -41,13 +41,18 @@ impl From<DurableWal> for WalBackend {
     }
 }
 
+// The short accessors and the append path are called from `o2pc-site` on
+// every operation; the workspace builds without LTO, so cross-crate
+// inlining needs the explicit hints.
 impl WalBackend {
     /// True for the durable (file-backed) backend.
+    #[inline]
     pub fn is_durable(&self) -> bool {
         matches!(self, WalBackend::Durable(_))
     }
 
     /// Append a record.
+    #[inline]
     pub fn append(&mut self, rec: LogRecord) {
         match self {
             WalBackend::Mem(w) => w.append(rec),
@@ -56,6 +61,7 @@ impl WalBackend {
     }
 
     /// Convenience: append an `Update` from an [`UndoRecord`].
+    #[inline]
     pub fn append_update(&mut self, exec: ExecId, rec: &UndoRecord) {
         match self {
             WalBackend::Mem(w) => w.append_update(exec, rec),
@@ -64,6 +70,7 @@ impl WalBackend {
     }
 
     /// Number of records.
+    #[inline]
     pub fn len(&self) -> usize {
         match self {
             WalBackend::Mem(w) => w.len(),
@@ -72,11 +79,13 @@ impl WalBackend {
     }
 
     /// True when the log is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// All records (tests / audits).
+    #[inline]
     pub fn records(&self) -> &[LogRecord] {
         match self {
             WalBackend::Mem(w) => w.records(),
@@ -126,6 +135,7 @@ impl WalBackend {
 
     /// Ticket covering everything appended so far (0 on the in-memory
     /// backend — everything is trivially durable).
+    #[inline]
     pub fn append_ticket(&self) -> u64 {
         match self {
             WalBackend::Mem(_) => 0,
@@ -134,6 +144,7 @@ impl WalBackend {
     }
 
     /// Current durable watermark.
+    #[inline]
     pub fn durable_ticket(&self) -> u64 {
         match self {
             WalBackend::Mem(_) => 0,
@@ -142,6 +153,7 @@ impl WalBackend {
     }
 
     /// True when a flush is owed.
+    #[inline]
     pub fn is_dirty(&self) -> bool {
         match self {
             WalBackend::Mem(_) => false,

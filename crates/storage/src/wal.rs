@@ -150,6 +150,7 @@ impl Wal {
     }
 
     /// Append a record.
+    #[inline]
     pub fn append(&mut self, rec: LogRecord) {
         if matches!(rec, LogRecord::Checkpoint { .. }) {
             self.last_checkpoint = Some(self.records.len());
@@ -158,6 +159,7 @@ impl Wal {
     }
 
     /// Convenience: append an `Update` from an [`UndoRecord`].
+    #[inline]
     pub fn append_update(&mut self, exec: ExecId, rec: &UndoRecord) {
         self.append(LogRecord::Update {
             exec,
@@ -168,16 +170,19 @@ impl Wal {
     }
 
     /// Number of records.
+    #[inline]
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
     /// True when the log is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
 
     /// All records (tests / audits).
+    #[inline]
     pub fn records(&self) -> &[LogRecord] {
         &self.records
     }
