@@ -31,7 +31,7 @@
 
 use o2pc_chaos::{
     classify, corpus, run_plan_with, shrink_with_cores, ChaosConfig, ChaosPlan, CorpusEntry,
-    Hardening, InterestKind,
+    DurableMode, Hardening, InterestKind,
 };
 use o2pc_common::pool;
 use std::path::{Path, PathBuf};
@@ -43,6 +43,7 @@ struct Args {
     replay: Option<u64>,
     sites: u32,
     durable: bool,
+    segment_bytes: Option<u64>,
     cores: usize,
     swarm: bool,
     minutes: f64,
@@ -57,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         sites: 4,
         durable: false,
+        segment_bytes: None,
         cores: 0, // all available
         swarm: false,
         minutes: 1.0,
@@ -88,6 +90,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sites" => args.sites = take(&mut i)?.parse().map_err(|e| format!("--sites: {e}"))?,
             "--durable" => args.durable = true,
+            "--segment-bytes" => {
+                args.segment_bytes = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--segment-bytes: {e}"))?,
+                )
+            }
             "--cores" => args.cores = take(&mut i)?.parse().map_err(|e| format!("--cores: {e}"))?,
             "--swarm" => args.swarm = true,
             "--minutes" => {
@@ -100,7 +109,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: chaos [--schedules N] [--seed S] [--sites N] [--cores N] \
-                     [--replay SEED] [--durable]\n       chaos --swarm [--minutes M] \
+                     [--replay SEED] [--durable] [--segment-bytes N]\n       \
+                     chaos --swarm [--minutes M] \
                      [--corpus DIR]\n       chaos --replay-corpus DIR"
                 );
                 std::process::exit(0);
@@ -126,6 +136,25 @@ fn durable_scratch(enabled: bool) -> Option<PathBuf> {
         let _ = std::fs::create_dir_all(&dir);
         dir
     })
+}
+
+/// Borrow a scratch dir (if durable mode is on) as the runner's
+/// [`DurableMode`], carrying the optional segment-size override along.
+fn durable_mode(dir: &Option<PathBuf>, segment_bytes: Option<u64>) -> Option<DurableMode<'_>> {
+    dir.as_deref().map(|d| DurableMode {
+        dir: d,
+        segment_bytes,
+    })
+}
+
+/// The flag suffix a repro command line needs to reproduce this run's
+/// durable configuration.
+fn repro_suffix(durable: bool, segment_bytes: Option<u64>) -> String {
+    match (durable, segment_bytes) {
+        (false, _) => String::new(),
+        (true, None) => " --durable".to_string(),
+        (true, Some(sb)) => format!(" --durable --segment-bytes {sb}"),
+    }
 }
 
 /// Everything the merged report needs from one schedule, compact enough to
@@ -164,9 +193,9 @@ impl SeedSummary {
     }
 }
 
-fn run_seed(seed: u64, cfg: &ChaosConfig, durable_dir: Option<&Path>) -> SeedSummary {
+fn run_seed(seed: u64, cfg: &ChaosConfig, durable: Option<DurableMode<'_>>) -> SeedSummary {
     let plan = ChaosPlan::generate(seed, cfg);
-    let outcome = run_plan_with(&plan, Hardening::default(), durable_dir);
+    let outcome = run_plan_with(&plan, Hardening::default(), durable);
     SeedSummary {
         seed,
         violations: outcome.violations.iter().map(|v| v.to_string()).collect(),
@@ -183,11 +212,15 @@ fn run_seed(seed: u64, cfg: &ChaosConfig, durable_dir: Option<&Path>) -> SeedSum
 }
 
 /// Replay one seed with the full plan and outcome printed.
-fn replay(seed: u64, sites: u32, durable: bool, cores: usize) -> ! {
+fn replay(seed: u64, sites: u32, durable: bool, segment_bytes: Option<u64>, cores: usize) -> ! {
     let plan = ChaosPlan::generate(seed, &config_for(sites));
     println!("{}", plan.describe());
     let dir = durable_scratch(durable);
-    let outcome = run_plan_with(&plan, Hardening::default(), dir.as_deref());
+    let outcome = run_plan_with(
+        &plan,
+        Hardening::default(),
+        durable_mode(&dir, segment_bytes),
+    );
     println!(
         "protocol {} | drop p={:.3} dup p={:.3} | {} committed / {} aborted / {} local | \
          {} gc'd, {} live at end",
@@ -208,7 +241,12 @@ fn replay(seed: u64, sites: u32, durable: bool, cores: usize) -> ! {
     for v in &outcome.violations {
         println!("  - {v}");
     }
-    let minimal = shrink_with_cores(&plan, Hardening::default(), dir.as_deref(), cores);
+    let minimal = shrink_with_cores(
+        &plan,
+        Hardening::default(),
+        durable_mode(&dir, segment_bytes),
+        cores,
+    );
     println!(
         "\nminimal failing fault set ({} faults):",
         minimal.faults.len()
@@ -220,7 +258,7 @@ fn replay(seed: u64, sites: u32, durable: bool, cores: usize) -> ! {
 /// Re-judge every corpus entry against the current engine. The corpus is a
 /// set of historically hard schedules; the regression gate is that the
 /// current engine survives all of them.
-fn replay_corpus(dir: &Path, cores: usize) -> ! {
+fn replay_corpus(dir: &Path, segment_bytes: Option<u64>, cores: usize) -> ! {
     let entries = match corpus::load_dir(dir) {
         Ok(e) => e,
         Err(e) => {
@@ -238,7 +276,11 @@ fn replay_corpus(dir: &Path, cores: usize) -> ! {
         run_seed(
             e.seed,
             &config_for(e.sites),
-            e.durable.then_some(durable_dir.as_deref()).flatten(),
+            if e.durable {
+                durable_mode(&durable_dir, segment_bytes)
+            } else {
+                None
+            },
         )
     });
     let mut violations = 0usize;
@@ -266,7 +308,7 @@ fn replay_corpus(dir: &Path, cores: usize) -> ! {
                 "  replay with: cargo run --release --bin chaos -- --replay {} --sites {}{}",
                 e.seed,
                 e.sites,
-                if e.durable { " --durable" } else { "" }
+                repro_suffix(e.durable, segment_bytes)
             );
         }
     }
@@ -332,7 +374,13 @@ fn swarm(args: &Args, cores: usize) -> ! {
         pool::for_each_ordered(
             batch,
             cores,
-            |i| run_seed(next_seed + i as u64, &cfg, durable_dir.as_deref()),
+            |i| {
+                run_seed(
+                    next_seed + i as u64,
+                    &cfg,
+                    durable_mode(&durable_dir, args.segment_bytes),
+                )
+            },
             |_, s: SeedSummary| {
                 mined += 1;
                 if let Some(entry) = s.corpus_entry(args.sites, args.durable) {
@@ -369,7 +417,7 @@ fn swarm(args: &Args, cores: usize) -> ! {
             "  VIOLATION at seed {seed} — replay with: cargo run --release --bin chaos -- \
              --replay {seed} --sites {}{}",
             args.sites,
-            if args.durable { " --durable" } else { "" }
+            repro_suffix(args.durable, args.segment_bytes)
         );
     }
     if let Some(d) = &durable_dir {
@@ -388,10 +436,10 @@ fn main() {
     };
     let cores = pool::resolve_cores(args.cores);
     if let Some(dir) = &args.replay_corpus {
-        replay_corpus(dir, cores);
+        replay_corpus(dir, args.segment_bytes, cores);
     }
     if let Some(seed) = args.replay {
-        replay(seed, args.sites, args.durable, cores);
+        replay(seed, args.sites, args.durable, args.segment_bytes, cores);
     }
     if args.swarm {
         swarm(&args, cores);
@@ -410,7 +458,7 @@ fn main() {
             run_seed(
                 args.seed.wrapping_add(i as u64),
                 &cfg,
-                durable_dir.as_deref(),
+                durable_mode(&durable_dir, args.segment_bytes),
             )
         },
         |i, s: SeedSummary| {
@@ -447,7 +495,12 @@ fn main() {
             println!("  - {v}");
         }
         println!("shrinking to a minimal fault set...");
-        let minimal = shrink_with_cores(&plan, Hardening::default(), durable_dir.as_deref(), cores);
+        let minimal = shrink_with_cores(
+            &plan,
+            Hardening::default(),
+            durable_mode(&durable_dir, args.segment_bytes),
+            cores,
+        );
         println!(
             "minimal failing fault set ({} of {} faults):",
             minimal.faults.len(),
@@ -459,7 +512,7 @@ fn main() {
             "  cargo run --release --bin chaos -- --replay {} --sites {}{}",
             s.seed,
             args.sites,
-            if args.durable { " --durable" } else { "" }
+            repro_suffix(args.durable, args.segment_bytes)
         );
         std::process::exit(1);
     }

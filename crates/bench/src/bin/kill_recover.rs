@@ -43,7 +43,7 @@ fn workload(seed: u64, sites: u32) -> BankingWorkload {
     }
 }
 
-fn run_child(dir: &Path, seed: u64, sites: u32) {
+fn run_child(dir: &Path, seed: u64, sites: u32, segment_bytes: Option<u64>) {
     let wl = workload(seed, sites);
     let schedule = wl.generate();
     let mut cfg = SystemConfig::new(sites, ProtocolKind::O2pcP2);
@@ -52,28 +52,42 @@ fn run_child(dir: &Path, seed: u64, sites: u32) {
     cfg.termination_timeout = Some(Duration::millis(50));
     cfg.retransmit_base = Some(Duration::millis(10));
     cfg.durable_wal_dir = Some(dir.to_path_buf());
+    // Physical-fsync gating: a promise must not be released until its bytes
+    // are actually on disk, because the parent's SIGKILL can land between a
+    // sealed batch and its fsync. This is the honest mode for a real kill;
+    // the deterministic sealed-gate mode is for simulated crashes only.
+    cfg.wal_background_flush = true;
+    if let Some(sb) = segment_bytes {
+        cfg.wal_segment_bytes = sb;
+    }
     let mut engine = Engine::new(cfg);
     schedule.install(&mut engine);
     engine.run(Duration::secs(600));
 }
 
-/// Total bytes across the site WAL files (0 if the dir does not exist yet).
+/// Total *allocated* bytes across the site WAL files (0 if the dir does not
+/// exist yet). Uses `st_blocks`, not file length: segments are preallocated
+/// sparse with `set_len`, so their length jumps to full capacity at creation
+/// while blocks only accrue as flushed data reaches the disk — exactly the
+/// progress signal the kill trigger needs.
 fn wal_bytes(dir: &Path) -> u64 {
+    use std::os::unix::fs::MetadataExt;
     let Ok(entries) = std::fs::read_dir(dir) else {
         return 0;
     };
     entries
         .flatten()
         .filter_map(|e| e.metadata().ok())
-        .map(|m| m.len())
+        .map(|m| m.blocks() * 512)
         .sum()
 }
 
-fn parse_args() -> (bool, Option<PathBuf>, u64, u32) {
+fn parse_args() -> (bool, Option<PathBuf>, u64, u32, Option<u64>) {
     let mut child = false;
     let mut dir = None;
     let mut seed = 0xD15C_u64;
     let mut sites = 4u32;
+    let mut segment_bytes = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,20 +95,34 @@ fn parse_args() -> (bool, Option<PathBuf>, u64, u32) {
             "--dir" => dir = Some(PathBuf::from(args.next().expect("--dir needs a path"))),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             "--sites" => sites = args.next().and_then(|v| v.parse().ok()).expect("--sites N"),
+            "--segment-bytes" => {
+                segment_bytes = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--segment-bytes N"),
+                )
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: kill_recover [--dir D] [--seed S] [--sites N]");
+                eprintln!(
+                    "usage: kill_recover [--dir D] [--seed S] [--sites N] [--segment-bytes N]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    (child, dir, seed, sites)
+    (child, dir, seed, sites, segment_bytes)
 }
 
 fn main() {
-    let (child, dir, seed, sites) = parse_args();
+    let (child, dir, seed, sites, segment_bytes) = parse_args();
     if child {
-        run_child(&dir.expect("--child requires --dir"), seed, sites);
+        run_child(
+            &dir.expect("--child requires --dir"),
+            seed,
+            sites,
+            segment_bytes,
+        );
         return;
     }
 
@@ -105,14 +133,18 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create WAL dir");
 
     let exe = std::env::current_exe().expect("current_exe");
-    let mut victim = Command::new(exe)
-        .args([
-            "--child",
-            "--seed",
-            &seed.to_string(),
-            "--sites",
-            &sites.to_string(),
-        ])
+    let mut cmd = Command::new(exe);
+    cmd.args([
+        "--child",
+        "--seed",
+        &seed.to_string(),
+        "--sites",
+        &sites.to_string(),
+    ]);
+    if let Some(sb) = segment_bytes {
+        cmd.args(["--segment-bytes", &sb.to_string()]);
+    }
+    let mut victim = cmd
         .arg("--dir")
         .arg(&dir)
         .stdout(Stdio::null())

@@ -35,6 +35,7 @@
 //! ```text
 //! perf [--quick] [--label NAME] [--out FILE] [--cores N]
 //!      [--baseline FILE] [--tolerance PCT] [--floor NAME=VALUE]...
+//!      [--compare OLD_BIN]
 //! ```
 //!
 //! Every metric is measured as **best-of-N rounds** (N = 5 full, 3 quick):
@@ -49,6 +50,14 @@
 //! (default 25) below it. `--floor NAME=VALUE` (repeatable) additionally
 //! enforces an absolute minimum on a rate — CI uses it to pin the threaded
 //! backend's throughput floor independent of baseline drift.
+//!
+//! `--compare OLD_BIN` runs an **interleaved A/B**: five alternating
+//! OLD-then-NEW subprocess rounds (each a full suite run of that binary),
+//! folding per-side bests — so slow machine drift hits both sides equally
+//! instead of biasing whichever ran last. The JSON artifact carries
+//! `before` (OLD) and `after` (NEW) objects; `after` is what a later
+//! `--baseline` gate reads. `--quick`/`--cores` are forwarded to both
+//! sides; OLD only needs to understand those original flags.
 
 use o2pc_bench::{run_open_loop, OpenLoopClients};
 use o2pc_chaos::{run_plan, ChaosConfig, ChaosPlan, Hardening};
@@ -69,6 +78,7 @@ struct Args {
     tolerance: f64,
     floors: Vec<(String, f64)>,
     cores: usize,
+    compare: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -80,6 +90,7 @@ fn parse_args() -> Args {
         tolerance: 25.0,
         floors: Vec::new(),
         cores: 0, // all available (for the parallel metric only)
+        compare: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -94,6 +105,7 @@ fn parse_args() -> Args {
             }
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = Some(it.next().expect("--out needs a value")),
+            "--compare" => args.compare = Some(it.next().expect("--compare needs a value")),
             "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a value")),
             "--tolerance" => {
                 args.tolerance = it
@@ -496,8 +508,139 @@ fn enforce_floors(floors: &[(String, f64)], metrics: &[(&str, f64)]) -> bool {
     ok
 }
 
+/// One subprocess measurement round: run `bin`'s full suite with `--out`
+/// into a scratch file and parse its `metrics` object back.
+fn compare_round(bin: &str, args: &Args, label: &str, out: &std::path::Path) -> Vec<(String, f64)> {
+    let mut cmd = std::process::Command::new(bin);
+    cmd.args(["--label", label, "--out"]).arg(out);
+    if args.quick {
+        cmd.arg("--quick");
+    }
+    if args.cores != 0 {
+        cmd.args(["--cores", &args.cores.to_string()]);
+    }
+    // The child's per-metric chatter would drown the A/B summary; its
+    // numbers all land in the JSON we parse back anyway.
+    cmd.stdout(std::process::Stdio::null());
+    let status = cmd
+        .status()
+        .unwrap_or_else(|e| panic!("cannot launch {bin}: {e}"));
+    assert!(status.success(), "{bin} exited with {status}");
+    let content =
+        std::fs::read_to_string(out).unwrap_or_else(|e| panic!("cannot read round output: {e}"));
+    let body = extract_object(&content, "metrics").expect("round output has no metrics object");
+    parse_pairs(body)
+}
+
+/// Fold one round into the per-side best: max for rates, min for `*_us`
+/// latencies (both are the least-noise-contaminated direction).
+fn fold_best(best: &mut Vec<(String, f64)>, round: Vec<(String, f64)>) {
+    for (name, value) in round {
+        match best.iter_mut().find(|(n, _)| *n == name) {
+            Some((n, cur)) => {
+                *cur = if n.ends_with("_us") {
+                    cur.min(value)
+                } else {
+                    cur.max(value)
+                };
+            }
+            None => best.push((name, value)),
+        }
+    }
+}
+
+fn render_pairs(out: &mut String, name: &str, pairs: &[(String, f64)], trailing_comma: bool) {
+    out.push_str(&format!("  \"{name}\": {{\n"));
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        let sep = if i + 1 == pairs.len() { "" } else { "," };
+        out.push_str(&format!("    \"{key}\": {value:.3}{sep}\n"));
+    }
+    out.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+}
+
+/// Interleaved A/B against an older perf binary: five alternating
+/// OLD-then-NEW full-suite subprocess rounds, per-side bests, and a
+/// combined `before`/`after` artifact (whose `after` object the normal
+/// `--baseline` gate knows how to read).
+fn run_compare(old_bin: &str, args: &Args) {
+    let new_bin = std::env::current_exe().expect("cannot locate current binary");
+    let rounds = 5;
+    let scratch = std::env::temp_dir().join(format!("o2pc-perf-compare-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("cannot create compare scratch dir");
+
+    println!(
+        "interleaved A/B ({} mode, {rounds} rounds): OLD={old_bin}  NEW={}",
+        if args.quick { "quick" } else { "full" },
+        new_bin.display()
+    );
+    let mut before: Vec<(String, f64)> = Vec::new();
+    let mut after: Vec<(String, f64)> = Vec::new();
+    for round in 0..rounds {
+        println!("  round {}/{rounds}: old ...", round + 1);
+        let out = scratch.join(format!("old-{round}.json"));
+        fold_best(
+            &mut before,
+            compare_round(old_bin, args, &format!("old-{round}"), &out),
+        );
+        println!("  round {}/{rounds}: new ...", round + 1);
+        let out = scratch.join(format!("new-{round}.json"));
+        fold_best(
+            &mut after,
+            compare_round(
+                new_bin.to_str().expect("non-utf8 exe path"),
+                args,
+                &format!("new-{round}"),
+                &out,
+            ),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!("\nper-metric best of {rounds} rounds per side:");
+    for (name, new_v) in &after {
+        let old_v = before.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        match old_v {
+            Some(old_v) if old_v > 0.0 => println!(
+                "  {name:<28} old {old_v:>12.3}  new {new_v:>12.3}  ratio {:>6.2}x",
+                new_v / old_v
+            ),
+            _ => println!("  {name:<28} old      MISSING  new {new_v:>12.3}"),
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"label\": \"{}\",\n", args.label));
+    json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    json.push_str(&format!("  \"rounds\": {rounds},\n"));
+    render_pairs(&mut json, "before", &before, true);
+    render_pairs(&mut json, "after", &after, false);
+    json.push_str("}\n");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    } else {
+        print!("\n{json}");
+    }
+
+    let metrics: Vec<(&str, f64)> = after.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let mut ok = true;
+    if !args.floors.is_empty() {
+        println!("\nabsolute floors (on the NEW side):");
+        ok &= enforce_floors(&args.floors, &metrics);
+    }
+    if !ok {
+        eprintln!("perf regression beyond tolerance — failing");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+
+    if let Some(old_bin) = args.compare.clone() {
+        run_compare(&old_bin, &args);
+        return;
+    }
 
     println!(
         "perf harness ({} mode, label `{}`)",

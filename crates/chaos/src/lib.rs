@@ -35,4 +35,6 @@ pub use corpus::{classify, CorpusEntry, InterestKind};
 pub use durable::{injected_fault_roundtrip, recover_killed_run, KillRecoveryReport};
 pub use oracle::Violation;
 pub use plan::{ChaosConfig, ChaosPlan, Fault};
-pub use runner::{run_plan, run_plan_with, shrink, shrink_with_cores, ChaosOutcome, Hardening};
+pub use runner::{
+    run_plan, run_plan_with, shrink, shrink_with_cores, ChaosOutcome, DurableMode, Hardening,
+};

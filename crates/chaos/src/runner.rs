@@ -93,6 +93,21 @@ pub fn run_plan(plan: &ChaosPlan, harden: Hardening) -> ChaosOutcome {
     run_plan_with(plan, harden, None)
 }
 
+/// Durable-mode parameters for [`run_plan_with`]: where the per-seed WAL
+/// scratch trees live, plus an optional segment-capacity override. Small
+/// segments (a few hundred bytes) force the log to rotate and compact many
+/// times per schedule, putting the rotation/recovery machinery itself under
+/// chaos; `None` keeps the engine default, where chaos histories fit one
+/// segment. Either way the run stays deterministic — rotation points are a
+/// pure function of appended bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct DurableMode<'a> {
+    /// Base scratch directory (each seed gets `seed-<N>/` under it).
+    pub dir: &'a std::path::Path,
+    /// Override for [`SystemConfig::wal_segment_bytes`]; `None` = default.
+    pub segment_bytes: Option<u64>,
+}
+
 /// Remove a schedule's scratch WAL directory. `NotFound` is the normal
 /// first-run case; any *other* error (permissions, a file held open, a
 /// non-directory in the way) means later runs would silently log into a
@@ -119,7 +134,7 @@ fn clear_run_dir(run_dir: &std::path::Path) {
 pub fn run_plan_with(
     plan: &ChaosPlan,
     harden: Hardening,
-    durable_dir: Option<&std::path::Path>,
+    durable: Option<DurableMode<'_>>,
 ) -> ChaosOutcome {
     let protocol = protocol_for(plan.seed);
     let wl = BankingWorkload {
@@ -159,10 +174,13 @@ pub fn run_plan_with(
     if plan.seed.is_multiple_of(7) {
         cfg.vote_abort_probability = 0.1;
     }
-    let run_dir = durable_dir.map(|base| base.join(format!("seed-{}", plan.seed)));
+    let run_dir = durable.map(|m| m.dir.join(format!("seed-{}", plan.seed)));
     if let Some(dir) = &run_dir {
         clear_run_dir(dir);
         cfg.durable_wal_dir = Some(dir.clone());
+        if let Some(sb) = durable.and_then(|m| m.segment_bytes) {
+            cfg.wal_segment_bytes = sb;
+        }
     }
 
     let mut engine = Engine::new(cfg);
@@ -197,12 +215,8 @@ pub fn run_plan_with(
 /// Candidate runs replay in the same mode as the original failure
 /// (`durable_dir` forwarded), so a durable-only violation shrinks against
 /// the durable engine instead of vacuously "passing" in memory.
-pub fn shrink(
-    plan: &ChaosPlan,
-    harden: Hardening,
-    durable_dir: Option<&std::path::Path>,
-) -> ChaosPlan {
-    shrink_with_cores(plan, harden, durable_dir, 1)
+pub fn shrink(plan: &ChaosPlan, harden: Hardening, durable: Option<DurableMode<'_>>) -> ChaosPlan {
+    shrink_with_cores(plan, harden, durable, 1)
 }
 
 /// [`shrink`] with the candidate scan fanned out over `cores` worker
@@ -226,7 +240,7 @@ pub fn shrink(
 pub fn shrink_with_cores(
     plan: &ChaosPlan,
     harden: Hardening,
-    durable_dir: Option<&std::path::Path>,
+    durable: Option<DurableMode<'_>>,
     cores: usize,
 ) -> ChaosPlan {
     let mut current = plan.clone();
@@ -241,9 +255,13 @@ pub fn shrink_with_cores(
             // Every candidate keeps the plan's seed, so concurrent durable
             // candidates would collide on one `seed-<N>` dir — give each
             // candidate slot its own scratch subtree.
-            let scratch = durable_dir.map(|d| d.join(format!("shrink-{i}")));
-            let failed = !run_plan_with(&candidate, harden, scratch.as_deref()).survived();
-            if let Some(dir) = &scratch {
+            let scratch = durable.map(|m| (m.dir.join(format!("shrink-{i}")), m.segment_bytes));
+            let mode = scratch.as_ref().map(|(d, sb)| DurableMode {
+                dir: d,
+                segment_bytes: *sb,
+            });
+            let failed = !run_plan_with(&candidate, harden, mode).survived();
+            if let Some((dir, _)) = &scratch {
                 clear_run_dir(dir); // scratch only; the original seed dir is the post-mortem
             }
             failed

@@ -131,11 +131,28 @@ pub struct SystemConfig {
     /// amortise fsync across more transactions at the cost of commit
     /// latency. Ignored unless [`SystemConfig::durable_wal_dir`] is set.
     pub wal_flush_interval: Duration,
-    /// Flush sealed batches on a background thread instead of fsyncing
-    /// inline when the flush timer fires. The simulator keeps this off so
-    /// durable runs stay deterministic; the threaded substrate turns it on
-    /// so fsync latency never blocks the engine loop.
+    /// Gate durability promises on *physical* fsync completion instead of
+    /// the deterministic sealed watermark. With the default (`false`), a
+    /// flush point seals the window's bytes into the background pipeline and
+    /// releases parked messages immediately — release timing is a pure
+    /// function of virtual time (deterministic: chaos replay and shrinking
+    /// depend on it), and physical durability is enforced at barriers
+    /// (simulated crash, checkpoint compaction, end of run). With `true`,
+    /// parked messages wait for the fsync watermark itself — nondeterministic
+    /// timing, but honest against a real `SIGKILL` that can land between a
+    /// released promise and its fsync (`kill_recover` runs this mode).
     pub wal_background_flush: bool,
+    /// Segment capacity of the durable WAL: the log rotates to a new
+    /// preallocated segment file when the next record would not fit.
+    /// Checkpoint compaction deletes whole stale segments. Small values
+    /// exercise rotation and compaction aggressively (CI smoke); the default
+    /// keeps rotation off the hot path.
+    pub wal_segment_bytes: u64,
+    /// Adaptive group-commit trigger: a site whose pending (unsealed) WAL
+    /// bytes reach this threshold flushes immediately instead of waiting out
+    /// [`SystemConfig::wal_flush_interval`] — whichever comes first. Byte
+    /// counts are deterministic, so the early trigger is too.
+    pub wal_flush_bytes: u64,
 }
 
 impl SystemConfig {
@@ -167,6 +184,8 @@ impl SystemConfig {
             durable_wal_dir: None,
             wal_flush_interval: Duration::millis(1),
             wal_background_flush: false,
+            wal_segment_bytes: 4 * 1024 * 1024,
+            wal_flush_bytes: 256 * 1024,
         }
     }
 

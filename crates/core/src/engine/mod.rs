@@ -43,7 +43,7 @@ use o2pc_runtime::FlushScheduler;
 use o2pc_runtime::{Runtime, SimRuntime};
 use o2pc_sim::Network;
 use o2pc_site::{LockPolicy, Site, SiteConfig};
-use o2pc_storage::{DurableWal, WalBackend};
+use o2pc_storage::{DurableWal, WalBackend, WalOptions};
 use recorder::Recorder;
 use std::collections::BTreeSet;
 
@@ -240,8 +240,13 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             rt.schedule(from, TimerEvent::Crash { site });
             rt.schedule(to, TimerEvent::Recover { site });
         }
-        let flusher =
-            (cfg.durable_wal_dir.is_some() && cfg.wal_background_flush).then(FlushScheduler::new);
+        // Durable mode always runs the sharded flush pipeline: the engine
+        // seals batches at flush points and the pool coalesces them into few
+        // fsyncs. (Fault-armed WALs opt out per flush and sync inline.)
+        let flusher = cfg
+            .durable_wal_dir
+            .is_some()
+            .then(|| FlushScheduler::new((cfg.num_sites as usize).clamp(1, 4)));
         let warnings = cfg.liveness_warnings();
         #[cfg(debug_assertions)]
         for w in &warnings {
@@ -282,7 +287,11 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
             Some(dir) => {
                 std::fs::create_dir_all(dir).expect("create durable WAL dir");
                 let path = dir.join(format!("site-{}.wal", id.0));
-                WalBackend::from(DurableWal::open(&path).expect("open durable WAL"))
+                let opts = WalOptions {
+                    segment_bytes: cfg.wal_segment_bytes,
+                    fault: None,
+                };
+                WalBackend::from(DurableWal::open_with_opts(&path, opts).expect("open durable WAL"))
             }
         }
     }
@@ -401,6 +410,15 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         self.sites[site.index()].as_ref().map(|s| s.wal_records())
     }
 
+    /// The site's durable-WAL I/O counters (`None` if the site is down or
+    /// logging in memory). The counters are shared with the flush pipeline,
+    /// so they reflect background fsyncs too.
+    pub fn wal_stats(&self, site: SiteId) -> Option<std::sync::Arc<o2pc_storage::WalStats>> {
+        self.sites[site.index()]
+            .as_ref()
+            .and_then(|s| s.wal_stats())
+    }
+
     /// Sum of every live site's item values (conservation checks).
     pub fn total_value(&self) -> i64 {
         self.sites.iter().flatten().map(|s| s.total()).sum()
@@ -476,9 +494,9 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
     /// record it depends on.
     pub(crate) fn send_gated(&mut self, now: SimTime, from: SiteId, to: SiteId, msg: Msg) {
         let ticket = match self.sites[from.index()].as_ref() {
-            Some(s) if s.wal_is_dirty() => s.wal_append_ticket(),
-            // Clean WAL (always true in-memory) or site down: nothing to
-            // gate on.
+            Some(s) if s.wal_append_ticket() > self.release_gate(s) => s.wal_append_ticket(),
+            // WAL already covered by the release gate (always true
+            // in-memory) or site down: nothing to hold the message for.
             _ => {
                 self.send(now, from, to, msg);
                 return;
@@ -492,11 +510,40 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         self.arm_wal_flush(now, from);
     }
 
-    /// Arm the group-commit flush timer for a dirty durable WAL (at most
-    /// one live timer per site; re-armed from `on_wal_flush` while dirt
-    /// remains).
+    /// The watermark parked messages release against. Deterministic mode:
+    /// the *sealed* ticket — a sealed byte is committed to the flush
+    /// pipeline, and every path that consults the physical log (simulated
+    /// crash, compaction, shutdown) synchronises on the pipeline first, so a
+    /// released promise can never outlive its record. Physical mode
+    /// (`wal_background_flush`): the fsync watermark itself, for honesty
+    /// against real kills that bypass those barriers.
+    #[inline]
+    fn release_gate(&self, s: &Site) -> u64 {
+        if self.cfg.wal_background_flush {
+            s.wal_durable_ticket()
+        } else {
+            s.wal_sealed_ticket()
+        }
+    }
+
+    /// Arm the group-commit flush timer for a site with unflushed WAL bytes
+    /// (at most one live timer per site), or flush immediately if the
+    /// pending bytes already exceed the adaptive group-commit threshold —
+    /// interval or bytes, whichever trips first.
     pub(crate) fn arm_wal_flush(&mut self, now: SimTime, site: SiteId) {
-        if !self.site_up(site) || !self.sites[site.index()].as_ref().unwrap().wal_is_dirty() {
+        if !self.site_up(site) {
+            return;
+        }
+        let s = self.sites[site.index()].as_ref().unwrap();
+        let pending = s.wal_pending_bytes();
+        let owed = pending > 0
+            || (self.cfg.wal_background_flush
+                && (s.wal_is_dirty() || self.wal_parked.get(&site).is_some_and(|q| !q.is_empty())));
+        if !owed {
+            return;
+        }
+        if pending >= self.cfg.wal_flush_bytes {
+            self.on_wal_flush(now, site);
             return;
         }
         if self.flush_armed.insert(site) {
@@ -507,11 +554,13 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         }
     }
 
-    /// Group-commit flush point: make the site's appended records durable
-    /// (inline fsync, or a sealed batch to the background flusher) and
-    /// release every parked message whose ticket the durable watermark has
-    /// passed. One fsync here covers every transaction that logged since the
-    /// last flush — that batching *is* group commit.
+    /// Group-commit flush point: seal everything the site appended since
+    /// the last flush into one batch for the flush pipeline (or fsync
+    /// inline for fault-armed WALs, whose fault point must stay
+    /// deterministic) and release every parked message the release gate now
+    /// covers. One batch — and, after coalescing, one fsync — covers every
+    /// transaction that logged in the window: that batching *is* group
+    /// commit.
     pub(crate) fn on_wal_flush(&mut self, now: SimTime, site: SiteId) {
         self.flush_armed.remove(&site);
         if !self.site_up(site) {
@@ -519,33 +568,40 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         }
         {
             let s = self.sites[site.index()].as_mut().unwrap();
-            match &self.flusher {
-                None => {
-                    if s.wal_sync().is_err() {
-                        // The log device failed (an injected fault): the
-                        // site can no longer make durable promises. Treat it
-                        // exactly like a crash — volatile state gone, disk
-                        // state as the fault left it.
-                        self.report.counters.inc("wal.fault_crashes");
-                        self.on_crash(now, site);
-                        return;
-                    }
+            if s.wal_wants_inline_flush() {
+                if s.wal_sync().is_err() {
+                    // The log device failed (an injected fault): the site
+                    // can no longer make durable promises. Treat it exactly
+                    // like a crash — volatile state gone, disk state as the
+                    // fault left it.
+                    self.report.counters.inc("wal.fault_crashes");
+                    self.on_crash(now, site);
+                    return;
                 }
-                Some(f) => {
-                    if let Some(batch) = s.wal_seal_batch() {
-                        f.submit(batch);
+            } else if let Some(batch) = s.wal_seal_batch() {
+                match &self.flusher {
+                    Some(f) => f.submit(site.0, batch),
+                    // No pipeline (not a durable run — unreachable in
+                    // practice): execute inline.
+                    None => {
+                        if batch.execute().is_err() {
+                            self.report.counters.inc("wal.fault_crashes");
+                            self.on_crash(now, site);
+                            return;
+                        }
                     }
                 }
             }
             self.report.counters.inc("wal.flushes");
         }
         self.release_parked(now, site);
-        // Background mode: the watermark advances asynchronously, so keep a
-        // short timer chain alive until every parked message drains.
-        if (self.sites[site.index()]
-            .as_ref()
-            .is_some_and(|s| s.wal_is_dirty())
-            || self.wal_parked.get(&site).is_some_and(|q| !q.is_empty()))
+        // Physical-gating mode: the watermark advances asynchronously, so
+        // keep a short timer chain alive until every parked message drains.
+        if self.cfg.wal_background_flush
+            && (self.sites[site.index()]
+                .as_ref()
+                .is_some_and(|s| s.wal_is_dirty())
+                || self.wal_parked.get(&site).is_some_and(|q| !q.is_empty()))
             && self.flush_armed.insert(site)
         {
             self.rt.schedule(
@@ -555,16 +611,22 @@ impl<R: Runtime<TimerEvent, Msg>> Engine<R> {
         }
     }
 
-    /// Release parked messages covered by the site's durable watermark.
+    /// Release parked messages covered by the site's release gate.
     fn release_parked(&mut self, now: SimTime, site: SiteId) {
         let Some(queue) = self.wal_parked.get_mut(&site) else {
             return;
         };
-        let durable = self.sites[site.index()]
-            .as_ref()
-            .map(|s| s.wal_durable_ticket())
-            .unwrap_or(0);
-        let ready = queue.partition_point(|&(t, _, _)| t <= durable);
+        let gate = match self.sites[site.index()].as_ref() {
+            Some(s) => {
+                if self.cfg.wal_background_flush {
+                    s.wal_durable_ticket()
+                } else {
+                    s.wal_sealed_ticket()
+                }
+            }
+            None => 0,
+        };
+        let ready = queue.partition_point(|&(t, _, _)| t <= gate);
         if ready == 0 {
             return;
         }

@@ -1,55 +1,86 @@
-//! Background WAL flusher for the threaded substrate.
+//! Background WAL flush pipeline: a small sharded pool of flusher threads
+//! with fsync coalescing.
 //!
 //! The engine seals a site's buffered WAL frames into a
-//! [`FlushBatch`](o2pc_storage::FlushBatch) and hands it here; the flusher
-//! thread writes + fsyncs batches strictly in submission order and advances
-//! each WAL's shared durable watermark, waking anything parked on a flush
-//! ticket. One flusher serves every site: batches from different sites
-//! interleave freely (their tickets are independent), while batches from one
-//! site stay FIFO — the property prefix durability rests on.
+//! [`FlushBatch`](o2pc_storage::FlushBatch) and submits it under the site's
+//! shard key. Each shard thread *drains its whole queue* before touching the
+//! disk and executes the burst through
+//! [`FlushBatch::execute_all`](o2pc_storage::FlushBatch::execute_all): every
+//! write lands first, then each distinct segment file is fsynced exactly
+//! once — a burst of N batches costs 1 fsync, not N. Batches from one site
+//! always map to the same shard, so per-WAL batches execute strictly in
+//! submission order, which is the property prefix durability rests on;
+//! different sites' logs flush in parallel across shards.
 //!
-//! On the simulator the engine never constructs one of these: flushes run
-//! inline at the (virtual) flush timer so durable runs stay deterministic.
+//! On the deterministic simulator the engine still submits here: sealing
+//! happens at virtual flush instants (deterministic), while the physical
+//! write + fsync run behind the simulation and are synchronised only at
+//! barriers (crash, checkpoint compaction, end of run) — fsync latency is
+//! never observed by simulated time.
 
 use o2pc_storage::FlushBatch;
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-/// Handle to the background flusher thread. Dropping it drains the queue
-/// and joins the thread, so every sealed batch is durable before shutdown
-/// completes.
-#[derive(Debug)]
-pub struct FlushScheduler {
+struct Shard {
     tx: Option<Sender<FlushBatch>>,
     worker: Option<JoinHandle<()>>,
 }
 
+/// Handle to the flusher pool. Dropping it drains every queue and joins the
+/// threads, so every sealed batch is durable (or its watermark poisoned)
+/// before shutdown completes.
+#[derive(Debug)]
+pub struct FlushScheduler {
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard").finish_non_exhaustive()
+    }
+}
+
+fn drain_loop(rx: Receiver<FlushBatch>) {
+    while let Ok(first) = rx.recv() {
+        let mut burst = vec![first];
+        while let Ok(b) = rx.try_recv() {
+            burst.push(b);
+        }
+        // An I/O error here means the log device failed; execute_all has
+        // already poisoned the affected watermarks, so anything waiting on
+        // them fails loudly instead of hanging — the site is as good as
+        // crashed, which is the honest outcome.
+        let _ = FlushBatch::execute_all(burst);
+    }
+}
+
 impl FlushScheduler {
-    /// Spawn the flusher thread.
-    pub fn new() -> Self {
-        let (tx, rx) = channel::<FlushBatch>();
-        let worker = std::thread::Builder::new()
-            .name("wal-flush".into())
-            .spawn(move || {
-                for batch in rx {
-                    // An I/O error here means the log device failed; the
-                    // watermark simply stops advancing and the engine's
-                    // parked messages for that site never release — the
-                    // site is as good as crashed, which is the honest
-                    // outcome.
-                    let _ = batch.execute();
+    /// Spawn a pool of `shards` flusher threads (at least one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shards = (0..shards)
+            .map(|i| {
+                let (tx, rx) = channel::<FlushBatch>();
+                let worker = std::thread::Builder::new()
+                    .name(format!("wal-flush-{i}"))
+                    .spawn(move || drain_loop(rx))
+                    .expect("spawn wal-flush thread");
+                Shard {
+                    tx: Some(tx),
+                    worker: Some(worker),
                 }
             })
-            .expect("spawn wal-flush thread");
-        FlushScheduler {
-            tx: Some(tx),
-            worker: Some(worker),
-        }
+            .collect();
+        FlushScheduler { shards }
     }
 
-    /// Queue a sealed batch for write + fsync.
-    pub fn submit(&self, batch: FlushBatch) {
-        if let Some(tx) = &self.tx {
+    /// Queue a sealed batch for write + fsync. `key` pins the submitter to a
+    /// shard: batches with the same key stay FIFO relative to each other
+    /// (use the site id, so one WAL's batches never reorder).
+    pub fn submit(&self, key: u32, batch: FlushBatch) {
+        let shard = &self.shards[key as usize % self.shards.len()];
+        if let Some(tx) = &shard.tx {
             let _ = tx.send(batch);
         }
     }
@@ -57,15 +88,19 @@ impl FlushScheduler {
 
 impl Default for FlushScheduler {
     fn default() -> Self {
-        Self::new()
+        Self::new(1)
     }
 }
 
 impl Drop for FlushScheduler {
     fn drop(&mut self) {
-        drop(self.tx.take());
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
+        for s in &mut self.shards {
+            drop(s.tx.take());
+        }
+        for s in &mut self.shards {
+            if let Some(w) = s.worker.take() {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -76,23 +111,63 @@ mod tests {
     use o2pc_common::{ExecId, GlobalTxnId};
     use o2pc_storage::{DurableWal, LogRecord};
 
-    #[test]
-    fn background_flush_advances_watermark_in_order() {
-        let dir = std::env::temp_dir().join(format!("o2pc-flush-{}", std::process::id()));
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("o2pc-flush-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn background_flush_advances_watermark_in_order() {
+        let dir = tmpdir("order");
         let mut wal = DurableWal::open(dir.join("s.wal")).unwrap();
-        let sched = FlushScheduler::new();
+        let sched = FlushScheduler::new(2);
         let mut last = 0;
         for i in 0..10 {
             wal.append(LogRecord::Begin(ExecId::Sub(GlobalTxnId(i))));
             last = wal.append_ticket();
-            sched.submit(wal.seal_batch().unwrap());
+            sched.submit(0, wal.seal_batch().unwrap());
         }
-        wal.progress().wait_for(last);
+        wal.progress().wait_for(last).unwrap();
         assert!(!wal.is_dirty());
         drop(sched);
         let reopened = DurableWal::open(wal.path()).unwrap();
         assert_eq!(reopened.len(), 10, "all batches landed, in order");
+    }
+
+    #[test]
+    fn shards_flush_independent_wals_and_coalesce_fsyncs() {
+        let dir = tmpdir("shards");
+        let sched = FlushScheduler::new(4);
+        let mut wals: Vec<DurableWal> = (0..4)
+            .map(|i| DurableWal::open(dir.join(format!("s{i}.wal"))).unwrap())
+            .collect();
+        let mut tickets = Vec::new();
+        for round in 0..16u64 {
+            for (i, wal) in wals.iter_mut().enumerate() {
+                wal.append(LogRecord::Begin(ExecId::Sub(GlobalTxnId(round))));
+                sched.submit(i as u32, wal.seal_batch().unwrap());
+            }
+        }
+        for wal in &wals {
+            tickets.push((wal.progress(), wal.append_ticket()));
+        }
+        for (p, t) in &tickets {
+            p.wait_for(*t).unwrap();
+        }
+        for wal in &wals {
+            assert!(!wal.is_dirty());
+            // Coalescing: 16 sealed batches per WAL must cost well under 16
+            // fsyncs whenever any burst of them drained together. The exact
+            // count is timing-dependent; the hard upper bound is 16 and the
+            // deterministic single-drain case is covered by the storage
+            // crate's `burst_of_batches_costs_one_fsync`.
+            assert!(wal.stats().fsyncs() <= 16);
+        }
+        drop(sched);
+        for wal in &wals {
+            assert_eq!(DurableWal::open(wal.path()).unwrap().len(), 16);
+        }
     }
 }

@@ -865,6 +865,25 @@ impl Site {
         self.wal.durable_ticket()
     }
 
+    /// The site's sealed watermark (bytes already in the flush pipeline).
+    #[inline]
+    pub fn wal_sealed_ticket(&self) -> u64 {
+        self.wal.sealed_ticket()
+    }
+
+    /// Bytes appended but not yet sealed or synced.
+    #[inline]
+    pub fn wal_pending_bytes(&self) -> u64 {
+        self.wal.pending_bytes()
+    }
+
+    /// True when this site's WAL must flush inline (fault-armed or dead
+    /// durable WAL; trivially true in-memory).
+    #[inline]
+    pub fn wal_wants_inline_flush(&self) -> bool {
+        self.wal.wants_inline_flush()
+    }
+
     /// Group commit: flush the site's WAL inline (sim substrate).
     pub fn wal_sync(&mut self) -> std::io::Result<()> {
         self.wal.sync()
@@ -874,6 +893,11 @@ impl Site {
     /// substrate). `None` when nothing is pending.
     pub fn wal_seal_batch(&mut self) -> Option<FlushBatch> {
         self.wal.seal_batch()
+    }
+
+    /// The durable WAL's I/O counters (`None` on the in-memory backend).
+    pub fn wal_stats(&self) -> Option<std::sync::Arc<o2pc_storage::WalStats>> {
+        self.wal.stats()
     }
 
     /// Restart from a surviving WAL: committed and locally-committed state

@@ -161,6 +161,43 @@ impl WalBackend {
         }
     }
 
+    /// Sealed watermark: bytes already handed to the flush pipeline (0 on
+    /// the in-memory backend — everything is trivially durable).
+    #[inline]
+    pub fn sealed_ticket(&self) -> u64 {
+        match self {
+            WalBackend::Mem(_) => 0,
+            WalBackend::Durable(w) => w.sealed_ticket(),
+        }
+    }
+
+    /// Bytes appended but not yet sealed or synced.
+    #[inline]
+    pub fn pending_bytes(&self) -> u64 {
+        match self {
+            WalBackend::Mem(_) => 0,
+            WalBackend::Durable(w) => w.pending_bytes(),
+        }
+    }
+
+    /// True when flushes must run inline (fault-armed or dead durable WAL;
+    /// trivially true for the in-memory backend, whose sync is a no-op).
+    #[inline]
+    pub fn wants_inline_flush(&self) -> bool {
+        match self {
+            WalBackend::Mem(_) => true,
+            WalBackend::Durable(w) => w.inline_only(),
+        }
+    }
+
+    /// Observable I/O counters (`None` on the in-memory backend).
+    pub fn stats(&self) -> Option<std::sync::Arc<crate::durable::WalStats>> {
+        match self {
+            WalBackend::Mem(_) => None,
+            WalBackend::Durable(w) => Some(w.stats()),
+        }
+    }
+
     /// Group commit: write buffered frames and fsync.
     pub fn sync(&mut self) -> io::Result<()> {
         match self {

@@ -1,41 +1,70 @@
-//! On-disk write-ahead log with group commit and torn-tail-tolerant
-//! recovery.
+//! On-disk write-ahead log: segmented, preallocated, with coalesced group
+//! commit and torn-tail-tolerant recovery.
 //!
 //! [`DurableWal`] keeps the same logical surface as the in-memory
 //! [`Wal`] — `append`, `checkpoint`, `truncate_to_checkpoint`, `recover` —
 //! by maintaining a full in-memory *mirror* of the decoded log alongside the
-//! file. Recovery therefore runs the exact same `Wal::recover` code on the
-//! same record sequence the file holds, which is what makes the
+//! files. Recovery therefore runs the exact same `Wal::recover` code on the
+//! same record sequence the files hold, which is what makes the
 //! durable-vs-in-memory differential tests byte-for-byte meaningful.
+//!
+//! ## Segmented layout
+//!
+//! The log is a sequence of fixed-capacity *segments*, named by the logical
+//! byte offset of their first byte (`<root>.<base:016x>.seg` next to the
+//! configured root path). Tickets are *global* logical offsets; a record at
+//! logical offset `o` lives in the segment with the largest `base <= o`, at
+//! file offset `o - base`. Segments are preallocated (`set_len` + sync) at
+//! creation so appends never extend the file's metadata on the hot path, and
+//! the unwritten region reads back as zeros — which the frame codec rejects
+//! as a torn tail, so a half-filled segment recovers exactly to its last
+//! complete frame.
+//!
+//! A frame **never straddles a segment boundary**: rotation happens at
+//! append time, before the frame is placed, so the segment it lands in holds
+//! it entirely (an oversized frame gets an oversized segment to itself). The
+//! unused tail of a rotated-away segment is *rotation waste*; the next
+//! segment's base records exactly where valid data ended, which is how
+//! recovery tells waste from a genuine tear.
+//!
+//! Checkpoint compaction no longer rewrites the log: a small manifest file
+//! (`<root>.manifest`, written via tmp + fsync + atomic rename + directory
+//! fsync) records the logical offset of the last checkpoint, and whole
+//! segments that end at or before that offset are deleted. Byte tickets stay
+//! monotone forever — nothing is ever renumbered.
 //!
 //! ## Durability model
 //!
-//! Appends are buffered in memory and become durable only at [`sync`]
-//! (write + fsync) or when a sealed [`FlushBatch`] completes on a background
+//! Appends are buffered in memory and become durable at [`sync`] (inline
+//! write + fsync) or when a sealed [`FlushBatch`] completes on a background
 //! flusher. Progress is tracked in *byte tickets*: [`append_ticket`] after an
 //! append names the byte offset that must become durable before any promise
 //! depending on that record (a yes-vote, a decision ack) may leave the site;
-//! [`durable_ticket`] is the current durable watermark. Because the log is
-//! written strictly sequentially and fsynced in order, durability is
-//! *prefix-closed*: a durable ticket covers every earlier record. Group
-//! commit falls out of the ticket scheme — one fsync advances the watermark
-//! past every record buffered since the last flush, amortising the sync
-//! across all transactions that appended in the window.
+//! [`durable_ticket`] is the current durable watermark and
+//! [`sealed_ticket`] the sealed watermark (bytes handed to the flush
+//! pipeline, in order). Because the log is written and fsynced strictly in
+//! order, durability is *prefix-closed*: a durable ticket covers every
+//! earlier record. Group commit falls out of the ticket scheme — one fsync
+//! advances the watermark past every record flushed in the window — and
+//! [`FlushBatch::execute_all`] *coalesces* a burst of sealed batches into
+//! one buffered write + one fsync per touched segment file.
 //!
 //! [`sync`]: DurableWal::sync
 //! [`append_ticket`]: DurableWal::append_ticket
 //! [`durable_ticket`]: DurableWal::durable_ticket
+//! [`sealed_ticket`]: DurableWal::sealed_ticket
 //!
 //! ## Crash model
 //!
-//! A simulated crash ([`DurableWal::crash`]) is *adversarial*: the unsynced
-//! buffer is discarded and the file is truncated to the durable watermark —
-//! the maximum data loss an fsync-honouring disk permits. An injected
-//! [`WriteFault`] is harsher still: it can tear a frame mid-write (short
-//! write), fail the write outright, or drop the file handle, leaving a tail
-//! that only checksum validation can reject. Reopening with
-//! [`DurableWal::open`] discards any torn or corrupt tail and replays the
-//! rest.
+//! A simulated crash ([`DurableWal::crash`]) is *adversarial*: unsynced
+//! bytes are discarded, every segment is cut back to the durable watermark
+//! (the maximum data loss an fsync-honouring disk permits), and later
+//! segments are deleted. An injected [`WriteFault`] is harsher still: it can
+//! tear a frame mid-write (short write), fail the write outright, or drop
+//! the file handles, leaving a tail only checksum validation can reject.
+//! Reopening with [`DurableWal::open`] discards any torn or corrupt tail —
+//! first tear wins: nothing after the first bad frame, in this or any later
+//! segment, is replayed.
 
 use crate::codec::{decode_all, encode_frame};
 use crate::store::{Store, UndoRecord};
@@ -43,16 +72,75 @@ use crate::wal::{LogRecord, RecoveredState, Wal};
 use o2pc_common::ExecId;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Default segment capacity (4 MiB) when none is configured.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Per-WAL unique ids, so a flusher coalescing batches from several WALs can
+/// tell their segment files apart without comparing inodes.
+static WAL_UID: AtomicU64 = AtomicU64::new(0);
+
+/// Tuning knobs for opening a [`DurableWal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalOptions {
+    /// Capacity of each preallocated segment; rotation point.
+    pub segment_bytes: u64,
+    /// Injected write fault (tests / chaos).
+    pub fault: Option<WriteFault>,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fault: None,
+        }
+    }
+}
+
+/// Observable I/O counters for one WAL (shared with its flush batches).
+/// `fsyncs` counts *data-path* syncs only — the ones group commit pays per
+/// transaction batch; preallocation, manifest, and truncation syncs are
+/// metadata and tracked separately.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    fsyncs: AtomicU64,
+    meta_syncs: AtomicU64,
+}
+
+impl WalStats {
+    /// Data fsyncs performed so far (inline syncs + flush-batch executions).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Acquire)
+    }
+
+    /// Metadata syncs (segment preallocation, manifest, truncation).
+    pub fn meta_syncs(&self) -> u64 {
+        self.meta_syncs.load(Ordering::Acquire)
+    }
+
+    fn add_fsyncs(&self, n: u64) {
+        self.fsyncs.fetch_add(n, Ordering::AcqRel);
+    }
+
+    fn add_meta(&self, n: u64) {
+        self.meta_syncs.fetch_add(n, Ordering::AcqRel);
+    }
+}
 
 /// Shared durable-watermark cell: the engine parks outgoing messages against
 /// it and a background flusher advances it. Byte tickets are monotone, so a
-/// single `fetch_max` + broadcast is enough.
+/// single `fetch_max` + broadcast is enough. A flusher that hits a real I/O
+/// error *poisons* the cell so waiters fail loudly instead of hanging on a
+/// watermark that can never advance.
 #[derive(Debug, Default)]
 pub struct FlushProgress {
     durable: AtomicU64,
+    poisoned: AtomicBool,
     lock: Mutex<()>,
     cond: Condvar,
 }
@@ -61,6 +149,7 @@ impl FlushProgress {
     fn new(durable: u64) -> Arc<Self> {
         Arc::new(FlushProgress {
             durable: AtomicU64::new(durable),
+            poisoned: AtomicBool::new(false),
             lock: Mutex::new(()),
             cond: Condvar::new(),
         })
@@ -78,15 +167,32 @@ impl FlushProgress {
         self.cond.notify_all();
     }
 
-    /// Block until the watermark reaches `ticket`.
-    pub fn wait_for(&self, ticket: u64) {
+    /// Mark the log device failed: the watermark will never advance again.
+    pub fn poison(&self) {
+        let _g = self.lock.lock().unwrap();
+        self.poisoned.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// True once a flusher reported an unrecoverable I/O error.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Block until the watermark reaches `ticket`, or fail if the cell was
+    /// poisoned before it got there.
+    pub fn wait_for(&self, ticket: u64) -> io::Result<()> {
         if self.durable() >= ticket {
-            return;
+            return Ok(());
         }
         let mut g = self.lock.lock().unwrap();
         while self.durable() < ticket {
+            if self.is_poisoned() {
+                return Err(io::Error::other("wal flush pipeline failed"));
+            }
             g = self.cond.wait(g).unwrap();
         }
+        Ok(())
     }
 }
 
@@ -104,7 +210,8 @@ pub enum FaultKind {
 /// A seeded write fault: the first physical write that would carry the byte
 /// stream past `fail_after` bytes triggers `kind`. After a fault fires the
 /// WAL is dead — every further durability operation fails — modelling a site
-/// whose log device failed mid-run.
+/// whose log device failed mid-run. A fault-armed WAL never seals batches:
+/// its writes stay inline so the fault fires at a deterministic point.
 #[derive(Clone, Copy, Debug)]
 pub struct WriteFault {
     /// Physical byte offset at which the fault fires.
@@ -113,16 +220,31 @@ pub struct WriteFault {
     pub kind: FaultKind,
 }
 
+/// One physical write of a flush batch: a slice of the batch's bytes into a
+/// segment file at a fixed offset (pwrite — no shared cursor to race on).
+#[derive(Debug)]
+struct SegWrite {
+    file: File,
+    /// (wal uid, segment base): identifies the file for fsync coalescing.
+    sync_key: (u64, u64),
+    /// File offset of the write.
+    off: u64,
+    /// Range into the batch's byte buffer.
+    start: usize,
+    len: usize,
+}
+
 /// A sealed batch of appended bytes for a background flusher: write + fsync,
 /// then advance the shared watermark. Batches sealed from one WAL must be
-/// executed in seal order (the flusher is FIFO), preserving prefix
-/// durability.
+/// executed in seal order, preserving prefix durability; a batch may span a
+/// rotation point, in which case it carries one write per touched segment.
 #[derive(Debug)]
 pub struct FlushBatch {
-    file: File,
     bytes: Vec<u8>,
+    writes: Vec<SegWrite>,
     ticket: u64,
     progress: Arc<FlushProgress>,
+    stats: Arc<WalStats>,
 }
 
 impl FlushBatch {
@@ -132,84 +254,431 @@ impl FlushBatch {
     }
 
     /// Write, fsync, and publish the new durable watermark.
-    pub fn execute(mut self) -> io::Result<()> {
-        self.file.write_all(&self.bytes)?;
-        self.file.sync_data()?;
-        self.progress.advance(self.ticket);
-        Ok(())
+    pub fn execute(self) -> io::Result<()> {
+        Self::execute_all(vec![self])
+    }
+
+    /// Execute a drained burst of batches as **one group commit**: every
+    /// write lands first, then each distinct segment file is fsynced exactly
+    /// once, then every batch's watermark advances. N batches into one
+    /// segment cost 1 fsync — this coalescing is where the flush pipeline's
+    /// throughput comes from. On error every involved watermark is poisoned
+    /// so parked waiters fail instead of hanging.
+    pub fn execute_all(batches: Vec<FlushBatch>) -> io::Result<()> {
+        if batches.is_empty() {
+            return Ok(());
+        }
+        let run = || -> io::Result<()> {
+            for b in &batches {
+                for w in &b.writes {
+                    w.file
+                        .write_all_at(&b.bytes[w.start..w.start + w.len], w.off)?;
+                }
+            }
+            // One fsync per distinct segment file across the whole burst,
+            // in first-touched order (write order == logical order, so the
+            // prefix-durability fsync ordering is preserved per WAL).
+            let mut synced: Vec<(u64, u64)> = Vec::new();
+            for b in &batches {
+                for w in &b.writes {
+                    if !synced.contains(&w.sync_key) {
+                        w.file.sync_data()?;
+                        synced.push(w.sync_key);
+                        b.stats.add_fsyncs(1);
+                    }
+                }
+            }
+            Ok(())
+        };
+        match run() {
+            Ok(()) => {
+                for b in &batches {
+                    b.progress.advance(b.ticket);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                for b in &batches {
+                    b.progress.poison();
+                }
+                Err(e)
+            }
+        }
     }
 }
 
-/// An append-only, checksummed, file-backed WAL (see module docs).
+/// One live segment file.
+#[derive(Debug)]
+struct Segment {
+    /// Logical offset of file byte 0.
+    base: u64,
+    /// Preallocated file length (an oversized frame can push it past the
+    /// configured segment size).
+    capacity: u64,
+    path: PathBuf,
+    file: File,
+}
+
+/// A pending (unsealed) byte range: where in the buffer, and where it lands.
+#[derive(Clone, Copy, Debug)]
+struct PendingSpan {
+    /// Index into `segments`.
+    seg: usize,
+    /// File offset of the first byte.
+    off: u64,
+    /// Range into `buf`.
+    start: usize,
+    len: usize,
+}
+
+/// Segment file path for a given root and base offset.
+pub fn segment_path(root: &Path, base: u64) -> PathBuf {
+    let name = root
+        .file_name()
+        .map(|n| n.to_string_lossy())
+        .unwrap_or_default();
+    root.with_file_name(format!("{name}.{base:016x}.seg"))
+}
+
+/// Manifest file path for a given root.
+pub fn manifest_path(root: &Path) -> PathBuf {
+    let name = root
+        .file_name()
+        .map(|n| n.to_string_lossy())
+        .unwrap_or_default();
+    root.with_file_name(format!("{name}.manifest"))
+}
+
+const MANIFEST_MAGIC: u32 = 0x4F32_5057; // "O2PW"
+
+fn encode_manifest(start: u64) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    out[..4].copy_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+    out[4..8].copy_from_slice(&1u32.to_le_bytes());
+    out[8..16].copy_from_slice(&start.to_le_bytes());
+    let crc = crate::codec::crc32(&out[..16]);
+    out[16..20].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn read_manifest(path: &Path) -> Option<u64> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() != 20 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if magic != MANIFEST_MAGIC || crc != crate::codec::crc32(&bytes[..16]) {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
+}
+
+/// fsync the parent directory of `path` — the durability point of a rename
+/// or file creation. The error is surfaced, not swallowed: a failed
+/// directory sync means the metadata operation may not survive a crash.
+fn fsync_dir(path: &Path) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(dir)?.sync_all()
+}
+
+/// An append-only, checksummed, segmented, file-backed WAL (see module docs).
 #[derive(Debug)]
 pub struct DurableWal {
-    path: PathBuf,
-    file: Option<File>,
+    root: PathBuf,
+    opts: WalOptions,
+    uid: u64,
+    /// Segments in base order; the last is the append tail.
+    segments: Vec<Segment>,
     /// In-memory mirror of every appended record, including not-yet-durable
     /// ones — the live log a running site recovers and audits against.
     mem: Wal,
-    /// Encoded frames appended since the last seal/sync.
+    /// Encoded frames appended since the last seal/sync (logical range
+    /// `[sealed, appended)`), with `spans` mapping them onto segments.
     buf: Vec<u8>,
+    spans: Vec<PendingSpan>,
+    /// Reused per-WAL encode scratch: `append` encodes here first (to learn
+    /// the frame length for the rotation decision) without allocating.
+    frame: Vec<u8>,
     /// Logical bytes appended over the WAL's lifetime (ticket space).
     appended: u64,
-    /// Logical offset of physical byte 0 (advances when truncation rewrites
-    /// the file, so tickets stay monotone across log reclamation).
-    base: u64,
-    /// Physical bytes successfully handed to the OS (fault accounting).
+    /// Bytes handed to the flush pipeline (inline or sealed), in order.
+    sealed: u64,
+    /// Logical offset recovery starts at (the manifest's checkpoint record).
+    start: u64,
+    /// Logical offset of the most recently appended checkpoint record.
+    last_checkpoint: Option<u64>,
+    /// Physical bytes pushed toward the OS (fault accounting).
     written: u64,
     progress: Arc<FlushProgress>,
+    stats: Arc<WalStats>,
     fault: Option<WriteFault>,
     dead: bool,
 }
 
 impl DurableWal {
-    /// Open (or create) the WAL at `path`, discarding any torn or
-    /// checksum-failing tail, and mirror the surviving records in memory.
+    /// Open (or create) the WAL rooted at `path` with default options,
+    /// discarding any torn or checksum-failing tail, and mirror the
+    /// surviving records in memory.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
-        Self::open_with(path, None)
+        Self::open_with_opts(path, WalOptions::default())
     }
 
     /// [`open`](Self::open) with an injected write fault armed.
     pub fn open_with(path: impl Into<PathBuf>, fault: Option<WriteFault>) -> io::Result<Self> {
-        let path = path.into();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
-        let (records, good) = decode_all(&bytes);
-        if good < bytes.len() {
-            // Torn tail: cut it off so future appends start at a clean
-            // frame boundary.
-            file.set_len(good as u64)?;
-            file.sync_data()?;
+        Self::open_with_opts(
+            path,
+            WalOptions {
+                fault,
+                ..WalOptions::default()
+            },
+        )
+    }
+
+    /// Open with explicit [`WalOptions`]. Scans the root's segment files in
+    /// base order, replays from the manifest's start offset, and stops at
+    /// the first torn or corrupt frame — **first tear wins**: any later
+    /// segment is deleted (its bytes were never covered by the watermark, so
+    /// no promise depends on them), and the tail segment is re-zeroed past
+    /// the cut so stale bytes can never decode as valid frames later.
+    pub fn open_with_opts(path: impl Into<PathBuf>, opts: WalOptions) -> io::Result<Self> {
+        let root: PathBuf = path.into();
+        assert!(opts.segment_bytes > 0, "segment_bytes must be positive");
+        let stats = Arc::new(WalStats::default());
+        let mut found = Self::scan_segments(&root)?;
+        found.sort_by_key(|&(base, _)| base);
+        let start = read_manifest(&manifest_path(&root))
+            .filter(|&s| found.first().is_none_or(|&(b, _)| s >= b))
+            .or_else(|| found.first().map(|&(b, _)| b))
+            .unwrap_or(0);
+
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut records = Vec::new();
+        let mut end = start;
+        let mut torn = false;
+        for (i, (base, path)) in found.iter().enumerate() {
+            let seg_end = found.get(i + 1).map(|&(b, _)| b);
+            if seg_end.is_some_and(|e| e <= start) {
+                // Entirely before the live log (a compaction's deletion that
+                // a crash interrupted): finish the job.
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            let file = OpenOptions::new().read(true).write(true).open(path)?;
+            let capacity = file.metadata()?.len();
+            if torn || *base > end {
+                // Past the first tear (or a base gap, which is the same
+                // thing: the previous segment's data never reached this
+                // one's base). Nothing here was promised; drop it.
+                drop(file);
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            let from = end - base; // == 0 for every segment after the first
+            let mut bytes = Vec::with_capacity(capacity as usize);
+            (&file).read_to_end(&mut bytes)?;
+            let (recs, good) = decode_all(&bytes[from as usize..]);
+            records.extend(recs);
+            end = base + from + good as u64;
+            let data_end = from as usize + good;
+            // A stop before the physical end is a tear *unless* the next
+            // segment's base says rotation ended the data exactly here.
+            if data_end < bytes.len() && seg_end != Some(end) {
+                torn = true;
+                // Cut and re-zero the tail so stale bytes past the cut can
+                // never checksum-decode after later appends.
+                file.set_len(end - base)?;
+                file.set_len(capacity)?;
+                file.sync_data()?;
+                stats.add_meta(1);
+            }
+            segments.push(Segment {
+                base: *base,
+                capacity,
+                path: path.clone(),
+                file,
+            });
+        }
+        if segments.is_empty() {
+            let seg = Self::create_segment(&root, start, opts.segment_bytes, &stats)?;
+            segments.push(seg);
         }
         Ok(DurableWal {
-            path,
-            file: Some(file),
+            root,
+            opts,
+            uid: WAL_UID.fetch_add(1, Ordering::Relaxed),
+            segments,
             mem: Wal::from_records(records),
             buf: Vec::new(),
-            appended: good as u64,
-            base: 0,
-            written: good as u64,
-            progress: FlushProgress::new(good as u64),
-            fault,
+            spans: Vec::new(),
+            frame: Vec::new(),
+            appended: end,
+            sealed: end,
+            start,
+            last_checkpoint: None,
+            written: end,
+            progress: FlushProgress::new(end),
+            stats,
+            fault: opts.fault,
             dead: false,
         })
     }
 
-    /// Path of the backing file.
+    fn scan_segments(root: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+        let dir = match root.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let prefix = format!(
+            "{}.",
+            root.file_name()
+                .map(|n| n.to_string_lossy())
+                .unwrap_or_default()
+        );
+        let mut found = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(found),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some(hex) = rest.strip_suffix(".seg") else {
+                continue;
+            };
+            if hex.len() == 16 {
+                if let Ok(base) = u64::from_str_radix(hex, 16) {
+                    found.push((base, entry.path()));
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    /// Create and preallocate a segment: `set_len` reserves the capacity up
+    /// front (sparse — no blocks until data lands) and the creation is made
+    /// durable (file sync + directory sync) before any data write targets
+    /// it, so a crash can never lose a segment whose bytes were fsynced.
+    fn create_segment(
+        root: &Path,
+        base: u64,
+        capacity: u64,
+        stats: &WalStats,
+    ) -> io::Result<Segment> {
+        let path = segment_path(root, base);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len(capacity)?;
+        file.sync_all()?;
+        fsync_dir(&path)?;
+        stats.add_meta(2);
+        Ok(Segment {
+            base,
+            capacity,
+            path,
+            file,
+        })
+    }
+
+    /// Root path of the WAL (segment files live next to it).
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.root
+    }
+
+    /// Observable I/O counters (shared with this WAL's flush batches).
+    pub fn stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Bases of the live segment files, in order (tests / diagnostics).
+    pub fn segment_bases(&self) -> Vec<u64> {
+        self.segments.iter().map(|s| s.base).collect()
+    }
+
+    /// Rotate if the incoming frame would not fit the tail segment. The
+    /// frame is placed *entirely* in one segment — by construction it can
+    /// never straddle a boundary.
+    fn ensure_capacity(&mut self, n: u64) {
+        let tail = self.segments.last().expect("wal always has a tail segment");
+        let used = self.appended - tail.base;
+        if used + n <= tail.capacity {
+            return;
+        }
+        if used == 0 {
+            // Oversized frame into an empty segment: grow the preallocation
+            // in place rather than leaving a zero-byte segment behind.
+            let cap = n;
+            let tail = self.segments.last_mut().unwrap();
+            if tail
+                .file
+                .set_len(cap)
+                .and_then(|_| tail.file.sync_all())
+                .is_err()
+            {
+                self.dead = true;
+                return;
+            }
+            tail.capacity = cap;
+            self.stats.add_meta(1);
+            return;
+        }
+        let base = self.appended;
+        match Self::create_segment(
+            &self.root,
+            base,
+            self.opts.segment_bytes.max(n),
+            &self.stats,
+        ) {
+            Ok(seg) => self.segments.push(seg),
+            // Can't create the next segment (disk full, dir gone): the log
+            // device is effectively dead; the next sync surfaces it.
+            Err(_) => self.dead = true,
+        }
     }
 
     /// Append a record (buffered; durable at the next flush).
     pub fn append(&mut self, rec: LogRecord) {
-        let n = encode_frame(&rec, &mut self.buf);
+        self.frame.clear();
+        let n = encode_frame(&rec, &mut self.frame) as u64;
+        if matches!(rec, LogRecord::Checkpoint { .. }) {
+            self.last_checkpoint = Some(self.appended);
+        }
         self.mem.append(rec);
-        self.appended += n as u64;
+        if !self.dead {
+            self.ensure_capacity(n);
+        }
+        if !self.dead {
+            let seg = self.segments.len() - 1;
+            let s = &self.segments[seg];
+            let off = self.appended - s.base;
+            debug_assert!(
+                off + n <= s.capacity,
+                "frame must never straddle a segment boundary"
+            );
+            match self.spans.last_mut() {
+                Some(sp) if sp.seg == seg => sp.len += self.frame.len(),
+                _ => self.spans.push(PendingSpan {
+                    seg,
+                    off,
+                    start: self.buf.len(),
+                    len: self.frame.len(),
+                }),
+            }
+            self.buf.extend_from_slice(&self.frame);
+        }
+        self.appended += n;
     }
 
     /// Convenience mirror of [`Wal::append_update`].
@@ -232,9 +701,33 @@ impl DurableWal {
         self.progress.durable()
     }
 
+    /// Sealed watermark: bytes handed to the flush pipeline (inline or as a
+    /// sealed batch), in order. On the deterministic simulator this is the
+    /// release gate — the pipeline *will* make these bytes durable, and
+    /// every crash/checkpoint/shutdown path synchronises on it first. A dead
+    /// WAL reports its durable watermark: nothing more will ever seal.
+    pub fn sealed_ticket(&self) -> u64 {
+        if self.dead {
+            self.progress.durable()
+        } else {
+            self.sealed
+        }
+    }
+
+    /// Bytes appended but not yet sealed or synced.
+    pub fn pending_bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
     /// True when appended bytes are not yet durable (a flush is owed).
     pub fn is_dirty(&self) -> bool {
         self.appended > self.progress.durable()
+    }
+
+    /// True when this WAL must flush inline (fault armed, so the fault point
+    /// stays deterministic; or already dead).
+    pub fn inline_only(&self) -> bool {
+        self.fault.is_some() || self.dead
     }
 
     /// True once an injected fault has fired (the log device is gone).
@@ -262,65 +755,104 @@ impl DurableWal {
             FaultKind::Torn => Ok(f.fail_after.saturating_sub(self.written) as usize),
             FaultKind::Error => Err(io::Error::other("injected write error")),
             FaultKind::DropHandle => {
-                self.file = None;
+                self.segments.clear();
                 Err(io::Error::other("injected handle loss"))
             }
         }
     }
 
-    /// Write buffered frames and fsync: one group commit. Advances the
-    /// durable watermark past every record appended since the last flush.
+    /// Write `self.buf[..upto]` to its segments (pwrite per span) and fsync
+    /// each distinct touched segment once, in order.
+    fn write_pending(&mut self, upto: usize) -> io::Result<()> {
+        let mut remaining = upto;
+        let mut touched: Vec<usize> = Vec::new();
+        for sp in &self.spans {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(sp.len);
+            let seg = self
+                .segments
+                .get(sp.seg)
+                .ok_or_else(|| io::Error::other("wal handle lost"))?;
+            seg.file
+                .write_all_at(&self.buf[sp.start..sp.start + take], sp.off)?;
+            if touched.last() != Some(&sp.seg) {
+                touched.push(sp.seg);
+            }
+            remaining -= take;
+        }
+        for seg in touched {
+            self.segments[seg].file.sync_data()?;
+            self.stats.add_fsyncs(1);
+        }
+        Ok(())
+    }
+
+    /// Write buffered frames and fsync: one group commit, inline. Advances
+    /// the durable watermark past every record appended since the last
+    /// flush. Waits for any sealed batches first — the log must become
+    /// durable strictly in order.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.dead {
             // A dead WAL never advances its watermark — waiting would hang.
             return Err(io::Error::other("wal is dead"));
         }
-        // Sealed batches must land before these bytes: the file is strictly
-        // append-ordered and an inline write overtaking a queued batch would
-        // interleave frames out of order.
-        self.progress
-            .wait_for(self.appended - self.buf.len() as u64);
+        // Sealed batches must land before these bytes: prefix durability.
+        self.progress.wait_for(self.sealed)?;
         if self.buf.is_empty() {
             return Ok(());
         }
         let allowed = self.fault_check(self.buf.len())?;
         let torn = allowed < self.buf.len();
-        let file = self
-            .file
-            .as_mut()
-            .ok_or_else(|| io::Error::other("wal handle lost"))?;
-        file.write_all(&self.buf[..allowed])?;
-        file.sync_data()?;
+        self.write_pending(allowed)?;
         self.written += allowed as u64;
         if torn {
             // The torn prefix reached disk but no complete frame boundary
             // did: the watermark does not move, and the WAL is dead.
             self.buf.clear();
+            self.spans.clear();
             return Err(io::Error::new(
                 io::ErrorKind::WriteZero,
                 "injected torn write",
             ));
         }
         self.buf.clear();
+        self.spans.clear();
+        self.sealed = self.appended;
         self.progress.advance(self.appended);
         Ok(())
     }
 
     /// Seal the buffered frames into a [`FlushBatch`] for a background
-    /// flusher. Returns `None` when there is nothing to flush or the WAL can
-    /// no longer write.
+    /// flusher and advance the sealed watermark. Returns `None` when there
+    /// is nothing to flush or the WAL must stay inline (fault armed / dead —
+    /// asynchronous writes would make the fault point nondeterministic).
     pub fn seal_batch(&mut self) -> Option<FlushBatch> {
-        if self.buf.is_empty() || self.dead {
+        if self.buf.is_empty() || self.inline_only() {
             return None;
         }
-        let file = self.file.as_ref()?.try_clone().ok()?;
+        let mut writes = Vec::with_capacity(self.spans.len());
+        for sp in &self.spans {
+            let seg = &self.segments[sp.seg];
+            writes.push(SegWrite {
+                file: seg.file.try_clone().ok()?,
+                sync_key: (self.uid, seg.base),
+                off: sp.off,
+                start: sp.start,
+                len: sp.len,
+            });
+        }
         let bytes = std::mem::take(&mut self.buf);
+        self.spans.clear();
         self.written += bytes.len() as u64;
+        self.sealed = self.appended;
         Some(FlushBatch {
-            file,
             bytes,
+            writes,
             ticket: self.appended,
             progress: Arc::clone(&self.progress),
+            stats: Arc::clone(&self.stats),
         })
     }
 
@@ -331,66 +863,93 @@ impl DurableWal {
         self.append(LogRecord::Checkpoint { items });
     }
 
-    /// Log reclamation: drop records before the last checkpoint and compact
-    /// the file. The compacted log is written to a temp file, fsynced, and
-    /// atomically renamed over the live log, so a crash at any point leaves
-    /// either the old complete log or the new complete log — never a hybrid.
-    /// Byte tickets remain monotone across the rewrite.
+    /// Log reclamation: drop records before the last checkpoint and delete
+    /// whole stale segments. The live-log start offset is recorded in the
+    /// manifest (written to a temp file, fsynced, atomically renamed, and
+    /// the directory fsynced — every step's error is surfaced), so a crash
+    /// at any point leaves either the old manifest or the new one, and the
+    /// segments both generations need still exist. Byte tickets remain
+    /// monotone — nothing is renumbered, only deleted.
     pub fn truncate_to_checkpoint(&mut self) -> io::Result<()> {
-        // Everything must be durable before the old log is replaced: a
-        // sealed-but-unflushed batch would otherwise target the unlinked
-        // inode.
+        // Everything must be durable before segments are condemned: a
+        // sealed-but-unflushed batch must not target a deleted file.
         self.sync()?;
-        self.progress.wait_for(self.appended);
+        self.progress.wait_for(self.appended)?;
+        let Some(ckpt) = self.last_checkpoint.filter(|&c| c >= self.start) else {
+            return Ok(()); // no checkpoint since the live-log start
+        };
         self.mem.truncate_to_checkpoint();
-        let mut bytes = Vec::new();
-        for rec in self.mem.records() {
-            encode_frame(rec, &mut bytes);
-        }
-        let tmp = self.path.with_extension("waltmp");
+        // Manifest bytes count against the fault budget like any other
+        // physical write to the log device.
+        let manifest = encode_manifest(ckpt);
+        self.fault_check(manifest.len())
+            .and_then(|ok| {
+                if ok < manifest.len() {
+                    Err(io::Error::other("injected torn manifest write"))
+                } else {
+                    Ok(())
+                }
+            })
+            .inspect(|_| self.written += manifest.len() as u64)?;
+        let mpath = manifest_path(&self.root);
+        let tmp = mpath.with_extension("manifest.tmp");
         let mut tf = File::create(&tmp)?;
-        tf.write_all(&bytes)?;
+        tf.write_all(&manifest)?;
         tf.sync_all()?;
         drop(tf);
-        std::fs::rename(&tmp, &self.path)?;
-        if let Some(dir) = self.path.parent() {
-            // Make the rename itself durable.
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
-            }
+        std::fs::rename(&tmp, &mpath)?;
+        // Make the rename itself durable — a swallowed failure here would
+        // let a crash resurrect the pre-checkpoint start offset while the
+        // segments it needs are already gone.
+        fsync_dir(&mpath)?;
+        self.stats.add_meta(2);
+        self.start = ckpt;
+        // Drop every segment that ends at or before the new start.
+        let mut dropped = false;
+        while self.segments.len() > 1 && self.segments[1].base <= ckpt {
+            let seg = self.segments.remove(0);
+            std::fs::remove_file(&seg.path)?;
+            dropped = true;
         }
-        self.file = Some(
-            OpenOptions::new()
-                .read(true)
-                .append(true)
-                .open(&self.path)?,
-        );
-        self.base = self.appended - bytes.len() as u64;
-        self.written = bytes.len() as u64;
-        self.progress.advance(self.appended);
+        if dropped {
+            fsync_dir(&self.root)?;
+            self.stats.add_meta(1);
+        }
         Ok(())
     }
 
-    /// Simulated crash: lose the unsynced buffer, truncate the file to the
-    /// durable watermark (adversarial: maximum permitted loss), and reopen.
-    /// A dead WAL (injected fault) skips the truncation — whatever the fault
-    /// left on disk, including a torn frame, is what recovery must cope
-    /// with.
+    /// Simulated crash: lose the unsynced buffer, cut every segment back to
+    /// the durable watermark (adversarial: maximum permitted loss), delete
+    /// segments past it, and reopen. A dead WAL (injected fault) skips the
+    /// truncation — whatever the fault left on disk, including a torn
+    /// frame, is what recovery must cope with.
     pub fn crash(mut self) -> io::Result<DurableWal> {
-        let sealed = self.appended - self.buf.len() as u64;
         if !self.dead {
             // Let in-flight background batches land, then cut at the
             // watermark; without this a late flusher write could resurrect
             // bytes the truncation already declared lost.
-            self.progress.wait_for(sealed);
-            let phys = self.progress.durable() - self.base;
-            drop(self.file.take());
-            if let Ok(f) = OpenOptions::new().write(true).open(&self.path) {
-                f.set_len(phys)?;
-                f.sync_data()?;
+            self.progress.wait_for(self.sealed)?;
+            let wm = self.progress.durable();
+            for seg in &self.segments {
+                if seg.base >= wm {
+                    std::fs::remove_file(&seg.path)?;
+                } else {
+                    // set_len down then back up re-zeroes the cut tail, so
+                    // stale frames past the watermark can never decode.
+                    let keep = (wm - seg.base).min(seg.capacity);
+                    seg.file.set_len(keep)?;
+                    seg.file.set_len(seg.capacity)?;
+                    seg.file.sync_data()?;
+                }
             }
         }
-        DurableWal::open(self.path)
+        let opts = WalOptions {
+            segment_bytes: self.opts.segment_bytes,
+            fault: None,
+        };
+        let root = std::mem::take(&mut self.root);
+        drop(self);
+        DurableWal::open_with_opts(root, opts)
     }
 
     // ----- logical surface (delegates to the mirror) -----
@@ -433,6 +992,17 @@ mod tests {
         dir.join("site.wal")
     }
 
+    fn small(path: &Path, segment_bytes: u64) -> DurableWal {
+        DurableWal::open_with_opts(
+            path,
+            WalOptions {
+                segment_bytes,
+                fault: None,
+            },
+        )
+        .unwrap()
+    }
+
     fn sample_workload(w: &mut DurableWal) {
         let mut store = Store::new();
         store.load(Key(1), Value(10));
@@ -470,9 +1040,13 @@ mod tests {
         let t = w.append_ticket();
         assert!(w.is_dirty());
         assert!(w.durable_ticket() < t);
+        assert!(w.sealed_ticket() < t);
+        assert_eq!(w.pending_bytes(), t);
         w.sync().unwrap();
         assert!(!w.is_dirty());
         assert_eq!(w.durable_ticket(), t);
+        assert_eq!(w.sealed_ticket(), t);
+        assert_eq!(w.pending_bytes(), 0);
     }
 
     #[test]
@@ -499,6 +1073,7 @@ mod tests {
         let t = w.append_ticket();
         let batch = w.seal_batch().unwrap();
         assert!(w.is_dirty());
+        assert_eq!(w.sealed_ticket(), t, "sealing advances the sealed mark");
         assert_eq!(batch.ticket(), t);
         batch.execute().unwrap();
         assert_eq!(w.durable_ticket(), t);
@@ -510,24 +1085,99 @@ mod tests {
     }
 
     #[test]
-    fn truncate_to_checkpoint_compacts_file_and_keeps_tickets_monotone() {
-        let path = tmp("trunc");
+    fn burst_of_batches_costs_one_fsync() {
+        let path = tmp("coalesce");
         let mut w = DurableWal::open(&path).unwrap();
+        let stats = w.stats();
+        let mut batches = Vec::new();
+        for i in 0..8 {
+            w.append(LogRecord::Begin(sub(i)));
+            batches.push(w.seal_batch().unwrap());
+        }
+        let t = w.append_ticket();
+        assert_eq!(stats.fsyncs(), 0);
+        FlushBatch::execute_all(batches).unwrap();
+        assert_eq!(
+            stats.fsyncs(),
+            1,
+            "a burst of 8 sealed batches into one segment is one fsync"
+        );
+        assert_eq!(w.durable_ticket(), t);
+        drop(w);
+        assert_eq!(DurableWal::open(&path).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn rotation_names_segments_by_base_and_never_straddles() {
+        let path = tmp("rotate");
+        let mut w = small(&path, 96);
+        for i in 0..16 {
+            w.append(LogRecord::Begin(sub(i)));
+        }
+        w.sync().unwrap();
+        let bases = w.segment_bases();
+        assert!(bases.len() > 1, "tiny segments must rotate: {bases:?}");
+        assert_eq!(bases[0], 0);
+        // Each segment's file decodes standalone from offset 0: no frame
+        // straddles a boundary.
+        let mut total = 0;
+        for &b in &bases {
+            let bytes = std::fs::read(segment_path(&path, b)).unwrap();
+            let (recs, good) = decode_all(&bytes);
+            total += recs.len();
+            assert!(good > 0, "segment {b} holds whole frames");
+        }
+        assert_eq!(total, 16, "every record decodes from exactly one segment");
+        // Bases record exactly where the previous segment's data ended.
+        drop(w);
+        let w2 = small(&path, 96);
+        assert_eq!(w2.len(), 16, "reopen stitches segments back in order");
+    }
+
+    #[test]
+    fn oversized_frame_gets_its_own_segment() {
+        let path = tmp("oversize");
+        let mut w = small(&path, 64);
+        w.append(LogRecord::Begin(sub(0)));
+        w.append(LogRecord::Checkpoint {
+            items: (0..64).map(|k| (Key(k), Value(k as i64))).collect(),
+        });
+        w.append(LogRecord::Begin(sub(1)));
+        w.sync().unwrap();
+        drop(w);
+        let w2 = small(&path, 64);
+        assert_eq!(w2.len(), 3, "oversized frame survives in its own segment");
+    }
+
+    #[test]
+    fn truncate_to_checkpoint_drops_stale_segments_and_keeps_tickets_monotone() {
+        let path = tmp("trunc");
+        let mut w = small(&path, 128);
         sample_workload(&mut w);
+        for i in 10..30 {
+            w.append(LogRecord::Begin(sub(i)));
+        }
         let mut store = w.recover().into_store();
         store.load(Key(1), Value(15));
         w.checkpoint(&store);
         w.append(LogRecord::Begin(sub(5)));
         let before = w.append_ticket();
+        let files_before = w.segment_bases().len();
         w.truncate_to_checkpoint().unwrap();
         assert!(w.append_ticket() >= before, "tickets monotone");
         assert!(!w.is_dirty());
-        let disk = std::fs::metadata(&path).unwrap().len();
-        assert!(disk < before, "file physically compacted");
+        assert!(
+            w.segment_bases().len() < files_before,
+            "stale segments physically deleted ({} -> {})",
+            files_before,
+            w.segment_bases().len()
+        );
         // First record is now the checkpoint; recovery unchanged.
         assert!(matches!(w.records()[0], LogRecord::Checkpoint { .. }));
-        let w2 = DurableWal::open(&path).unwrap();
-        assert_eq!(w2.records(), w.records());
+        let recs = w.records().to_vec();
+        drop(w);
+        let w2 = small(&path, 128);
+        assert_eq!(w2.records(), &recs[..], "manifest start honoured on reopen");
     }
 
     #[test]
@@ -546,12 +1196,13 @@ mod tests {
             }),
         )
         .unwrap();
+        assert!(w.inline_only(), "fault-armed wal never seals");
+        assert!(w.seal_batch().is_none());
         w.append(LogRecord::Begin(sub(7)));
         assert!(w.sync().is_err());
         assert!(w.is_dead());
         drop(w);
-        // The file now ends in a torn frame; open discards it.
-        assert!(std::fs::metadata(&path).unwrap().len() > 0);
+        // The segment now ends in a torn frame; open discards it.
         let w2 = DurableWal::open(&path).unwrap();
         assert_eq!(w2.records(), &good[..]);
     }
@@ -600,5 +1251,64 @@ mod tests {
         let _ = w.sync();
         let w2 = w.crash().unwrap();
         assert_eq!(w2.records(), &good[..]);
+    }
+
+    #[test]
+    fn compaction_write_fault_surfaces_instead_of_being_swallowed() {
+        let path = tmp("compfault");
+        let mut w = DurableWal::open(&path).unwrap();
+        sample_workload(&mut w);
+        w.sync().unwrap();
+        let synced = w.append_ticket();
+        drop(w);
+        // Re-arm so the data sync passes but the manifest write (the
+        // rename's durability point) trips the fault: the error must
+        // propagate out of truncate_to_checkpoint, not vanish.
+        let mut w = DurableWal::open_with(
+            &path,
+            Some(WriteFault {
+                fail_after: synced + 1,
+                kind: FaultKind::Error,
+            }),
+        )
+        .unwrap();
+        let store = w.recover().into_store();
+        w.checkpoint(&store);
+        let err = w.truncate_to_checkpoint();
+        assert!(err.is_err(), "compaction durability failure must surface");
+        assert!(w.is_dead());
+    }
+
+    #[test]
+    fn crash_mid_rotation_recovers_cleanly_with_tiny_segments() {
+        let path = tmp("rotcrash");
+        let mut w = small(&path, 80);
+        for i in 0..6 {
+            w.append(LogRecord::Begin(sub(i)));
+        }
+        w.sync().unwrap();
+        let durable = w.records().to_vec();
+        for i in 6..12 {
+            w.append(LogRecord::Begin(sub(i))); // unsynced, spans a rotation
+        }
+        let w2 = w.crash().unwrap();
+        assert_eq!(w2.records(), &durable[..]);
+        // And the reopened WAL keeps appending across segments correctly.
+        let mut w2 = w2;
+        for i in 20..26 {
+            w2.append(LogRecord::Begin(sub(i)));
+        }
+        w2.sync().unwrap();
+        let all = w2.records().to_vec();
+        drop(w2);
+        assert_eq!(small(&path, 80).records(), &all[..]);
+    }
+
+    #[test]
+    fn poisoned_progress_fails_waiters() {
+        let p = FlushProgress::new(0);
+        p.poison();
+        assert!(p.wait_for(10).is_err());
+        assert!(p.wait_for(0).is_ok(), "already-reached tickets still pass");
     }
 }

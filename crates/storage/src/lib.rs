@@ -23,6 +23,9 @@ pub mod store;
 pub mod wal;
 
 pub use backend::WalBackend;
-pub use durable::{DurableWal, FaultKind, FlushBatch, FlushProgress, WriteFault};
+pub use durable::{
+    segment_path, DurableWal, FaultKind, FlushBatch, FlushProgress, WalOptions, WalStats,
+    WriteFault, DEFAULT_SEGMENT_BYTES,
+};
 pub use store::{CommitRecord, Store, UndoRecord};
 pub use wal::{LogRecord, RecoveredState, Wal};

@@ -6,7 +6,7 @@ use o2pc_common::{Duration, SimTime, SiteId};
 use o2pc_core::{Engine, SystemConfig};
 use o2pc_protocol::ProtocolKind;
 use o2pc_storage::codec::FRAME_HEADER;
-use o2pc_storage::{DurableWal, Wal};
+use o2pc_storage::{segment_path, DurableWal, Wal};
 use o2pc_workload::BankingWorkload;
 use std::path::{Path, PathBuf};
 
@@ -78,17 +78,22 @@ fn torn_tail_discards_only_the_torn_record() {
     drop(engine);
 
     let path = dir.join("site-0.wal");
-    let bytes = std::fs::read(&path).unwrap();
-    // Walk the frame headers to find where the final record starts. The file
-    // is clean (end-of-run sync), so every length field is trustworthy.
+    let bytes = std::fs::read(segment_path(&path, 0)).unwrap();
+    // Walk the frame headers to find where the final record starts and where
+    // the data ends (the segment is preallocated, so a zero length field
+    // marks the start of the untouched tail). The log is clean (end-of-run
+    // sync), so every length field up to that point is trustworthy.
     let mut pos = 0usize;
     let mut last_start = 0usize;
-    while pos < bytes.len() {
-        last_start = pos;
+    loop {
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if len == 0 {
+            break; // preallocated zero tail: data ends here
+        }
+        last_start = pos;
         pos += FRAME_HEADER + len;
     }
-    assert_eq!(pos, bytes.len(), "clean log must end on a frame boundary");
+    let data_end = pos;
     assert!(last_start > 0, "need at least two records");
 
     let full = DurableWal::open(&path).unwrap();
@@ -98,9 +103,9 @@ fn torn_tail_discards_only_the_torn_record() {
 
     // Tear the tail at a few representative offsets: header-only, mid-frame,
     // one byte short of complete. (The storage proptest sweeps every byte.)
-    for cut in [last_start + 1, last_start + FRAME_HEADER, bytes.len() - 1] {
+    for cut in [last_start + 1, last_start + FRAME_HEADER, data_end - 1] {
         let torn_path = dir.join(format!("torn-{cut}.wal"));
-        std::fs::write(&torn_path, &bytes[..cut]).unwrap();
+        std::fs::write(segment_path(&torn_path, 0), &bytes[..cut]).unwrap();
         let torn = DurableWal::open(&torn_path).unwrap();
         assert_eq!(torn.len(), expected_len, "cut at byte {cut}");
         assert_eq!(
